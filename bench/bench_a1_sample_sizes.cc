@@ -1,0 +1,81 @@
+// A1 (ablation) — the practitioner's shortcut: "just run the features on a
+// random sample of n items". How big must n be to match what Zombie
+// reaches adaptively, and what does each choice cost?
+
+#include <cstdio>
+
+#include "bandit/epsilon_greedy.h"
+#include "bench_common.h"
+#include "index/kmeans_grouper.h"
+#include "ml/naive_bayes.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace zombie {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintPreamble(
+      "A1 (ablation): fixed random samples vs. adaptive selection (WebCat)",
+      "the status-quo practice the paper argues against",
+      "small samples are fast but under-shoot quality (too few positives); "
+      "samples big enough to match Zombie's quality cost several times "
+      "Zombie's adaptive budget");
+
+  Task task = MakeTask(TaskKind::kWebCat, BenchCorpusSize(), 42);
+  KMeansGrouper grouper(32, 7);
+  GroupingResult grouping = grouper.Group(task.corpus);
+
+  TableWriter table(
+      {"method", "items(mean)", "vtime(mean)", "final_q", "positives(mean)"});
+
+  auto add_row = [&table](const char* name,
+                          const std::vector<RunResult>& runs) {
+    double positives = 0.0;
+    for (const auto& r : runs) {
+      positives += static_cast<double>(r.positives_processed);
+    }
+    positives /= static_cast<double>(runs.size());
+    table.BeginRow();
+    table.Cell(name);
+    table.Cell(static_cast<int64_t>(MeanItemsProcessed(runs)));
+    table.Cell(StrFormat("%.1fs", MeanVirtualSeconds(runs)));
+    table.Cell(MeanFinalQuality(runs), 3);
+    table.Cell(static_cast<int64_t>(positives));
+  };
+
+  for (size_t sample : {250, 500, 1000, 2000, 4000, 8000}) {
+    std::vector<RunResult> runs;
+    for (uint64_t seed : BenchSeeds()) {
+      ZombieEngine engine(&task.corpus, &task.pipeline,
+                          BenchEngineOptions(seed));
+      NaiveBayesLearner nb;
+      runs.push_back(RunFixedSampleBaseline(engine, nb, sample));
+    }
+    add_row(StrFormat("sample-%zu", sample).c_str(), runs);
+  }
+
+  std::vector<RunResult> zombies;
+  for (uint64_t seed : BenchSeeds()) {
+    EngineOptions opts = BenchEngineOptions(seed);
+    EpsilonGreedyPolicy policy;
+    NaiveBayesLearner nb;
+    LabelReward reward;
+    zombies.push_back(
+        RunZombieTrial(task, grouping, policy, reward, nb, opts));
+  }
+  add_row("zombie", zombies);
+
+  FinishTable(table, "a1_sample_sizes");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace zombie
+
+int main() {
+  zombie::SetLogLevel(zombie::LogLevel::kWarning);
+  zombie::bench::Run();
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ml/naive_bayes.h"
+#include "util/logging.h"
+
+namespace zombie {
+namespace bench {
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+size_t BenchCorpusSize() { return EnvSize("ZOMBIE_BENCH_DOCS", 12000); }
+
+std::vector<uint64_t> BenchSeeds() {
+  size_t trials = EnvSize("ZOMBIE_BENCH_TRIALS", 3);
+  std::vector<uint64_t> seeds;
+  for (size_t i = 0; i < trials; ++i) seeds.push_back(i + 1);
+  return seeds;
+}
+
+EngineOptions BenchEngineOptions(uint64_t seed) {
+  EngineOptions o;
+  o.seed = seed;
+  o.holdout_size = 400;
+  o.holdout_positive_fraction = 0.25;
+  o.eval_every = 25;
+  o.metric = QualityMetric::kF1;
+  return o;
+}
+
+RunResult RunZombieTrial(const Task& task, const GroupingResult& grouping,
+                         const BanditPolicy& policy,
+                         const RewardFunction& reward,
+                         const Learner& learner, const EngineOptions& opts) {
+  ZombieEngine engine(&task.corpus, &task.pipeline, opts);
+  return engine.Run(grouping, policy, learner, reward);
+}
+
+RunResult RunScanTrial(const Task& task, const EngineOptions& opts,
+                       bool sequential) {
+  ZombieEngine engine(&task.corpus, &task.pipeline, FullScanOptions(opts));
+  // The scan baselines use the default naive Bayes learner, matching the
+  // Zombie side in every experiment that calls this helper.
+  NaiveBayesLearner nb;
+  return sequential ? RunSequentialBaseline(engine, nb)
+                    : RunRandomBaseline(engine, nb);
+}
+
+MeanSpeedup AverageSpeedup(const std::vector<RunResult>& baselines,
+                           const std::vector<RunResult>& zombies,
+                           double quality_fraction) {
+  ZCHECK_EQ(baselines.size(), zombies.size());
+  MeanSpeedup m;
+  m.total_trials = baselines.size();
+  double time_sum = 0.0;
+  double items_sum = 0.0;
+  for (size_t i = 0; i < baselines.size(); ++i) {
+    SpeedupReport s =
+        ComputeSpeedup(baselines[i], zombies[i], quality_fraction);
+    if (!s.valid()) continue;
+    time_sum += s.time_speedup;
+    items_sum += s.items_speedup;
+    ++m.valid_trials;
+  }
+  if (m.valid_trials > 0) {
+    m.time_speedup = time_sum / static_cast<double>(m.valid_trials);
+    m.items_speedup = items_sum / static_cast<double>(m.valid_trials);
+  }
+  return m;
+}
+
+void FinishTable(const TableWriter& table, const char* name) {
+  table.Print();
+  const char* dir = std::getenv("ZOMBIE_BENCH_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  if (table.WriteCsvFile(path)) {
+    std::printf("(csv written to %s)\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+}
+
+void PrintPreamble(const char* experiment_id, const char* reproduces,
+                   const char* expected_shape) {
+  std::printf("=== %s ===\n", experiment_id);
+  std::printf("reproduces: %s\n", reproduces);
+  std::printf("expected shape: %s\n", expected_shape);
+  std::printf("scale: %zu docs, %zu trials (ZOMBIE_BENCH_DOCS / "
+              "ZOMBIE_BENCH_TRIALS to change)\n\n",
+              BenchCorpusSize(), BenchSeeds().size());
+}
+
+}  // namespace bench
+}  // namespace zombie

@@ -1,0 +1,69 @@
+#ifndef ZOMBIE_BENCH_BENCH_COMMON_H_
+#define ZOMBIE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bandit/policy.h"
+#include "core/analysis.h"
+#include "core/baselines.h"
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/reward.h"
+#include "core/run_result.h"
+#include "core/task_factory.h"
+#include "index/grouper.h"
+#include "ml/learner.h"
+#include "util/table_writer.h"
+
+namespace zombie {
+namespace bench {
+
+/// Corpus size used by the experiment binaries. Defaults to 12000;
+/// override with ZOMBIE_BENCH_DOCS for quicker smoke runs or fuller
+/// sweeps.
+size_t BenchCorpusSize();
+
+/// Engine seeds used as independent trials. Defaults to {1, 2, 3};
+/// override the count with ZOMBIE_BENCH_TRIALS.
+std::vector<uint64_t> BenchSeeds();
+
+/// The engine configuration shared by every experiment (DESIGN.md):
+/// 400-item stratified holdout, evaluate every 25 items, plateau stop.
+EngineOptions BenchEngineOptions(uint64_t seed);
+
+/// One Zombie run with the given components.
+RunResult RunZombieTrial(const Task& task, const GroupingResult& grouping,
+                         const BanditPolicy& policy,
+                         const RewardFunction& reward,
+                         const Learner& learner, const EngineOptions& opts);
+
+/// One full-scan baseline run (random order unless `sequential`).
+RunResult RunScanTrial(const Task& task, const EngineOptions& opts,
+                       bool sequential = false);
+
+/// Mean speedup report across paired (baseline, zombie) trials at the
+/// given quality fraction; invalid trials are skipped (count reported).
+struct MeanSpeedup {
+  double time_speedup = -1.0;
+  double items_speedup = -1.0;
+  size_t valid_trials = 0;
+  size_t total_trials = 0;
+};
+MeanSpeedup AverageSpeedup(const std::vector<RunResult>& baselines,
+                           const std::vector<RunResult>& zombies,
+                           double quality_fraction);
+
+/// Prints the standard experiment banner (id, what it reproduces, scale).
+void PrintPreamble(const char* experiment_id, const char* reproduces,
+                   const char* expected_shape);
+
+/// Prints the table; when ZOMBIE_BENCH_CSV_DIR is set, also writes
+/// `<dir>/<name>.csv` for plotting the figure analogues.
+void FinishTable(const TableWriter& table, const char* name);
+
+}  // namespace bench
+}  // namespace zombie
+
+#endif  // ZOMBIE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,87 @@
+// E10 — learner-choice table: the inner loop with each incremental learner.
+// The selection machinery is learner-agnostic; sample efficiency and
+// update cost differ.
+
+#include <cstdio>
+#include <memory>
+
+#include "bandit/epsilon_greedy.h"
+#include "bench_common.h"
+#include "index/kmeans_grouper.h"
+#include "ml/logistic_regression.h"
+#include "ml/majority.h"
+#include "ml/naive_bayes.h"
+#include "ml/pegasos_svm.h"
+#include "ml/perceptron.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace zombie {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintPreamble(
+      "E10: learner comparison (WebCat, k-means-32)",
+      "the paper's learner-choice discussion (balance reward isolates the\n"
+      "learner effect from training-stream class skew)",
+      "naive Bayes is the most sample-efficient single-pass learner here; "
+      "the margin/SGD learners need more items but all beat the majority "
+      "floor; speedups hold across learners");
+
+  Task task = MakeTask(TaskKind::kWebCat, BenchCorpusSize(), 42);
+  KMeansGrouper grouper(32, 7);
+  GroupingResult grouping = grouper.Group(task.corpus);
+
+  std::vector<std::unique_ptr<Learner>> learners;
+  learners.push_back(std::make_unique<NaiveBayesLearner>());
+  learners.push_back(std::make_unique<LogisticRegressionLearner>());
+  learners.push_back(std::make_unique<AveragedPerceptronLearner>());
+  learners.push_back(std::make_unique<PegasosSvmLearner>());
+  learners.push_back(std::make_unique<MajorityClassLearner>());
+
+  TableWriter table({"learner", "items(mean)", "vtime(mean)", "peak_q",
+                     "final_q", "baseline_q", "speedup95_t",
+                     "speedup95_items"});
+
+  for (const auto& learner : learners) {
+    std::vector<RunResult> zombies;
+    std::vector<RunResult> baselines;
+    for (uint64_t seed : BenchSeeds()) {
+      EngineOptions opts = BenchEngineOptions(seed);
+      EpsilonGreedyPolicy policy;
+      BalanceReward reward;
+      zombies.push_back(
+          RunZombieTrial(task, grouping, policy, reward, *learner, opts));
+      // Baseline with the same learner (RunScanTrial is NB-only).
+      ZombieEngine engine(&task.corpus, &task.pipeline,
+                          FullScanOptions(opts));
+      baselines.push_back(RunRandomBaseline(engine, *learner));
+    }
+    MeanSpeedup m = AverageSpeedup(baselines, zombies, 0.95);
+    table.BeginRow();
+    table.Cell(learner->name());
+    table.Cell(static_cast<int64_t>(MeanItemsProcessed(zombies)));
+    table.Cell(StrFormat("%.1fs", MeanVirtualSeconds(zombies)));
+    double peak = 0.0;
+    for (const auto& r : zombies) peak += r.curve.PeakQuality();
+    table.Cell(peak / static_cast<double>(zombies.size()), 3);
+    table.Cell(MeanFinalQuality(zombies), 3);
+    table.Cell(MeanFinalQuality(baselines), 3);
+    table.Cell(m.time_speedup, 2);
+    table.Cell(m.items_speedup, 2);
+  }
+  FinishTable(table, "e10_learners");
+  std::printf("\nnote: the majority learner ignores features; its row is "
+              "the floor any real learner must beat.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace zombie
+
+int main() {
+  zombie::SetLogLevel(zombie::LogLevel::kWarning);
+  zombie::bench::Run();
+  return 0;
+}

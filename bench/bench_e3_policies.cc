@@ -1,0 +1,78 @@
+// E3 — bandit-policy comparison figure analogue: every selection policy on
+// the WebCat task against the same full-scan baseline.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "index/kmeans_grouper.h"
+#include "ml/naive_bayes.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace zombie {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintPreamble(
+      "E3: bandit policy comparison (WebCat, k-means-32 groups)",
+      "the paper's selection-policy sensitivity figure",
+      "adaptive policies (egreedy/ucb1/thompson/exp3/softmax) beat the "
+      "non-adaptive schedulers (roundrobin/random); differences among the "
+      "adaptive family are modest");
+
+  Task task = MakeTask(TaskKind::kWebCat, BenchCorpusSize(), 42);
+  KMeansGrouper grouper(32, 7);
+  GroupingResult grouping = grouper.Group(task.corpus);
+
+  // A shared baseline per seed.
+  std::vector<RunResult> baselines;
+  for (uint64_t seed : BenchSeeds()) {
+    baselines.push_back(RunScanTrial(task, BenchEngineOptions(seed)));
+  }
+
+  TableWriter table({"policy", "items(mean)", "vtime(mean)", "final_q",
+                     "pos_share", "speedup95_t", "speedup95_items"});
+
+  for (PolicyKind kind :
+       {PolicyKind::kEpsilonGreedy, PolicyKind::kUcb1,
+        PolicyKind::kSlidingUcb, PolicyKind::kThompson, PolicyKind::kExp3,
+        PolicyKind::kSoftmax, PolicyKind::kRoundRobin,
+        PolicyKind::kUniformRandom}) {
+    std::vector<RunResult> runs;
+    double pos_share = 0.0;
+    for (uint64_t seed : BenchSeeds()) {
+      EngineOptions opts = BenchEngineOptions(seed);
+      auto policy = MakePolicy(kind);
+      NaiveBayesLearner nb;
+      LabelReward reward;
+      RunResult r = RunZombieTrial(task, grouping, *policy, reward, nb, opts);
+      pos_share += r.items_processed
+                       ? static_cast<double>(r.positives_processed) /
+                             static_cast<double>(r.items_processed)
+                       : 0.0;
+      runs.push_back(std::move(r));
+    }
+    pos_share /= static_cast<double>(runs.size());
+    MeanSpeedup m = AverageSpeedup(baselines, runs, 0.95);
+    table.BeginRow();
+    table.Cell(PolicyKindName(kind));
+    table.Cell(static_cast<int64_t>(MeanItemsProcessed(runs)));
+    table.Cell(StrFormat("%.1fs", MeanVirtualSeconds(runs)));
+    table.Cell(MeanFinalQuality(runs), 3);
+    table.Cell(pos_share, 3);
+    table.Cell(m.time_speedup, 2);
+    table.Cell(m.items_speedup, 2);
+  }
+  FinishTable(table, "e3_policies");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace zombie
+
+int main() {
+  zombie::SetLogLevel(zombie::LogLevel::kWarning);
+  zombie::bench::Run();
+  return 0;
+}

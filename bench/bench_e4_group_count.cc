@@ -1,0 +1,74 @@
+// E4 — group-count sensitivity figure analogue: speedup as a function of
+// the number of k-means index groups K.
+
+#include <cstdio>
+
+#include "bandit/epsilon_greedy.h"
+#include "bench_common.h"
+#include "index/kmeans_grouper.h"
+#include "ml/naive_bayes.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace zombie {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintPreamble(
+      "E4: k-means group-count sweep (WebCat)",
+      "the paper's index-granularity sensitivity figure",
+      "K=1 degrades to a random scan (~1x); speedup rises with K to a "
+      "broad optimum, then flattens/dips as groups get too small to "
+      "estimate and the bandit pays more exploration");
+
+  Task task = MakeTask(TaskKind::kWebCat, BenchCorpusSize(), 42);
+
+  std::vector<RunResult> baselines;
+  for (uint64_t seed : BenchSeeds()) {
+    baselines.push_back(RunScanTrial(task, BenchEngineOptions(seed)));
+  }
+
+  TableWriter table({"K", "build_wall", "items(mean)", "final_q",
+                     "pos_share", "speedup95_t", "speedup95_items"});
+
+  for (size_t k : {1, 4, 16, 64, 256}) {
+    KMeansGrouper grouper(k, 7);
+    GroupingResult grouping = grouper.Group(task.corpus);
+    std::vector<RunResult> runs;
+    double pos_share = 0.0;
+    for (uint64_t seed : BenchSeeds()) {
+      EngineOptions opts = BenchEngineOptions(seed);
+      EpsilonGreedyPolicy policy;
+      NaiveBayesLearner nb;
+      LabelReward reward;
+      RunResult r = RunZombieTrial(task, grouping, policy, reward, nb, opts);
+      pos_share += r.items_processed
+                       ? static_cast<double>(r.positives_processed) /
+                             static_cast<double>(r.items_processed)
+                       : 0.0;
+      runs.push_back(std::move(r));
+    }
+    pos_share /= static_cast<double>(runs.size());
+    MeanSpeedup m = AverageSpeedup(baselines, runs, 0.95);
+    table.BeginRow();
+    table.Cell(static_cast<int64_t>(k));
+    table.Cell(FormatDuration(grouping.build_wall_micros));
+    table.Cell(static_cast<int64_t>(MeanItemsProcessed(runs)));
+    table.Cell(MeanFinalQuality(runs), 3);
+    table.Cell(pos_share, 3);
+    table.Cell(m.time_speedup, 2);
+    table.Cell(m.items_speedup, 2);
+  }
+  FinishTable(table, "e4_group_count");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace zombie
+
+int main() {
+  zombie::SetLogLevel(zombie::LogLevel::kWarning);
+  zombie::bench::Run();
+  return 0;
+}

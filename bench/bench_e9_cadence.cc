@@ -1,0 +1,68 @@
+// E9 — evaluation-cadence figure analogue: how often should the inner loop
+// retrain/evaluate? Frequent evaluation stops closer to the true knee but
+// costs real bookkeeping time; sparse evaluation overshoots.
+
+#include <cstdio>
+
+#include "bandit/epsilon_greedy.h"
+#include "bench_common.h"
+#include "index/kmeans_grouper.h"
+#include "ml/naive_bayes.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace zombie {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintPreamble(
+      "E9: evaluation cadence sweep (WebCat, k-means-32)",
+      "the paper's inner-loop bookkeeping discussion",
+      "items-to-stop grows with the cadence (coarser stopping); wall-clock "
+      "bookkeeping per item shrinks; quality stays flat");
+
+  Task task = MakeTask(TaskKind::kWebCat, BenchCorpusSize(), 42);
+  KMeansGrouper grouper(32, 7);
+  GroupingResult grouping = grouper.Group(task.corpus);
+
+  TableWriter table({"eval_every", "items(mean)", "vtime(mean)", "final_q",
+                     "evals(mean)", "wall_ms(mean)"});
+
+  for (size_t cadence : {5, 25, 100, 400}) {
+    std::vector<RunResult> runs;
+    double wall_ms = 0.0;
+    double evals = 0.0;
+    for (uint64_t seed : BenchSeeds()) {
+      EngineOptions opts = BenchEngineOptions(seed);
+      opts.eval_every = cadence;
+      EpsilonGreedyPolicy policy;
+      NaiveBayesLearner nb;
+      LabelReward reward;
+      RunResult r = RunZombieTrial(task, grouping, policy, reward, nb, opts);
+      wall_ms += static_cast<double>(r.wall_micros) / 1e3;
+      evals += static_cast<double>(r.curve.size());
+      runs.push_back(std::move(r));
+    }
+    wall_ms /= static_cast<double>(runs.size());
+    evals /= static_cast<double>(runs.size());
+    table.BeginRow();
+    table.Cell(static_cast<int64_t>(cadence));
+    table.Cell(static_cast<int64_t>(MeanItemsProcessed(runs)));
+    table.Cell(StrFormat("%.1fs", MeanVirtualSeconds(runs)));
+    table.Cell(MeanFinalQuality(runs), 3);
+    table.Cell(evals, 1);
+    table.Cell(wall_ms, 1);
+  }
+  FinishTable(table, "e9_cadence");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace zombie
+
+int main() {
+  zombie::SetLogLevel(zombie::LogLevel::kWarning);
+  zombie::bench::Run();
+  return 0;
+}

@@ -1,0 +1,197 @@
+// E11 — substrate microbenchmarks (google-benchmark): the hot paths of the
+// inner loop and the index build.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bandit/epsilon_greedy.h"
+#include "bandit/ucb1.h"
+#include "core/task_factory.h"
+#include "data/webcat_generator.h"
+#include "index/kmeans.h"
+#include "index/signature.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/sparse_vector.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace zombie {
+namespace {
+
+SparseVector RandomVector(Rng* rng, uint32_t dim, size_t nnz) {
+  std::vector<std::pair<uint32_t, double>> pairs;
+  pairs.reserve(nnz);
+  for (size_t i = 0; i < nnz; ++i) {
+    pairs.emplace_back(static_cast<uint32_t>(rng->NextBelow(dim)),
+                       rng->NextGaussian());
+  }
+  return SparseVector::FromPairs(std::move(pairs));
+}
+
+void BM_SparseDotSparse(benchmark::State& state) {
+  Rng rng(1);
+  SparseVector a = RandomVector(&rng, 8192, static_cast<size_t>(state.range(0)));
+  SparseVector b = RandomVector(&rng, 8192, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Dot(b));
+  }
+}
+BENCHMARK(BM_SparseDotSparse)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SparseDotDense(benchmark::State& state) {
+  Rng rng(2);
+  SparseVector a = RandomVector(&rng, 8192, static_cast<size_t>(state.range(0)));
+  std::vector<double> dense(8192, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Dot(dense));
+  }
+}
+BENCHMARK(BM_SparseDotDense)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SparseFromPairs(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::pair<uint32_t, double>> pairs;
+  for (int i = 0; i < state.range(0); ++i) {
+    pairs.emplace_back(static_cast<uint32_t>(rng.NextBelow(8192)), 1.0);
+  }
+  for (auto _ : state) {
+    auto copy = pairs;
+    benchmark::DoNotOptimize(SparseVector::FromPairs(std::move(copy)));
+  }
+}
+BENCHMARK(BM_SparseFromPairs)->Arg(128)->Arg(1024);
+
+void BM_NaiveBayesUpdate(benchmark::State& state) {
+  Rng rng(4);
+  NaiveBayesLearner nb;
+  SparseVector x = RandomVector(&rng, 8192, 128);
+  int32_t y = 0;
+  for (auto _ : state) {
+    nb.Update(x, y);
+    y = 1 - y;
+  }
+}
+BENCHMARK(BM_NaiveBayesUpdate);
+
+void BM_NaiveBayesScore(benchmark::State& state) {
+  Rng rng(5);
+  NaiveBayesLearner nb;
+  for (int i = 0; i < 200; ++i) {
+    nb.Update(RandomVector(&rng, 8192, 128), i % 2);
+  }
+  SparseVector x = RandomVector(&rng, 8192, 128);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nb.Score(x));
+  }
+}
+BENCHMARK(BM_NaiveBayesScore);
+
+void BM_LogisticRegressionUpdate(benchmark::State& state) {
+  Rng rng(6);
+  LogisticRegressionLearner lr;
+  SparseVector x = RandomVector(&rng, 8192, 128);
+  int32_t y = 0;
+  for (auto _ : state) {
+    lr.Update(x, y);
+    y = 1 - y;
+  }
+}
+BENCHMARK(BM_LogisticRegressionUpdate);
+
+void BM_PipelineExtract(benchmark::State& state) {
+  Task task = MakeTask(TaskKind::kWebCat, 200, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        task.pipeline.Extract(task.corpus.doc(i % task.corpus.size()),
+                              task.corpus));
+    ++i;
+  }
+}
+BENCHMARK(BM_PipelineExtract);
+
+void BM_ComputeSignature(benchmark::State& state) {
+  WebCatOptions opts;
+  opts.num_documents = 100;
+  Corpus corpus = GenerateWebCatCorpus(opts);
+  SignatureConfig cfg;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeSignature(corpus.doc(i % corpus.size()), cfg));
+    ++i;
+  }
+}
+BENCHMARK(BM_ComputeSignature);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < state.range(0); ++i) {
+    std::vector<double> row(64);
+    for (double& v : row) v = rng.NextGaussian();
+    rows.push_back(std::move(row));
+  }
+  KMeansConfig cfg;
+  cfg.k = 16;
+  cfg.max_iterations = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunKMeans(rows, cfg));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_PolicySelect_EpsilonGreedy(benchmark::State& state) {
+  EpsilonGreedyPolicy policy;
+  size_t arms = static_cast<size_t>(state.range(0));
+  ArmStats stats(arms);
+  policy.Reset(arms);
+  Rng rng(8);
+  for (size_t a = 0; a < arms; ++a) stats.Record(a, rng.NextDouble());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.SelectArm(stats, &rng));
+  }
+}
+BENCHMARK(BM_PolicySelect_EpsilonGreedy)->Arg(16)->Arg(256);
+
+void BM_PolicySelect_Ucb1(benchmark::State& state) {
+  Ucb1Policy policy;
+  size_t arms = static_cast<size_t>(state.range(0));
+  ArmStats stats(arms);
+  Rng rng(9);
+  for (size_t a = 0; a < arms; ++a) stats.Record(a, rng.NextDouble());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.SelectArm(stats, &rng));
+  }
+}
+BENCHMARK(BM_PolicySelect_Ucb1)->Arg(16)->Arg(256);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextZipf(8000, 1.1));
+  }
+}
+BENCHMARK(BM_RngZipf);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  WebCatOptions opts;
+  opts.num_documents = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateWebCatCorpus(opts));
+  }
+}
+BENCHMARK(BM_CorpusGeneration)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace zombie
+
+int main(int argc, char** argv) {
+  zombie::SetLogLevel(zombie::LogLevel::kWarning);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "bandit/arm_stats.h"
+
+#include "util/logging.h"
+
+namespace zombie {
+
+ArmStats::ArmStats(size_t num_arms, ArmStatsOptions options)
+    : options_(options), num_active_(num_arms) {
+  ZCHECK_GE(num_arms, 1u);
+  ZCHECK_GT(options.discount, 0.0);
+  ZCHECK_LE(options.discount, 1.0);
+  arms_.reserve(num_arms);
+  for (size_t i = 0; i < num_arms; ++i) {
+    arms_.emplace_back(options.window, options.discount);
+  }
+}
+
+void ArmStats::Record(size_t arm, double reward) {
+  ZCHECK_LT(arm, arms_.size());
+  Arm& a = arms_[arm];
+  ++a.pulls;
+  ++total_pulls_;
+  a.total_reward += reward;
+  a.windowed.Add(reward);
+  a.discounted.Add(reward);
+}
+
+void ArmStats::Deactivate(size_t arm) {
+  ZCHECK_LT(arm, arms_.size());
+  if (arms_[arm].active) {
+    arms_[arm].active = false;
+    --num_active_;
+  }
+}
+
+bool ArmStats::active(size_t arm) const {
+  ZCHECK_LT(arm, arms_.size());
+  return arms_[arm].active;
+}
+
+size_t ArmStats::pulls(size_t arm) const {
+  ZCHECK_LT(arm, arms_.size());
+  return arms_[arm].pulls;
+}
+
+double ArmStats::mean(size_t arm) const {
+  ZCHECK_LT(arm, arms_.size());
+  const Arm& a = arms_[arm];
+  if (a.pulls == 0) return options_.prior_mean;
+  if (options_.discount < 1.0) return a.discounted.mean();
+  if (options_.window > 0) return a.windowed.mean();
+  return a.total_reward / static_cast<double>(a.pulls);
+}
+
+double ArmStats::lifetime_mean(size_t arm) const {
+  ZCHECK_LT(arm, arms_.size());
+  const Arm& a = arms_[arm];
+  if (a.pulls == 0) return options_.prior_mean;
+  return a.total_reward / static_cast<double>(a.pulls);
+}
+
+double ArmStats::total_reward(size_t arm) const {
+  ZCHECK_LT(arm, arms_.size());
+  return arms_[arm].total_reward;
+}
+
+}  // namespace zombie

@@ -1,0 +1,70 @@
+#ifndef ZOMBIE_BANDIT_POLICY_H_
+#define ZOMBIE_BANDIT_POLICY_H_
+
+#include <memory>
+#include <string>
+
+#include "bandit/arm_stats.h"
+#include "util/random.h"
+
+namespace zombie {
+
+/// Multi-armed bandit selection strategy over index groups.
+///
+/// Contract: SelectArm is called only when stats.num_active() > 0 and must
+/// return an active arm. Stateless policies read everything from ArmStats;
+/// stateful ones (Exp3, Thompson) additionally track internal state via
+/// Observe()/Reset().
+class BanditPolicy {
+ public:
+  virtual ~BanditPolicy() = default;
+
+  /// Prepares internal state for a run over `num_arms` arms. The engine
+  /// calls this exactly once before the first SelectArm.
+  virtual void Reset(size_t num_arms) { (void)num_arms; }
+
+  /// Picks an active arm.
+  virtual size_t SelectArm(const ArmStats& stats, Rng* rng) = 0;
+
+  /// Reward notification for the arm just played (after ArmStats::Record).
+  virtual void Observe(size_t arm, double reward) {
+    (void)arm;
+    (void)reward;
+  }
+
+  virtual std::string name() const = 0;
+
+  /// Fresh policy with identical hyperparameters and cleared state.
+  virtual std::unique_ptr<BanditPolicy> Clone() const = 0;
+};
+
+/// Identifier for the shipped policies (bench/table axes).
+enum class PolicyKind {
+  kRoundRobin,
+  kUniformRandom,
+  kEpsilonGreedy,
+  kUcb1,
+  kSlidingUcb,
+  kThompson,
+  kExp3,
+  kSoftmax,
+};
+
+const char* PolicyKindName(PolicyKind kind);
+
+/// Instantiates a policy with its default hyperparameters.
+std::unique_ptr<BanditPolicy> MakePolicy(PolicyKind kind);
+
+namespace bandit_internal {
+/// Uniform choice among active arms; shared by several policies.
+/// Precondition: stats.num_active() > 0.
+size_t PickUniformActive(const ArmStats& stats, Rng* rng);
+
+/// First active arm with zero pulls, or num_arms() when all active arms
+/// have been pulled (optimistic initialization pass).
+size_t FirstUnpulledActive(const ArmStats& stats);
+}  // namespace bandit_internal
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_BANDIT_POLICY_H_

@@ -1,0 +1,27 @@
+#include "bandit/round_robin.h"
+
+#include <memory>
+
+#include "util/logging.h"
+
+namespace zombie {
+
+void RoundRobinPolicy::Reset(size_t /*num_arms*/) { next_ = 0; }
+
+size_t RoundRobinPolicy::SelectArm(const ArmStats& stats, Rng* /*rng*/) {
+  ZCHECK_GT(stats.num_active(), 0u);
+  size_t n = stats.num_arms();
+  for (size_t step = 0; step < n; ++step) {
+    size_t arm = next_ % n;
+    next_ = (next_ + 1) % n;
+    if (stats.active(arm)) return arm;
+  }
+  ZCHECK(false) << "no active arm despite num_active > 0";
+  return 0;
+}
+
+std::unique_ptr<BanditPolicy> RoundRobinPolicy::Clone() const {
+  return std::make_unique<RoundRobinPolicy>();
+}
+
+}  // namespace zombie

@@ -1,0 +1,26 @@
+#ifndef ZOMBIE_BANDIT_ROUND_ROBIN_H_
+#define ZOMBIE_BANDIT_ROUND_ROBIN_H_
+
+#include "bandit/policy.h"
+
+namespace zombie {
+
+/// Cycles through active arms in order, ignoring rewards. With a single
+/// group this is exactly a sequential scan of the (shuffled) corpus, which
+/// makes it double as the paper's scan baseline.
+class RoundRobinPolicy : public BanditPolicy {
+ public:
+  RoundRobinPolicy() = default;
+
+  void Reset(size_t num_arms) override;
+  size_t SelectArm(const ArmStats& stats, Rng* rng) override;
+  std::string name() const override { return "roundrobin"; }
+  std::unique_ptr<BanditPolicy> Clone() const override;
+
+ private:
+  size_t next_ = 0;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_BANDIT_ROUND_ROBIN_H_

@@ -1,0 +1,45 @@
+#ifndef ZOMBIE_BANDIT_SLIDING_UCB_H_
+#define ZOMBIE_BANDIT_SLIDING_UCB_H_
+
+#include <deque>
+#include <vector>
+
+#include "bandit/policy.h"
+
+namespace zombie {
+
+/// Sliding-window UCB (Garivier & Moulines): UCB indices computed only
+/// over the last `window` pulls across all arms, so the policy tracks
+/// non-stationary arm values — a natural fit for the Zombie loop, where a
+/// group's usefulness decays as its good items are consumed.
+struct SlidingUcbOptions {
+  /// Horizon of pulls considered (across all arms).
+  size_t window = 200;
+  /// Exploration coefficient.
+  double exploration = 0.6;
+};
+
+class SlidingUcbPolicy : public BanditPolicy {
+ public:
+  explicit SlidingUcbPolicy(SlidingUcbOptions options = {});
+
+  void Reset(size_t num_arms) override;
+  size_t SelectArm(const ArmStats& stats, Rng* rng) override;
+  void Observe(size_t arm, double reward) override;
+  std::string name() const override;
+  std::unique_ptr<BanditPolicy> Clone() const override;
+
+  /// Pulls of `arm` currently inside the window (testing accessor).
+  size_t WindowPulls(size_t arm) const;
+
+ private:
+  SlidingUcbOptions options_;
+  /// (arm, reward) of the last `window` pulls.
+  std::deque<std::pair<size_t, double>> history_;
+  std::vector<size_t> window_pulls_;
+  std::vector<double> window_reward_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_BANDIT_SLIDING_UCB_H_

@@ -1,0 +1,42 @@
+#include "bandit/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+SoftmaxPolicy::SoftmaxPolicy(SoftmaxOptions options) : options_(options) {
+  ZCHECK_GT(options.temperature, 0.0);
+}
+
+size_t SoftmaxPolicy::SelectArm(const ArmStats& stats, Rng* rng) {
+  ZCHECK_GT(stats.num_active(), 0u);
+  // Stabilize exp() by subtracting the max mean.
+  double max_mean = -1e300;
+  for (size_t a = 0; a < stats.num_arms(); ++a) {
+    if (stats.active(a)) max_mean = std::max(max_mean, stats.mean(a));
+  }
+  std::vector<double> probs(stats.num_arms(), 0.0);
+  for (size_t a = 0; a < stats.num_arms(); ++a) {
+    if (!stats.active(a)) continue;
+    probs[a] = std::exp((stats.mean(a) - max_mean) / options_.temperature);
+  }
+  size_t arm = rng->NextDiscrete(probs);
+  if (arm >= probs.size()) arm = bandit_internal::PickUniformActive(stats, rng);
+  return arm;
+}
+
+std::string SoftmaxPolicy::name() const {
+  return StrFormat("softmax(%.2f)", options_.temperature);
+}
+
+std::unique_ptr<BanditPolicy> SoftmaxPolicy::Clone() const {
+  return std::make_unique<SoftmaxPolicy>(options_);
+}
+
+}  // namespace zombie

@@ -1,0 +1,29 @@
+#ifndef ZOMBIE_BANDIT_SOFTMAX_H_
+#define ZOMBIE_BANDIT_SOFTMAX_H_
+
+#include "bandit/policy.h"
+
+namespace zombie {
+
+/// Boltzmann exploration: P(arm) ∝ exp(mean / temperature) over active
+/// arms, using the windowed means from ArmStats.
+struct SoftmaxOptions {
+  /// Lower temperature → greedier.
+  double temperature = 0.1;
+};
+
+class SoftmaxPolicy : public BanditPolicy {
+ public:
+  explicit SoftmaxPolicy(SoftmaxOptions options = {});
+
+  size_t SelectArm(const ArmStats& stats, Rng* rng) override;
+  std::string name() const override;
+  std::unique_ptr<BanditPolicy> Clone() const override;
+
+ private:
+  SoftmaxOptions options_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_BANDIT_SOFTMAX_H_

@@ -1,0 +1,57 @@
+#include "bandit/thompson.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace zombie {
+
+ThompsonPolicy::ThompsonPolicy(ThompsonOptions options) : options_(options) {
+  ZCHECK_GT(options.prior_alpha, 0.0);
+  ZCHECK_GT(options.prior_beta, 0.0);
+  ZCHECK_GT(options.discount, 0.0);
+  ZCHECK_LE(options.discount, 1.0);
+}
+
+void ThompsonPolicy::Reset(size_t num_arms) {
+  success_.assign(num_arms, 0.0);
+  failure_.assign(num_arms, 0.0);
+}
+
+size_t ThompsonPolicy::SelectArm(const ArmStats& stats, Rng* rng) {
+  ZCHECK_GT(stats.num_active(), 0u);
+  ZCHECK_EQ(success_.size(), stats.num_arms()) << "Reset() not called";
+  double best = -1.0;
+  size_t best_arm = stats.num_arms();
+  for (size_t a = 0; a < stats.num_arms(); ++a) {
+    if (!stats.active(a)) continue;
+    double draw = rng->NextBeta(options_.prior_alpha + success_[a],
+                                options_.prior_beta + failure_[a]);
+    if (draw > best) {
+      best = draw;
+      best_arm = a;
+    }
+  }
+  ZCHECK_LT(best_arm, stats.num_arms());
+  return best_arm;
+}
+
+void ThompsonPolicy::Observe(size_t arm, double reward) {
+  ZCHECK_LT(arm, success_.size());
+  double r = std::clamp(reward, 0.0, 1.0);
+  if (options_.discount < 1.0) {
+    for (size_t a = 0; a < success_.size(); ++a) {
+      success_[a] *= options_.discount;
+      failure_[a] *= options_.discount;
+    }
+  }
+  success_[arm] += r;
+  failure_[arm] += 1.0 - r;
+}
+
+std::unique_ptr<BanditPolicy> ThompsonPolicy::Clone() const {
+  return std::make_unique<ThompsonPolicy>(options_);
+}
+
+}  // namespace zombie

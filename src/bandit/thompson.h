@@ -1,0 +1,39 @@
+#ifndef ZOMBIE_BANDIT_THOMPSON_H_
+#define ZOMBIE_BANDIT_THOMPSON_H_
+
+#include <vector>
+
+#include "bandit/policy.h"
+
+namespace zombie {
+
+/// Thompson sampling with Beta posteriors over [0,1]-valued rewards.
+/// Fractional rewards contribute fractional pseudo-counts. A per-step
+/// discount keeps the posterior tracking non-stationary group value.
+struct ThompsonOptions {
+  double prior_alpha = 1.0;
+  double prior_beta = 1.0;
+  /// Multiplied into every arm's pseudo-counts at each Observe; < 1.0
+  /// forgets old evidence (0.99 halves evidence every ~69 steps).
+  double discount = 0.995;
+};
+
+class ThompsonPolicy : public BanditPolicy {
+ public:
+  explicit ThompsonPolicy(ThompsonOptions options = {});
+
+  void Reset(size_t num_arms) override;
+  size_t SelectArm(const ArmStats& stats, Rng* rng) override;
+  void Observe(size_t arm, double reward) override;
+  std::string name() const override { return "thompson"; }
+  std::unique_ptr<BanditPolicy> Clone() const override;
+
+ private:
+  ThompsonOptions options_;
+  std::vector<double> success_;  // pseudo successes per arm
+  std::vector<double> failure_;  // pseudo failures per arm
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_BANDIT_THOMPSON_H_

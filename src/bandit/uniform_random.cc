@@ -1,0 +1,15 @@
+#include "bandit/uniform_random.h"
+
+#include <memory>
+
+namespace zombie {
+
+size_t UniformRandomPolicy::SelectArm(const ArmStats& stats, Rng* rng) {
+  return bandit_internal::PickUniformActive(stats, rng);
+}
+
+std::unique_ptr<BanditPolicy> UniformRandomPolicy::Clone() const {
+  return std::make_unique<UniformRandomPolicy>();
+}
+
+}  // namespace zombie

@@ -1,0 +1,22 @@
+#ifndef ZOMBIE_BANDIT_UNIFORM_RANDOM_H_
+#define ZOMBIE_BANDIT_UNIFORM_RANDOM_H_
+
+#include "bandit/policy.h"
+
+namespace zombie {
+
+/// Uniform random choice among active arms, ignoring rewards. Combined
+/// with any grouping, this reproduces the random-order full-scan baseline
+/// in expectation.
+class UniformRandomPolicy : public BanditPolicy {
+ public:
+  UniformRandomPolicy() = default;
+
+  size_t SelectArm(const ArmStats& stats, Rng* rng) override;
+  std::string name() const override { return "random"; }
+  std::unique_ptr<BanditPolicy> Clone() const override;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_BANDIT_UNIFORM_RANDOM_H_

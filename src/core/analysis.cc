@@ -1,0 +1,115 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+std::string SpeedupReport::ToString() const {
+  if (!valid()) {
+    return StrFormat("target=%.3f: not reached by both runs",
+                     target_quality);
+  }
+  return StrFormat(
+      "target=%.3f: baseline %s vs treatment %s -> %.2fx time (%.2fx items)",
+      target_quality, FormatDuration(baseline_micros).c_str(),
+      FormatDuration(treatment_micros).c_str(), time_speedup, items_speedup);
+}
+
+namespace {
+
+// First curve crossing of `target`, reporting the run's *total* virtual
+// time (loop time at the crossing + the one-time holdout featurization).
+void FirstCrossing(const RunResult& run, double target, int64_t* micros,
+                   int64_t* items) {
+  *micros = -1;
+  *items = -1;
+  for (const CurvePoint& p : run.curve.points()) {
+    if (p.quality >= target) {
+      *micros = p.virtual_micros + run.holdout_virtual_micros;
+      *items = static_cast<int64_t>(p.items_processed);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+SpeedupReport ComputeSpeedup(const RunResult& baseline,
+                             const RunResult& treatment,
+                             double quality_fraction) {
+  ZCHECK_GT(quality_fraction, 0.0);
+  ZCHECK_LE(quality_fraction, 1.0);
+  SpeedupReport report;
+  report.target_quality = quality_fraction * baseline.final_quality;
+  FirstCrossing(baseline, report.target_quality, &report.baseline_micros,
+                &report.baseline_items);
+  FirstCrossing(treatment, report.target_quality, &report.treatment_micros,
+                &report.treatment_items);
+  if (report.baseline_micros > 0 && report.treatment_micros > 0) {
+    report.time_speedup = static_cast<double>(report.baseline_micros) /
+                          static_cast<double>(report.treatment_micros);
+  }
+  if (report.baseline_items > 0 && report.treatment_items > 0) {
+    report.items_speedup = static_cast<double>(report.baseline_items) /
+                           static_cast<double>(report.treatment_items);
+  }
+  return report;
+}
+
+std::vector<MeanCurvePoint> MeanCurve(const std::vector<RunResult>& runs) {
+  std::vector<MeanCurvePoint> out;
+  if (runs.empty()) return out;
+  size_t len = runs[0].curve.size();
+  for (const auto& r : runs) len = std::min(len, r.curve.size());
+  out.resize(len);
+  for (size_t i = 0; i < len; ++i) {
+    std::vector<double> qualities;
+    double items = 0.0;
+    double secs = 0.0;
+    for (const auto& r : runs) {
+      const CurvePoint& p = r.curve.point(i);
+      qualities.push_back(p.quality);
+      items += static_cast<double>(p.items_processed);
+      secs += static_cast<double>(p.virtual_micros) / 1e6;
+    }
+    double n = static_cast<double>(runs.size());
+    out[i].mean_items = items / n;
+    out[i].mean_virtual_seconds = secs / n;
+    out[i].mean_quality = Mean(qualities);
+    out[i].stddev_quality = StdDev(qualities);
+  }
+  return out;
+}
+
+double MeanFinalQuality(const std::vector<RunResult>& runs) {
+  std::vector<double> xs;
+  xs.reserve(runs.size());
+  for (const auto& r : runs) xs.push_back(r.final_quality);
+  return Mean(xs);
+}
+
+double MeanItemsProcessed(const std::vector<RunResult>& runs) {
+  std::vector<double> xs;
+  xs.reserve(runs.size());
+  for (const auto& r : runs) {
+    xs.push_back(static_cast<double>(r.items_processed));
+  }
+  return Mean(xs);
+}
+
+double MeanVirtualSeconds(const std::vector<RunResult>& runs) {
+  std::vector<double> xs;
+  xs.reserve(runs.size());
+  for (const auto& r : runs) {
+    xs.push_back(static_cast<double>(r.total_virtual_micros()) / 1e6);
+  }
+  return Mean(xs);
+}
+
+}  // namespace zombie

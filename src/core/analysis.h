@@ -1,0 +1,58 @@
+#ifndef ZOMBIE_CORE_ANALYSIS_H_
+#define ZOMBIE_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/run_result.h"
+
+namespace zombie {
+
+/// Time-to-quality comparison between a baseline run and a Zombie run —
+/// the paper's headline metric. The quality target is a fraction of the
+/// baseline's final (converged) quality, so "speedup to 95%" reads "how
+/// much sooner does Zombie reach 95% of what the full scan ends at".
+struct SpeedupReport {
+  double target_quality = 0.0;
+  /// Virtual microseconds each run first hit the target; -1 = never.
+  int64_t baseline_micros = -1;
+  int64_t treatment_micros = -1;
+  /// Items each run had processed at that point; -1 = never.
+  int64_t baseline_items = -1;
+  int64_t treatment_items = -1;
+  /// baseline / treatment ratios; -1 when either side never reached the
+  /// target.
+  double time_speedup = -1.0;
+  double items_speedup = -1.0;
+
+  bool valid() const { return time_speedup > 0.0; }
+  std::string ToString() const;
+};
+
+/// Computes the report at `quality_fraction` of the baseline's final
+/// quality. Holdout featurization cost is included on both sides (both
+/// approaches pay it).
+SpeedupReport ComputeSpeedup(const RunResult& baseline,
+                             const RunResult& treatment,
+                             double quality_fraction);
+
+/// Pointwise mean of several curves sharing an evaluation cadence; the
+/// output is truncated to the shortest curve. Used to average trials for
+/// the figure analogues.
+struct MeanCurvePoint {
+  double mean_items = 0.0;
+  double mean_virtual_seconds = 0.0;
+  double mean_quality = 0.0;
+  double stddev_quality = 0.0;
+};
+std::vector<MeanCurvePoint> MeanCurve(const std::vector<RunResult>& runs);
+
+/// Mean of a scalar extracted from each run.
+double MeanFinalQuality(const std::vector<RunResult>& runs);
+double MeanItemsProcessed(const std::vector<RunResult>& runs);
+double MeanVirtualSeconds(const std::vector<RunResult>& runs);
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_CORE_ANALYSIS_H_

@@ -1,0 +1,314 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/convergence.h"
+#include "index/grouped_corpus.h"
+#include "ml/dataset.h"
+#include "ml/evaluator.h"
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace zombie {
+
+GroupingResult MakeSingleGroupGrouping(size_t corpus_size) {
+  GroupingResult g;
+  g.method = "single";
+  g.groups.resize(1);
+  g.groups[0].reserve(corpus_size);
+  for (size_t i = 0; i < corpus_size; ++i) {
+    g.groups[0].push_back(static_cast<uint32_t>(i));
+  }
+  return g;
+}
+
+ZombieEngine::ZombieEngine(const Corpus* corpus,
+                           const FeaturePipeline* pipeline,
+                           EngineOptions options)
+    : corpus_(corpus), pipeline_(pipeline), options_(options) {
+  ZCHECK(corpus != nullptr);
+  ZCHECK(pipeline != nullptr);
+  ZCHECK_OK(options.Validate());
+  ZCHECK(!corpus->empty()) << "cannot run on an empty corpus";
+}
+
+namespace {
+
+int32_t BinaryLabel(int32_t raw) { return raw == 1 ? 1 : 0; }
+
+}  // namespace
+
+RunResult ZombieEngine::Run(const GroupingResult& grouping,
+                            const BanditPolicy& policy_prototype,
+                            const Learner& learner_prototype,
+                            const RewardFunction& reward_prototype,
+                            bool shuffle_groups,
+                            const std::vector<ArmSummary>* warm_start) const {
+  Stopwatch wall;
+  Rng rng(options_.seed);
+  VirtualClock clock;
+
+  RunResult result;
+  result.grouper_name = grouping.method;
+
+  GroupedCorpus grouped(corpus_, grouping, rng.Fork().NextUint64(),
+                        shuffle_groups);
+  const size_t num_groups = grouped.num_groups();
+  ZCHECK_GE(num_groups, 1u);
+
+  // --- Holdout: sample, exclude from training, featurize up front. --------
+  size_t holdout_size =
+      std::min(options_.holdout_size, corpus_->size() / 2);
+  holdout_size = std::max<size_t>(holdout_size, 1);
+  Dataset holdout_data;
+  {
+    std::vector<uint32_t> ids(corpus_->size());
+    for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
+    Rng holdout_rng = rng.Fork();
+    holdout_rng.Shuffle(&ids);
+    if (options_.holdout_positive_fraction >= 0.0) {
+      // Stratified: walk the shuffled order taking positives/negatives
+      // until each quota fills (falling back to whatever remains). Never
+      // take more than half of the corpus's positives — on very skewed
+      // corpora the holdout must not starve training of the rare class.
+      size_t corpus_positives = 0;
+      for (const Document& d : corpus_->documents()) {
+        corpus_positives += d.label == 1;
+      }
+      size_t want_pos = static_cast<size_t>(
+          options_.holdout_positive_fraction *
+          static_cast<double>(holdout_size));
+      want_pos = std::min(want_pos, corpus_positives / 2);
+      size_t want_neg = holdout_size - want_pos;
+      std::vector<uint32_t> chosen;
+      std::vector<uint32_t> leftovers;
+      for (uint32_t id : ids) {
+        bool positive = corpus_->doc(id).label == 1;
+        if (positive && want_pos > 0) {
+          chosen.push_back(id);
+          --want_pos;
+        } else if (!positive && want_neg > 0) {
+          chosen.push_back(id);
+          --want_neg;
+        } else {
+          leftovers.push_back(id);
+        }
+        if (want_pos == 0 && want_neg == 0) break;
+      }
+      for (uint32_t id : leftovers) {
+        if (chosen.size() >= holdout_size) break;
+        chosen.push_back(id);
+      }
+      ids = std::move(chosen);
+    } else {
+      ids.resize(holdout_size);
+    }
+    for (uint32_t id : ids) grouped.MarkProcessed(id);
+
+    for (uint32_t id : ids) {
+      const Document& doc = corpus_->doc(id);
+      holdout_data.Add(pipeline_->Extract(doc, *corpus_),
+                       BinaryLabel(doc.label));
+      if (options_.charge_holdout_cost) {
+        clock.Advance(pipeline_->ExtractionCostMicros(doc) +
+                      doc.labeling_cost_micros);
+      }
+    }
+    result.holdout_virtual_micros = clock.NowMicros();
+    clock.Reset();  // loop_virtual_micros is tracked separately
+  }
+  HoldoutEvaluator holdout(std::move(holdout_data));
+
+  // Probe subset for probe-requiring rewards.
+  Dataset probe;
+  const bool needs_probe = reward_prototype.requires_probe();
+  if (needs_probe) {
+    size_t probe_size = std::min(options_.probe_size, holdout.size());
+    for (size_t i = 0; i < probe_size; ++i) {
+      probe.Add(holdout.holdout().example(i));
+    }
+  }
+
+  // --- Components ----------------------------------------------------------
+  std::unique_ptr<Learner> learner = learner_prototype.Clone();
+  std::unique_ptr<BanditPolicy> policy = policy_prototype.Clone();
+  std::unique_ptr<RewardFunction> reward = reward_prototype.Clone();
+  policy->Reset(num_groups);
+  ArmStats stats(num_groups, options_.arm_stats);
+  std::vector<size_t> pseudo_pulls(num_groups, 0);
+  std::vector<double> pseudo_reward(num_groups, 0.0);
+  if (warm_start != nullptr && warm_start->size() == num_groups) {
+    // Seed each arm with a handful of pseudo-observations at its previous
+    // mean reward; enough to bias early selection, few enough that fresh
+    // evidence overrides stale knowledge quickly. Pseudo counts are
+    // subtracted from the reported arm summaries below.
+    for (size_t a = 0; a < num_groups; ++a) {
+      const ArmSummary& prior = (*warm_start)[a];
+      if (prior.pulls == 0) continue;
+      double mean = prior.total_reward / static_cast<double>(prior.pulls);
+      size_t pseudo = std::min<size_t>(prior.pulls, 5);
+      for (size_t k = 0; k < pseudo; ++k) {
+        stats.Record(a, mean);
+        policy->Observe(a, mean);
+      }
+      pseudo_pulls[a] = pseudo;
+      pseudo_reward[a] = mean * static_cast<double>(pseudo);
+    }
+  }
+  std::vector<size_t> arm_positives(num_groups, 0);
+  Rng select_rng = rng.Fork();
+
+  result.policy_name = policy->name();
+  result.reward_name = reward->name();
+  result.learner_name = learner->name();
+
+  ConvergenceDetector plateau(options_.stop.plateau);
+  const StopRule& stop = options_.stop;
+  double peak_quality = 0.0;
+  size_t evals_below_peak = 0;
+
+  // Mean per-item pipeline cost, for cost-aware reward normalization.
+  double mean_item_cost = 0.0;
+  if (options_.cost_aware_rewards) {
+    for (const Document& d : corpus_->documents()) {
+      mean_item_cost +=
+          static_cast<double>(pipeline_->ExtractionCostMicros(d));
+    }
+    mean_item_cost /= static_cast<double>(corpus_->size());
+    if (mean_item_cost <= 0.0) mean_item_cost = 1.0;
+  }
+
+  auto evaluate = [&](size_t items) {
+    BinaryMetrics m = options_.tune_threshold
+                          ? EvaluateLearnerTuned(*learner, holdout.holdout())
+                          : holdout.Evaluate(*learner);
+    CurvePoint p;
+    p.items_processed = items;
+    p.virtual_micros = clock.NowMicros();
+    p.quality = QualityOf(m, options_.metric);
+    p.metrics = m;
+    result.curve.Add(p);
+    plateau.Add(p.quality);
+    if (p.quality < peak_quality - stop.decline_margin) {
+      ++evals_below_peak;
+    } else {
+      evals_below_peak = 0;
+    }
+    peak_quality = std::max(peak_quality, p.quality);
+    return p.quality;
+  };
+
+  // Probe quality uses AUC regardless of the run's reported metric: the
+  // thresholded metrics almost never move for a single update, so their
+  // deltas would starve the improvement reward of signal.
+  auto probe_quality = [&]() {
+    return QualityOf(EvaluateLearner(*learner, probe), QualityMetric::kAuc);
+  };
+
+  // Curve origin: the untrained learner.
+  evaluate(0);
+
+  // --- The inner loop -------------------------------------------------------
+  size_t items = 0;
+  bool stopped = false;
+  while (!stopped) {
+    if (stats.num_active() == 0) {
+      result.stop_reason = StopReason::kExhausted;
+      break;
+    }
+    size_t arm = policy->SelectArm(stats, &select_rng);
+    ZCHECK(stats.active(arm)) << "policy selected an exhausted arm";
+    std::optional<uint32_t> doc_idx = grouped.NextFromGroup(arm);
+    if (!doc_idx.has_value()) {
+      stats.Deactivate(arm);
+      continue;
+    }
+
+    const Document& doc = corpus_->doc(*doc_idx);
+    SparseVector x = pipeline_->Extract(doc, *corpus_);
+    clock.Advance(pipeline_->ExtractionCostMicros(doc) +
+                  doc.labeling_cost_micros);
+    int32_t y = BinaryLabel(doc.label);
+
+    RewardInputs inputs;
+    inputs.features = &x;
+    inputs.label = y;
+    inputs.score_before = learner->Score(x);
+    inputs.probability_before = learner->PredictProbability(x);
+    inputs.seen_positive = result.positives_processed;
+    inputs.seen_negative = items - result.positives_processed;
+    double probe_before = needs_probe ? probe_quality() : 0.0;
+
+    learner->Update(x, y);
+    ++items;
+    if (y == 1) {
+      ++result.positives_processed;
+      ++arm_positives[arm];
+    }
+
+    inputs.learner = learner.get();
+    if (needs_probe) {
+      inputs.probe_quality_delta = probe_quality() - probe_before;
+    }
+    double r = reward->Compute(inputs);
+    if (options_.cost_aware_rewards) {
+      double relative_cost =
+          static_cast<double>(pipeline_->ExtractionCostMicros(doc)) /
+          mean_item_cost;
+      // Clamp so one freak-cheap item cannot dominate the arm estimate
+      // (rewards must stay in [0, 1] for the Bernoulli-style policies).
+      r = std::min(1.0, r / std::max(relative_cost, 0.25));
+    }
+    stats.Record(arm, r);
+    policy->Observe(arm, r);
+
+    // --- Cadence: evaluate and apply stop rules. ---------------------------
+    if (items % options_.eval_every == 0) {
+      double q = evaluate(items);
+      if (stop.target_quality >= 0.0 && q >= stop.target_quality) {
+        result.stop_reason = StopReason::kTarget;
+        stopped = true;
+      } else if (stop.plateau_enabled && items >= stop.min_items &&
+                 q > stop.plateau_min_quality && plateau.converged()) {
+        result.stop_reason = StopReason::kPlateau;
+        stopped = true;
+      } else if (stop.decline_enabled && items >= stop.min_items &&
+                 evals_below_peak >= stop.decline_window) {
+        result.stop_reason = StopReason::kDecline;
+        stopped = true;
+      }
+    }
+    if (!stopped && items >= stop.max_items) {
+      result.stop_reason = StopReason::kBudget;
+      stopped = true;
+    }
+  }
+
+  // Final evaluation if the last item batch wasn't evaluated.
+  if (result.curve.empty() ||
+      result.curve.point(result.curve.size() - 1).items_processed != items) {
+    evaluate(items);
+  }
+
+  result.items_processed = items;
+  result.loop_virtual_micros = clock.NowMicros();
+  result.final_metrics =
+      options_.tune_threshold
+          ? EvaluateLearnerTuned(*learner, holdout.holdout())
+          : holdout.Evaluate(*learner);
+  result.final_quality = QualityOf(result.final_metrics, options_.metric);
+  result.wall_micros = wall.ElapsedMicros();
+
+  result.arms.resize(num_groups);
+  for (size_t a = 0; a < num_groups; ++a) {
+    result.arms[a].group_size = grouped.group_size(a);
+    result.arms[a].pulls = stats.pulls(a) - pseudo_pulls[a];
+    result.arms[a].total_reward = stats.total_reward(a) - pseudo_reward[a];
+    result.arms[a].positives_seen = arm_positives[a];
+  }
+  return result;
+}
+
+}  // namespace zombie

@@ -1,0 +1,75 @@
+#ifndef ZOMBIE_CORE_ENGINE_H_
+#define ZOMBIE_CORE_ENGINE_H_
+
+#include <memory>
+
+#include <vector>
+
+#include "bandit/policy.h"
+#include "core/config.h"
+#include "core/reward.h"
+#include "core/run_result.h"
+#include "data/corpus.h"
+#include "featureeng/pipeline.h"
+#include "index/grouper.h"
+#include "ml/learner.h"
+
+namespace zombie {
+
+/// The Zombie inner loop (the paper's core contribution).
+///
+/// Given an indexed corpus, the engine repeatedly:
+///  1. asks the bandit policy for an index group (arm),
+///  2. pops that group's next unprocessed item,
+///  3. runs the feature pipeline on it — the expensive step, charged to the
+///     virtual clock at the item's extraction cost × the pipeline's cost
+///     factor — and obtains its label,
+///  4. trains the incremental learner on the example,
+///  5. scores the item's usefulness with the reward function and feeds the
+///     bandit,
+///  6. every `eval_every` items, measures quality on the fixed holdout and
+///     applies the stop rules (plateau / target / budget).
+///
+/// A run is fully deterministic given (corpus, grouping, options.seed).
+class ZombieEngine {
+ public:
+  /// Both pointers are borrowed and must outlive the engine.
+  ZombieEngine(const Corpus* corpus, const FeaturePipeline* pipeline,
+               EngineOptions options = {});
+
+  /// Executes one run. `policy_prototype`, `learner_prototype`, and
+  /// `reward` are cloned, so the engine never mutates caller state and
+  /// repeated Run() calls are independent.
+  ///
+  /// `shuffle_groups` controls within-group item order (false = preserve
+  /// grouping order, used by the sequential-scan baseline).
+  ///
+  /// `warm_start` optionally carries per-arm knowledge from a previous run
+  /// over the *same grouping* (e.g. the prior feature revision in a
+  /// session): each arm is seeded with pseudo-observations of its previous
+  /// mean reward, so the bandit skips most of the re-exploration. Ignored
+  /// when the arm count does not match.
+  RunResult Run(const GroupingResult& grouping,
+                const BanditPolicy& policy_prototype,
+                const Learner& learner_prototype,
+                const RewardFunction& reward,
+                bool shuffle_groups = true,
+                const std::vector<ArmSummary>* warm_start = nullptr) const;
+
+  const EngineOptions& options() const { return options_; }
+  const Corpus& corpus() const { return *corpus_; }
+  const FeaturePipeline& pipeline() const { return *pipeline_; }
+
+ private:
+  const Corpus* corpus_;
+  const FeaturePipeline* pipeline_;
+  EngineOptions options_;
+};
+
+/// A one-group GroupingResult covering docs [0, corpus_size) in order;
+/// building block of the scan baselines.
+GroupingResult MakeSingleGroupGrouping(size_t corpus_size);
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_CORE_ENGINE_H_

@@ -1,0 +1,123 @@
+#include "core/reward.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace zombie {
+
+LabelReward::LabelReward(int32_t target_label) : target_label_(target_label) {}
+
+double LabelReward::Compute(const RewardInputs& inputs) const {
+  return inputs.label == target_label_ ? 1.0 : 0.0;
+}
+
+std::unique_ptr<RewardFunction> LabelReward::Clone() const {
+  return std::make_unique<LabelReward>(target_label_);
+}
+
+double UncertaintyReward::Compute(const RewardInputs& inputs) const {
+  double p = std::clamp(inputs.probability_before, 0.0, 1.0);
+  return 1.0 - std::abs(2.0 * p - 1.0);
+}
+
+std::unique_ptr<RewardFunction> UncertaintyReward::Clone() const {
+  return std::make_unique<UncertaintyReward>();
+}
+
+double MisclassificationReward::Compute(const RewardInputs& inputs) const {
+  int32_t predicted = inputs.score_before > 0.0 ? 1 : 0;
+  return predicted != inputs.label ? 1.0 : 0.0;
+}
+
+std::unique_ptr<RewardFunction> MisclassificationReward::Clone() const {
+  return std::make_unique<MisclassificationReward>();
+}
+
+ImprovementReward::ImprovementReward(double scale) : scale_(scale) {
+  ZCHECK_GT(scale, 0.0);
+}
+
+double ImprovementReward::Compute(const RewardInputs& inputs) const {
+  return std::clamp(inputs.probe_quality_delta * scale_, 0.0, 1.0);
+}
+
+std::unique_ptr<RewardFunction> ImprovementReward::Clone() const {
+  return std::make_unique<ImprovementReward>(scale_);
+}
+
+BlendedReward::BlendedReward(double label_weight)
+    : label_weight_(label_weight) {
+  ZCHECK_GE(label_weight, 0.0);
+  ZCHECK_LE(label_weight, 1.0);
+}
+
+double BlendedReward::Compute(const RewardInputs& inputs) const {
+  return label_weight_ * label_.Compute(inputs) +
+         (1.0 - label_weight_) * uncertainty_.Compute(inputs);
+}
+
+std::unique_ptr<RewardFunction> BlendedReward::Clone() const {
+  return std::make_unique<BlendedReward>(label_weight_);
+}
+
+double BalanceReward::Compute(const RewardInputs& inputs) const {
+  bool positives_scarce = inputs.seen_positive <= inputs.seen_negative;
+  return (inputs.label == 1) == positives_scarce ? 1.0 : 0.0;
+}
+
+std::unique_ptr<RewardFunction> BalanceReward::Clone() const {
+  return std::make_unique<BalanceReward>();
+}
+
+double ZeroReward::Compute(const RewardInputs& /*inputs*/) const {
+  return 0.0;
+}
+
+std::unique_ptr<RewardFunction> ZeroReward::Clone() const {
+  return std::make_unique<ZeroReward>();
+}
+
+const char* RewardKindName(RewardKind kind) {
+  switch (kind) {
+    case RewardKind::kLabel:
+      return "label";
+    case RewardKind::kUncertainty:
+      return "uncertainty";
+    case RewardKind::kMisclassification:
+      return "misclassify";
+    case RewardKind::kImprovement:
+      return "improvement";
+    case RewardKind::kBlend:
+      return "blend";
+    case RewardKind::kBalance:
+      return "balance";
+    case RewardKind::kZero:
+      return "zero";
+  }
+  return "?";
+}
+
+std::unique_ptr<RewardFunction> MakeReward(RewardKind kind) {
+  switch (kind) {
+    case RewardKind::kLabel:
+      return std::make_unique<LabelReward>();
+    case RewardKind::kUncertainty:
+      return std::make_unique<UncertaintyReward>();
+    case RewardKind::kMisclassification:
+      return std::make_unique<MisclassificationReward>();
+    case RewardKind::kImprovement:
+      return std::make_unique<ImprovementReward>();
+    case RewardKind::kBlend:
+      return std::make_unique<BlendedReward>();
+    case RewardKind::kBalance:
+      return std::make_unique<BalanceReward>();
+    case RewardKind::kZero:
+      return std::make_unique<ZeroReward>();
+  }
+  ZCHECK(false) << "unknown reward kind";
+  return nullptr;
+}
+
+}  // namespace zombie

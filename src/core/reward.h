@@ -1,0 +1,160 @@
+#ifndef ZOMBIE_CORE_REWARD_H_
+#define ZOMBIE_CORE_REWARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ml/learner.h"
+#include "ml/sparse_vector.h"
+
+namespace zombie {
+
+/// Everything a reward function may look at for one processed item.
+/// `score_before` / `probability_before` are the learner's outputs on the
+/// item *before* it was trained on (the informative quantities). The
+/// `learner` pointer is the live learner, whose state already includes the
+/// item when Compute runs (rewards wanting pre-update behavior should use
+/// the precomputed fields).
+struct RewardInputs {
+  const Learner* learner = nullptr;
+  const SparseVector* features = nullptr;
+  int32_t label = 0;
+  double score_before = 0.0;
+  double probability_before = 0.5;
+  /// Quality delta on the probe set caused by this item's update; only
+  /// populated when the reward function requires_probe(). Probe quality is
+  /// measured with a smooth rank metric (AUC) so single-item deltas are
+  /// informative.
+  double probe_quality_delta = 0.0;
+  /// Class counts of the training stream before this item.
+  size_t seen_positive = 0;
+  size_t seen_negative = 0;
+};
+
+/// Scores how *useful* a just-processed item was to the learner — the
+/// signal the bandit maximizes. Rewards must land in [0, 1].
+class RewardFunction {
+ public:
+  virtual ~RewardFunction() = default;
+
+  /// True if the engine must measure probe-set quality before/after the
+  /// update (costs extra learner evaluations per item).
+  virtual bool requires_probe() const { return false; }
+
+  virtual double Compute(const RewardInputs& inputs) const = 0;
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<RewardFunction> Clone() const = 0;
+};
+
+/// Reward 1 for items of the target (rare) class, else 0. The cheapest
+/// useful signal: on skewed tasks, positives are what the learner starves
+/// for, so steering toward positive-rich groups is nearly optimal.
+class LabelReward : public RewardFunction {
+ public:
+  explicit LabelReward(int32_t target_label = 1);
+
+  double Compute(const RewardInputs& inputs) const override;
+  std::string name() const override { return "label"; }
+  std::unique_ptr<RewardFunction> Clone() const override;
+
+ private:
+  int32_t target_label_;
+};
+
+/// Active-learning style: reward grows as the pre-update prediction
+/// approaches the decision boundary (1 - |2p - 1|). Favors groups whose
+/// items the current model is unsure about.
+class UncertaintyReward : public RewardFunction {
+ public:
+  UncertaintyReward() = default;
+
+  double Compute(const RewardInputs& inputs) const override;
+  std::string name() const override { return "uncertainty"; }
+  std::unique_ptr<RewardFunction> Clone() const override;
+};
+
+/// Reward 1 when the pre-update model misclassifies the item (perceptron
+/// style informativeness), else 0.
+class MisclassificationReward : public RewardFunction {
+ public:
+  MisclassificationReward() = default;
+
+  double Compute(const RewardInputs& inputs) const override;
+  std::string name() const override { return "misclassify"; }
+  std::unique_ptr<RewardFunction> Clone() const override;
+};
+
+/// Measured quality improvement on a small probe set, scaled and clamped
+/// to [0,1]. The most faithful but most expensive signal.
+class ImprovementReward : public RewardFunction {
+ public:
+  /// `scale` maps probe deltas to [0,1]; a delta >= 1/scale saturates.
+  explicit ImprovementReward(double scale = 20.0);
+
+  bool requires_probe() const override { return true; }
+  double Compute(const RewardInputs& inputs) const override;
+  std::string name() const override { return "improvement"; }
+  std::unique_ptr<RewardFunction> Clone() const override;
+
+ private:
+  double scale_;
+};
+
+/// Weighted blend of label and uncertainty signals.
+class BlendedReward : public RewardFunction {
+ public:
+  explicit BlendedReward(double label_weight = 0.7);
+
+  double Compute(const RewardInputs& inputs) const override;
+  std::string name() const override { return "blend"; }
+  std::unique_ptr<RewardFunction> Clone() const override;
+
+ private:
+  double label_weight_;
+  LabelReward label_;
+  UncertaintyReward uncertainty_;
+};
+
+/// Class-balance reward: 1 when the item's label is the underrepresented
+/// class of the training stream so far (ties: positives win, they are the
+/// scarce class on the paper's tasks). Keeps the accumulated training set
+/// near 50/50, which protects learners whose class prior matters (naive
+/// Bayes) from the pure-positive pathology that very pure groups induce.
+class BalanceReward : public RewardFunction {
+ public:
+  BalanceReward() = default;
+
+  double Compute(const RewardInputs& inputs) const override;
+  std::string name() const override { return "balance"; }
+  std::unique_ptr<RewardFunction> Clone() const override;
+};
+
+/// Always 0 — turns the bandit loop into pure scheduling (baselines).
+class ZeroReward : public RewardFunction {
+ public:
+  ZeroReward() = default;
+
+  double Compute(const RewardInputs& inputs) const override;
+  std::string name() const override { return "zero"; }
+  std::unique_ptr<RewardFunction> Clone() const override;
+};
+
+/// Identifier for bench axes.
+enum class RewardKind {
+  kLabel,
+  kUncertainty,
+  kMisclassification,
+  kImprovement,
+  kBlend,
+  kBalance,
+  kZero,
+};
+
+const char* RewardKindName(RewardKind kind);
+std::unique_ptr<RewardFunction> MakeReward(RewardKind kind);
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_CORE_REWARD_H_

@@ -1,0 +1,33 @@
+#include "core/run_result.h"
+
+#include "util/clock.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kPlateau:
+      return "plateau";
+    case StopReason::kDecline:
+      return "decline";
+    case StopReason::kTarget:
+      return "target";
+    case StopReason::kBudget:
+      return "budget";
+    case StopReason::kExhausted:
+      return "exhausted";
+  }
+  return "?";
+}
+
+std::string RunResult::ToString() const {
+  return StrFormat(
+      "[%s/%s/%s/%s] items=%zu vtime=%s quality=%.3f stop=%s",
+      policy_name.c_str(), grouper_name.c_str(), reward_name.c_str(),
+      learner_name.c_str(), items_processed,
+      FormatDuration(total_virtual_micros()).c_str(), final_quality,
+      StopReasonName(stop_reason));
+}
+
+}  // namespace zombie

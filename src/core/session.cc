@@ -1,0 +1,89 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "bandit/epsilon_greedy.h"
+#include "core/baselines.h"
+#include "core/engine.h"
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+const char* SessionModeName(SessionMode mode) {
+  switch (mode) {
+    case SessionMode::kFullScan:
+      return "fullscan";
+    case SessionMode::kZombie:
+      return "zombie";
+  }
+  return "?";
+}
+
+std::string SessionResult::ToString() const {
+  return StrFormat(
+      "%s: %zu revisions, total wait %s (index %s), best quality %.3f",
+      SessionModeName(mode), revisions.size(),
+      FormatDuration(total_virtual_micros).c_str(),
+      FormatDuration(index_virtual_micros).c_str(), best_quality);
+}
+
+SessionResult RunSession(const Corpus& corpus, const RevisionScript& script,
+                         SessionMode mode, Grouper* grouper,
+                         const Learner& learner_prototype,
+                         const RewardFunction& reward,
+                         EngineOptions engine_options,
+                         bool warm_start_bandit) {
+  SessionResult session;
+  session.mode = mode;
+  std::vector<ArmSummary> previous_arms;
+
+  GroupingResult grouping;
+  if (mode == SessionMode::kZombie) {
+    ZCHECK(grouper != nullptr) << "kZombie session needs a grouper";
+    grouping = grouper->Group(corpus);
+    session.index_virtual_micros = grouping.build_virtual_micros;
+    session.index_wall_micros = grouping.build_wall_micros;
+  }
+
+  for (size_t r = 0; r < script.size(); ++r) {
+    FeaturePipeline pipeline = script.BuildPipeline(r, corpus);
+    // Each revision gets an independent but deterministic seed.
+    EngineOptions opts = engine_options;
+    opts.seed = HashCombine(engine_options.seed, r);
+
+    RevisionOutcome outcome;
+    outcome.revision_name = script.name(r);
+    if (mode == SessionMode::kFullScan) {
+      EngineOptions full = FullScanOptions(opts);
+      ZombieEngine engine(&corpus, &pipeline, full);
+      RunResult run = RunRandomBaseline(engine, learner_prototype);
+      outcome.items_processed = run.items_processed;
+      outcome.virtual_micros = run.total_virtual_micros();
+      outcome.final_quality = run.final_quality;
+      outcome.stop_reason = run.stop_reason;
+    } else {
+      ZombieEngine engine(&corpus, &pipeline, opts);
+      EpsilonGreedyPolicy policy;
+      const std::vector<ArmSummary>* warm =
+          (warm_start_bandit && !previous_arms.empty()) ? &previous_arms
+                                                        : nullptr;
+      RunResult run = engine.Run(grouping, policy, learner_prototype, reward,
+                                 /*shuffle_groups=*/true, warm);
+      outcome.items_processed = run.items_processed;
+      outcome.virtual_micros = run.total_virtual_micros();
+      outcome.final_quality = run.final_quality;
+      outcome.stop_reason = run.stop_reason;
+      if (warm_start_bandit) previous_arms = run.arms;
+    }
+    session.best_quality = std::max(session.best_quality,
+                                    outcome.final_quality);
+    session.total_virtual_micros += outcome.virtual_micros;
+    session.revisions.push_back(std::move(outcome));
+  }
+  session.total_virtual_micros += session.index_virtual_micros;
+  return session;
+}
+
+}  // namespace zombie

@@ -1,0 +1,81 @@
+#include "core/task_factory.h"
+
+#include <memory>
+#include <vector>
+
+#include "data/balanced_generator.h"
+#include "data/entity_generator.h"
+#include "data/webcat_generator.h"
+#include "featureeng/extractors.h"
+#include "featureeng/revision_script.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+const char* TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kWebCat:
+      return "webcat";
+    case TaskKind::kEntity:
+      return "entity";
+    case TaskKind::kBalanced:
+      return "balanced";
+  }
+  return "?";
+}
+
+FeaturePipeline MakeDefaultPipeline(TaskKind kind, const Corpus& /*corpus*/) {
+  FeaturePipeline p(StrFormat("%s-default", TaskKindName(kind)));
+  switch (kind) {
+    case TaskKind::kWebCat:
+      // Mid-session revision: hashed BoW + cheap structure signals. (The
+      // keyword revisions appear later in the session script; the default
+      // task deliberately leaves that headroom.)
+      p.Add(std::make_unique<HashedBagOfWordsExtractor>(4096));
+      p.Add(std::make_unique<DocLengthExtractor>());
+      break;
+    case TaskKind::kEntity:
+      // Deliberately collision-prone: the mention tokens share hash
+      // buckets with unrelated tokens, so the label is learnable but not
+      // trivially (the engineer has not hand-coded mention features yet).
+      p.Add(std::make_unique<HashedBagOfWordsExtractor>(1024));
+      break;
+    case TaskKind::kBalanced:
+      p.Add(std::make_unique<HashedBagOfWordsExtractor>(4096));
+      p.Add(std::make_unique<DomainExtractor>());
+      break;
+  }
+  return p;
+}
+
+Task MakeTask(TaskKind kind, size_t num_documents, uint64_t seed) {
+  Corpus corpus;
+  switch (kind) {
+    case TaskKind::kWebCat: {
+      WebCatOptions opts;
+      opts.num_documents = num_documents;
+      opts.seed = seed;
+      corpus = GenerateWebCatCorpus(opts);
+      break;
+    }
+    case TaskKind::kEntity: {
+      EntityExtractOptions opts;
+      opts.num_documents = num_documents;
+      opts.seed = seed;
+      corpus = GenerateEntityExtractCorpus(opts);
+      break;
+    }
+    case TaskKind::kBalanced: {
+      BalancedOptions opts;
+      opts.num_documents = num_documents;
+      opts.seed = seed;
+      corpus = GenerateBalancedCorpus(opts);
+      break;
+    }
+  }
+  FeaturePipeline pipeline = MakeDefaultPipeline(kind, corpus);
+  return Task(TaskKindName(kind), std::move(corpus), std::move(pipeline));
+}
+
+}  // namespace zombie

@@ -1,0 +1,41 @@
+#ifndef ZOMBIE_CORE_TASK_FACTORY_H_
+#define ZOMBIE_CORE_TASK_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "data/corpus.h"
+#include "featureeng/pipeline.h"
+
+namespace zombie {
+
+/// The three evaluation workloads (DESIGN.md): T1 rare-category web page
+/// classification, T2 entity extraction, T3 balanced control.
+enum class TaskKind { kWebCat, kEntity, kBalanced };
+
+const char* TaskKindName(TaskKind kind);
+
+/// A ready-to-run workload: corpus + a representative feature pipeline
+/// (the "current revision" the engineer is evaluating).
+struct Task {
+  std::string name;
+  Corpus corpus;
+  FeaturePipeline pipeline;
+
+  Task(std::string n, Corpus c, FeaturePipeline p)
+      : name(std::move(n)), corpus(std::move(c)), pipeline(std::move(p)) {}
+  Task(Task&&) = default;
+};
+
+/// Builds a workload of `num_documents` items with deterministic content
+/// for `seed`. The pipeline is a mid-session revision (hashed BoW +
+/// domain + keywords) — strong enough to learn the task, cheap enough to
+/// keep benches fast.
+Task MakeTask(TaskKind kind, size_t num_documents, uint64_t seed);
+
+/// The default pipeline used by MakeTask, exposed for tests.
+FeaturePipeline MakeDefaultPipeline(TaskKind kind, const Corpus& corpus);
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_CORE_TASK_FACTORY_H_

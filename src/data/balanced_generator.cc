@@ -1,0 +1,27 @@
+#include "data/balanced_generator.h"
+
+namespace zombie {
+
+SyntheticCorpusConfig MakeBalancedConfig(const BalancedOptions& options) {
+  SyntheticCorpusConfig cfg;
+  cfg.name = "balanced";
+  cfg.num_documents = options.num_documents;
+  cfg.seed = options.seed;
+  cfg.label_rule = LabelRule::kTopic;
+  cfg.positive_fraction = 0.5;
+  // One background topic so the task is a clean two-class problem.
+  cfg.num_background_topics = 1;
+  cfg.label_noise = options.label_noise;
+  // No domain signal: groups built from metadata are uninformative.
+  cfg.domain_purity = 0.0;
+  cfg.topic_token_share = options.topic_token_share;
+  cfg.mean_extraction_cost_ms = options.mean_extraction_cost_ms;
+  cfg.num_domains = 100;
+  return cfg;
+}
+
+Corpus GenerateBalancedCorpus(const BalancedOptions& options) {
+  return SyntheticCorpusGenerator(MakeBalancedConfig(options)).Generate();
+}
+
+}  // namespace zombie

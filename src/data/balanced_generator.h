@@ -1,0 +1,29 @@
+#ifndef ZOMBIE_DATA_BALANCED_GENERATOR_H_
+#define ZOMBIE_DATA_BALANCED_GENERATOR_H_
+
+#include "data/corpus.h"
+#include "data/generator.h"
+
+namespace zombie {
+
+/// Task T3 "Balanced": ~50/50 class balance with no domain signal — the
+/// control workload where every input is roughly equally useful, so
+/// intelligent input selection should neither help much nor hurt (the
+/// paper's no-harm case).
+struct BalancedOptions {
+  size_t num_documents = 20000;
+  double topic_token_share = 0.35;
+  double label_noise = 0.02;
+  double mean_extraction_cost_ms = 10.0;
+  uint64_t seed = 44;
+};
+
+/// Builds the full generator config for a Balanced corpus.
+SyntheticCorpusConfig MakeBalancedConfig(const BalancedOptions& options);
+
+/// Generates a Balanced corpus directly.
+Corpus GenerateBalancedCorpus(const BalancedOptions& options);
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_DATA_BALANCED_GENERATOR_H_

@@ -1,0 +1,70 @@
+#include "data/corpus.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+size_t Corpus::AddDocument(Document doc) {
+  docs_.push_back(std::move(doc));
+  return docs_.size() - 1;
+}
+
+const Document& Corpus::doc(size_t i) const {
+  ZCHECK_LT(i, docs_.size());
+  return docs_[i];
+}
+
+uint32_t Corpus::AddDomain(std::string name) {
+  domain_names_.push_back(std::move(name));
+  return static_cast<uint32_t>(domain_names_.size() - 1);
+}
+
+const std::string& Corpus::DomainName(uint32_t domain_id) const {
+  ZCHECK_LT(domain_id, domain_names_.size());
+  return domain_names_[domain_id];
+}
+
+CorpusStats Corpus::ComputeStats() const {
+  CorpusStats stats;
+  stats.num_documents = docs_.size();
+  stats.num_domains = domain_names_.size();
+  stats.vocabulary_size = vocab_.size();
+  if (docs_.empty()) return stats;
+  double total_len = 0.0;
+  double total_cost = 0.0;
+  for (const auto& d : docs_) {
+    if (d.label == 1) ++stats.num_positive;
+    total_len += static_cast<double>(d.tokens.size());
+    total_cost += static_cast<double>(d.extraction_cost_micros);
+  }
+  double n = static_cast<double>(docs_.size());
+  stats.positive_fraction = static_cast<double>(stats.num_positive) / n;
+  stats.mean_length = total_len / n;
+  stats.mean_extraction_cost_ms = total_cost / n / 1e3;
+  return stats;
+}
+
+Status Corpus::Validate() const {
+  for (size_t i = 0; i < docs_.size(); ++i) {
+    const Document& d = docs_[i];
+    for (uint32_t tok : d.tokens) {
+      if (tok >= vocab_.size()) {
+        return Status::Internal(StrFormat(
+            "doc %zu: token id %u out of vocabulary (size %zu)", i, tok,
+            vocab_.size()));
+      }
+    }
+    if (!domain_names_.empty() && d.domain >= domain_names_.size()) {
+      return Status::Internal(
+          StrFormat("doc %zu: domain id %u out of range (%zu domains)", i,
+                    d.domain, domain_names_.size()));
+    }
+    if (d.extraction_cost_micros < 0 || d.labeling_cost_micros < 0) {
+      return Status::Internal(StrFormat("doc %zu: negative cost", i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace zombie

@@ -1,0 +1,71 @@
+#ifndef ZOMBIE_DATA_CORPUS_H_
+#define ZOMBIE_DATA_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/document.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace zombie {
+
+/// Aggregate statistics over a corpus, reported by tooling and used by
+/// tests to validate generator targets.
+struct CorpusStats {
+  size_t num_documents = 0;
+  size_t num_positive = 0;
+  double positive_fraction = 0.0;
+  double mean_length = 0.0;
+  double mean_extraction_cost_ms = 0.0;
+  size_t num_domains = 0;
+  size_t vocabulary_size = 0;
+};
+
+/// An in-memory collection of raw input items plus the shared vocabulary
+/// and domain-name table. Documents are addressed by dense index (their
+/// position), with Document::id preserved for provenance.
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Moves a document into the corpus; returns its dense index.
+  size_t AddDocument(Document doc);
+
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  /// Borrowes the document at dense index `i` (must be < size()).
+  const Document& doc(size_t i) const;
+
+  const std::vector<Document>& documents() const { return docs_; }
+
+  Vocabulary& mutable_vocabulary() { return vocab_; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Registers a domain name; returns its dense domain id.
+  uint32_t AddDomain(std::string name);
+  const std::string& DomainName(uint32_t domain_id) const;
+  size_t num_domains() const { return domain_names_.size(); }
+
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const { return name_; }
+
+  /// Scans the corpus and computes summary statistics.
+  CorpusStats ComputeStats() const;
+
+  /// Validates internal consistency: token ids within vocabulary, domain
+  /// ids within the domain table, non-negative costs.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Document> docs_;
+  Vocabulary vocab_;
+  std::vector<std::string> domain_names_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_DATA_CORPUS_H_

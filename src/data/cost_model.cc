@@ -1,0 +1,53 @@
+#include "data/cost_model.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace zombie {
+
+ConstantCostModel::ConstantCostModel(int64_t micros) : micros_(micros) {
+  ZCHECK_GE(micros, 0);
+}
+
+int64_t ConstantCostModel::SampleCostMicros(size_t /*num_tokens*/,
+                                            Rng* /*rng*/) const {
+  return micros_;
+}
+
+LogNormalCostModel::LogNormalCostModel(double mean_micros, double sigma)
+    : sigma_(sigma) {
+  ZCHECK_GT(mean_micros, 0.0);
+  ZCHECK_GE(sigma, 0.0);
+  // E[exp(N(mu, sigma))] = exp(mu + sigma^2/2)  =>  mu = log(mean) - sigma^2/2.
+  mu_ = std::log(mean_micros) - sigma * sigma / 2.0;
+}
+
+int64_t LogNormalCostModel::SampleCostMicros(size_t /*num_tokens*/,
+                                             Rng* rng) const {
+  double c = rng->NextLogNormal(mu_, sigma_);
+  if (c < 1.0) c = 1.0;
+  return static_cast<int64_t>(c);
+}
+
+LengthProportionalCostModel::LengthProportionalCostModel(
+    double base_micros, double micros_per_token, double noise_sigma)
+    : base_micros_(base_micros),
+      micros_per_token_(micros_per_token),
+      noise_sigma_(noise_sigma) {
+  ZCHECK_GE(base_micros, 0.0);
+  ZCHECK_GE(micros_per_token, 0.0);
+  ZCHECK_GE(noise_sigma, 0.0);
+}
+
+int64_t LengthProportionalCostModel::SampleCostMicros(size_t num_tokens,
+                                                      Rng* rng) const {
+  double c = base_micros_ + micros_per_token_ * static_cast<double>(num_tokens);
+  if (noise_sigma_ > 0.0) {
+    c *= rng->NextLogNormal(-noise_sigma_ * noise_sigma_ / 2.0, noise_sigma_);
+  }
+  if (c < 1.0) c = 1.0;
+  return static_cast<int64_t>(c);
+}
+
+}  // namespace zombie

@@ -1,0 +1,66 @@
+#ifndef ZOMBIE_DATA_COST_MODEL_H_
+#define ZOMBIE_DATA_COST_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "util/random.h"
+
+namespace zombie {
+
+/// Assigns per-item virtual extraction costs during corpus generation.
+///
+/// The paper's raw items are expensive to featurize (parsing a page, running
+/// an extractor); absolute cost is testbed-specific, so we model it as a
+/// virtual-clock charge. Different models let benches explore how cost
+/// dispersion interacts with input selection.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Cost in virtual microseconds for a document with `num_tokens` content
+  /// tokens. Must be non-negative and deterministic given the rng state.
+  virtual int64_t SampleCostMicros(size_t num_tokens, Rng* rng) const = 0;
+};
+
+/// Every item costs the same.
+class ConstantCostModel : public CostModel {
+ public:
+  explicit ConstantCostModel(int64_t micros);
+  int64_t SampleCostMicros(size_t num_tokens, Rng* rng) const override;
+
+ private:
+  int64_t micros_;
+};
+
+/// Lognormal cost around a target mean: heavy right tail, matching real
+/// page-processing time distributions.
+class LogNormalCostModel : public CostModel {
+ public:
+  /// `mean_micros` is the distribution mean (not the median); `sigma` is the
+  /// log-space standard deviation.
+  LogNormalCostModel(double mean_micros, double sigma);
+  int64_t SampleCostMicros(size_t num_tokens, Rng* rng) const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Cost linear in document length plus lognormal noise: fixed parse
+/// overhead + per-token work.
+class LengthProportionalCostModel : public CostModel {
+ public:
+  LengthProportionalCostModel(double base_micros, double micros_per_token,
+                              double noise_sigma);
+  int64_t SampleCostMicros(size_t num_tokens, Rng* rng) const override;
+
+ private:
+  double base_micros_;
+  double micros_per_token_;
+  double noise_sigma_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_DATA_COST_MODEL_H_

@@ -1,0 +1,3 @@
+// Document is a passive struct; its definition lives entirely in the header.
+// This file anchors the translation unit for the data library.
+#include "data/document.h"

@@ -1,0 +1,42 @@
+#ifndef ZOMBIE_DATA_DOCUMENT_H_
+#define ZOMBIE_DATA_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zombie {
+
+/// Ground-truth class of a document. Binary tasks use 0/1; kUnlabeled marks
+/// items whose label is unknown (not used by the shipped tasks but supported
+/// by the corpus container).
+inline constexpr int32_t kUnlabeled = -1;
+
+/// One raw input item (a "page" of the simulated crawl).
+///
+/// A Document carries everything the simulated substrate needs:
+///  - `tokens`: content as ids into the owning Corpus's Vocabulary,
+///  - `label`: ground truth, revealed to the engine only after the item is
+///    processed (labels are part of the training data in the feature
+///    engineering setting; featurization is the expensive step),
+///  - `domain`: metadata group hint (hostname analogue) usable for cheap
+///    indexing,
+///  - `topic`: the latent topic that generated the document. Hidden from
+///    the engine; used only by the oracle grouper and analysis code,
+///  - costs: simulated virtual-clock charges (see util/clock.h).
+struct Document {
+  uint64_t id = 0;
+  std::vector<uint32_t> tokens;
+  int32_t label = kUnlabeled;
+  uint32_t domain = 0;
+  uint32_t topic = 0;
+  int64_t extraction_cost_micros = 0;
+  int64_t labeling_cost_micros = 0;
+  std::string url;
+
+  size_t length() const { return tokens.size(); }
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_DATA_DOCUMENT_H_

@@ -1,0 +1,27 @@
+#include "data/entity_generator.h"
+
+namespace zombie {
+
+SyntheticCorpusConfig MakeEntityExtractConfig(
+    const EntityExtractOptions& options) {
+  SyntheticCorpusConfig cfg;
+  cfg.name = "entity";
+  cfg.num_documents = options.num_documents;
+  cfg.seed = options.seed;
+  cfg.label_rule = LabelRule::kTokenPresence;
+  cfg.positive_fraction = options.target_topic_fraction;
+  cfg.num_mention_tokens = options.num_mention_tokens;
+  cfg.mention_inject_probability = options.mention_inject_probability;
+  cfg.domain_purity = options.domain_purity;
+  cfg.topic_token_share = 0.3;
+  cfg.mean_extraction_cost_ms = options.mean_extraction_cost_ms;
+  cfg.num_background_topics = 9;
+  cfg.num_domains = 100;
+  return cfg;
+}
+
+Corpus GenerateEntityExtractCorpus(const EntityExtractOptions& options) {
+  return SyntheticCorpusGenerator(MakeEntityExtractConfig(options)).Generate();
+}
+
+}  // namespace zombie

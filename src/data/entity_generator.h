@@ -1,0 +1,36 @@
+#ifndef ZOMBIE_DATA_ENTITY_GENERATOR_H_
+#define ZOMBIE_DATA_ENTITY_GENERATOR_H_
+
+#include "data/corpus.h"
+#include "data/generator.h"
+
+namespace zombie {
+
+/// Task T2 "EntityExtract": extraction-style labeling — a page is positive
+/// iff it mentions the target entity (one of a small set of mention
+/// tokens). Mentions correlate with the target topic's vocabulary, so a
+/// token-based inverted index over the corpus isolates the useful inputs
+/// almost perfectly; content k-means also works, metadata less so (purity
+/// is lower than WebCat: entities get mentioned off their home sites too).
+struct EntityExtractOptions {
+  size_t num_documents = 20000;
+  /// Fraction of documents generated from the entity's home topic (the
+  /// realized positive rate tracks this, plus incidental mentions).
+  double target_topic_fraction = 0.05;
+  size_t num_mention_tokens = 5;
+  double mention_inject_probability = 0.9;
+  double domain_purity = 0.5;
+  double mean_extraction_cost_ms = 10.0;
+  uint64_t seed = 43;
+};
+
+/// Builds the full generator config for an EntityExtract corpus.
+SyntheticCorpusConfig MakeEntityExtractConfig(
+    const EntityExtractOptions& options);
+
+/// Generates an EntityExtract corpus directly.
+Corpus GenerateEntityExtractCorpus(const EntityExtractOptions& options);
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_DATA_ENTITY_GENERATOR_H_

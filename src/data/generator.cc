@@ -1,0 +1,200 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "data/cost_model.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+Status SyntheticCorpusConfig::Validate() const {
+  if (num_documents == 0) {
+    return Status::InvalidArgument("num_documents must be positive");
+  }
+  if (topic_vocabulary_size == 0 || common_vocabulary_size == 0) {
+    return Status::InvalidArgument("vocabulary slices must be non-empty");
+  }
+  if (positive_fraction < 0.0 || positive_fraction > 1.0) {
+    return Status::InvalidArgument("positive_fraction must be in [0,1]");
+  }
+  if (label_noise < 0.0 || label_noise > 0.5) {
+    return Status::InvalidArgument("label_noise must be in [0,0.5]");
+  }
+  if (topic_token_share < 0.0 || topic_token_share > 1.0) {
+    return Status::InvalidArgument("topic_token_share must be in [0,1]");
+  }
+  if (domain_purity < 0.0 || domain_purity > 1.0) {
+    return Status::InvalidArgument("domain_purity must be in [0,1]");
+  }
+  if (num_domains == 0) {
+    return Status::InvalidArgument("num_domains must be positive");
+  }
+  if (mean_doc_length <= 0.0 || min_doc_length == 0) {
+    return Status::InvalidArgument("document length knobs must be positive");
+  }
+  if (mean_extraction_cost_ms <= 0.0 || labeling_cost_ms < 0.0) {
+    return Status::InvalidArgument("cost knobs must be positive");
+  }
+  if (label_rule == LabelRule::kTokenPresence &&
+      (num_mention_tokens == 0 ||
+       num_mention_tokens > topic_vocabulary_size)) {
+    return Status::InvalidArgument(
+        "num_mention_tokens must be in [1, topic_vocabulary_size]");
+  }
+  return Status::OK();
+}
+
+SyntheticCorpusGenerator::SyntheticCorpusGenerator(
+    SyntheticCorpusConfig config)
+    : config_(std::move(config)) {}
+
+uint32_t SyntheticCorpusGenerator::CommonTokenId(size_t rank) const {
+  ZCHECK_LT(rank, config_.common_vocabulary_size);
+  return static_cast<uint32_t>(rank);
+}
+
+uint32_t SyntheticCorpusGenerator::TopicTokenId(size_t topic,
+                                                size_t rank) const {
+  ZCHECK_LT(topic, num_topics());
+  ZCHECK_LT(rank, config_.topic_vocabulary_size);
+  return static_cast<uint32_t>(config_.common_vocabulary_size +
+                               topic * config_.topic_vocabulary_size + rank);
+}
+
+bool SyntheticCorpusGenerator::IsMentionToken(uint32_t token_id) const {
+  uint32_t lo = TopicTokenId(0, 0);
+  return token_id >= lo && token_id < lo + config_.num_mention_tokens;
+}
+
+Corpus SyntheticCorpusGenerator::Generate() const {
+  ZCHECK_OK(config_.Validate());
+  const SyntheticCorpusConfig& cfg = config_;
+  Rng rng(cfg.seed);
+  Corpus corpus;
+  corpus.set_name(cfg.name);
+
+  // --- Vocabulary layout: [common][topic 0][topic 1]... -------------------
+  Vocabulary& vocab = corpus.mutable_vocabulary();
+  for (size_t i = 0; i < cfg.common_vocabulary_size; ++i) {
+    vocab.GetOrAdd(StrFormat("w%zu", i));
+  }
+  const size_t topics = num_topics();
+  for (size_t t = 0; t < topics; ++t) {
+    for (size_t i = 0; i < cfg.topic_vocabulary_size; ++i) {
+      vocab.GetOrAdd(StrFormat("topic%zu_w%zu", t, i));
+    }
+  }
+  vocab.Freeze();
+
+  // --- Domains: each domain has a primary topic (round-robin), so topic-t
+  // documents cluster on the domains affiliated with t when purity > 0. ----
+  std::vector<std::vector<uint32_t>> topic_domains(topics);
+  for (size_t d = 0; d < cfg.num_domains; ++d) {
+    uint32_t id = corpus.AddDomain(StrFormat("site%zu.example.com", d));
+    topic_domains[d % topics].push_back(id);
+  }
+
+  // --- Cost model ----------------------------------------------------------
+  std::unique_ptr<CostModel> cost_model;
+  if (cfg.length_proportional_cost) {
+    double per_token = cfg.mean_extraction_cost_ms * 1e3 / cfg.mean_doc_length;
+    cost_model = std::make_unique<LengthProportionalCostModel>(
+        /*base_micros=*/cfg.mean_extraction_cost_ms * 1e3 * 0.1,
+        /*micros_per_token=*/per_token * 0.9, cfg.extraction_cost_sigma);
+  } else {
+    cost_model = std::make_unique<LogNormalCostModel>(
+        cfg.mean_extraction_cost_ms * 1e3, cfg.extraction_cost_sigma);
+  }
+
+  // Length distribution: lognormal with the requested mean.
+  const double len_mu = std::log(cfg.mean_doc_length) -
+                        cfg.doc_length_sigma * cfg.doc_length_sigma / 2.0;
+
+  // --- Documents ------------------------------------------------------------
+  for (size_t i = 0; i < cfg.num_documents; ++i) {
+    Document doc;
+    doc.id = i;
+
+    // Latent topic. Topic 0 is the target.
+    bool target = rng.NextBernoulli(cfg.positive_fraction);
+    doc.topic = target ? 0
+                       : static_cast<uint32_t>(
+                             1 + rng.NextBelow(cfg.num_background_topics));
+
+    // Domain: affiliated w.p. purity, else uniform.
+    if (cfg.domain_purity > 0.0 && rng.NextBernoulli(cfg.domain_purity) &&
+        !topic_domains[doc.topic].empty()) {
+      const auto& pool = topic_domains[doc.topic];
+      doc.domain = pool[rng.NextBelow(pool.size())];
+    } else {
+      doc.domain = static_cast<uint32_t>(rng.NextBelow(cfg.num_domains));
+    }
+
+    // Length.
+    double len = rng.NextLogNormal(len_mu, cfg.doc_length_sigma);
+    size_t length = std::max(cfg.min_doc_length, static_cast<size_t>(len));
+
+    // Tokens: mixture of topic slice and common slice, both Zipfian.
+    doc.tokens.reserve(length);
+    for (size_t k = 0; k < length; ++k) {
+      if (rng.NextBernoulli(cfg.topic_token_share)) {
+        size_t rank = rng.NextZipf(cfg.topic_vocabulary_size,
+                                   cfg.zipf_exponent);
+        doc.tokens.push_back(TopicTokenId(doc.topic, rank));
+      } else {
+        size_t rank = rng.NextZipf(cfg.common_vocabulary_size,
+                                   cfg.zipf_exponent);
+        doc.tokens.push_back(CommonTokenId(rank));
+      }
+    }
+
+    // Entity mentions: force one into most target-topic documents.
+    if (cfg.label_rule == LabelRule::kTokenPresence && doc.topic == 0 &&
+        rng.NextBernoulli(cfg.mention_inject_probability)) {
+      size_t which = rng.NextBelow(cfg.num_mention_tokens);
+      size_t pos = rng.NextBelow(doc.tokens.size());
+      doc.tokens[pos] = TopicTokenId(0, which);
+    }
+
+    // Label.
+    int32_t label = 0;
+    switch (cfg.label_rule) {
+      case LabelRule::kTopic:
+        label = target ? 1 : 0;
+        break;
+      case LabelRule::kTokenPresence: {
+        label = 0;
+        for (uint32_t tok : doc.tokens) {
+          if (IsMentionToken(tok)) {
+            label = 1;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (cfg.label_noise > 0.0 && rng.NextBernoulli(cfg.label_noise)) {
+      label = 1 - label;
+    }
+    doc.label = label;
+
+    // Costs.
+    doc.extraction_cost_micros = cost_model->SampleCostMicros(length, &rng);
+    doc.labeling_cost_micros =
+        static_cast<int64_t>(cfg.labeling_cost_ms * 1e3);
+    doc.url = StrFormat("http://%s/page%zu.html",
+                        corpus.DomainName(doc.domain).c_str(), i);
+
+    corpus.AddDocument(std::move(doc));
+  }
+
+  ZCHECK_OK(corpus.Validate());
+  return corpus;
+}
+
+}  // namespace zombie

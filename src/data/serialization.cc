@@ -1,0 +1,192 @@
+#include "data/serialization.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace zombie {
+
+namespace {
+
+constexpr char kMagic[4] = {'Z', 'M', 'B', 'C'};
+constexpr uint32_t kVersion = 1;
+
+// Minimal little-endian writer over a stdio FILE. All fixed-width fields
+// are written LSB-first explicitly so files are portable across hosts.
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+
+  bool ok() const { return ok_; }
+
+  void U32(uint32_t v) { Raw(&v, Encode(v, 4)); }
+  void U64(uint64_t v) { Raw(&v, Encode(v, 8)); }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+
+  void Str(const std::string& s) {
+    U64(s.size());
+    if (ok_ && !s.empty() &&
+        std::fwrite(s.data(), 1, s.size(), f_) != s.size()) {
+      ok_ = false;
+    }
+  }
+
+  void Bytes(const void* data, size_t len) {
+    if (ok_ && len > 0 && std::fwrite(data, 1, len, f_) != len) ok_ = false;
+  }
+
+ private:
+  // Encodes v LSB-first into buf_ and returns the byte count.
+  size_t Encode(uint64_t v, size_t n) {
+    for (size_t i = 0; i < n; ++i) buf_[i] = static_cast<unsigned char>(v >> (8 * i));
+    return n;
+  }
+  void Raw(const void* /*unused*/, size_t n) { Bytes(buf_, n); }
+
+  std::FILE* f_;
+  unsigned char buf_[8];
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+
+  bool ok() const { return ok_; }
+
+  uint32_t U32() { return static_cast<uint32_t>(Decode(4)); }
+  uint64_t U64() { return Decode(8); }
+  int32_t I32() { return static_cast<int32_t>(U32()); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+
+  std::string Str(uint64_t max_len = 1ULL << 30) {
+    uint64_t n = U64();
+    if (!ok_ || n > max_len) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(n, '\0');
+    if (n > 0 && std::fread(s.data(), 1, n, f_) != n) ok_ = false;
+    return s;
+  }
+
+ private:
+  uint64_t Decode(size_t n) {
+    unsigned char buf[8] = {0};
+    if (ok_ && std::fread(buf, 1, n, f_) != n) ok_ = false;
+    if (!ok_) return 0;
+    uint64_t v = 0;
+    for (size_t i = 0; i < n; ++i) v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+    return v;
+  }
+
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  Writer w(f.get());
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.U32(kVersion);
+  w.Str(corpus.name());
+
+  // Vocabulary.
+  w.U64(corpus.vocabulary().size());
+  for (uint32_t i = 0; i < corpus.vocabulary().size(); ++i) {
+    w.Str(corpus.vocabulary().Term(i));
+  }
+
+  // Domains.
+  w.U64(corpus.num_domains());
+  for (uint32_t i = 0; i < corpus.num_domains(); ++i) {
+    w.Str(corpus.DomainName(i));
+  }
+
+  // Documents.
+  w.U64(corpus.size());
+  for (const Document& d : corpus.documents()) {
+    w.U64(d.id);
+    w.I32(d.label);
+    w.U32(d.domain);
+    w.U32(d.topic);
+    w.I64(d.extraction_cost_micros);
+    w.I64(d.labeling_cost_micros);
+    w.Str(d.url);
+    w.U64(d.tokens.size());
+    for (uint32_t tok : d.tokens) w.U32(tok);
+  }
+  if (!w.ok()) return Status::IOError(StrFormat("write failed: %s", path.c_str()));
+  return Status::OK();
+}
+
+StatusOr<Corpus> LoadCorpus(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  Reader r(f.get());
+  char magic[4];
+  if (std::fread(magic, 1, 4, f.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Internal("bad magic: not a zombie corpus file");
+  }
+  uint32_t version = r.U32();
+  if (!r.ok() || version != kVersion) {
+    return Status::Internal(StrFormat("unsupported corpus version %u", version));
+  }
+  Corpus corpus;
+  corpus.set_name(r.Str());
+
+  uint64_t vocab_size = r.U64();
+  for (uint64_t i = 0; r.ok() && i < vocab_size; ++i) {
+    corpus.mutable_vocabulary().GetOrAdd(r.Str());
+  }
+  corpus.mutable_vocabulary().Freeze();
+
+  uint64_t num_domains = r.U64();
+  for (uint64_t i = 0; r.ok() && i < num_domains; ++i) {
+    corpus.AddDomain(r.Str());
+  }
+
+  uint64_t num_docs = r.U64();
+  for (uint64_t i = 0; r.ok() && i < num_docs; ++i) {
+    Document d;
+    d.id = r.U64();
+    d.label = r.I32();
+    d.domain = r.U32();
+    d.topic = r.U32();
+    d.extraction_cost_micros = r.I64();
+    d.labeling_cost_micros = r.I64();
+    d.url = r.Str();
+    uint64_t ntok = r.U64();
+    if (!r.ok() || ntok > (1ULL << 30)) {
+      return Status::Internal("corrupt token count");
+    }
+    d.tokens.reserve(ntok);
+    for (uint64_t t = 0; t < ntok; ++t) d.tokens.push_back(r.U32());
+    corpus.AddDocument(std::move(d));
+  }
+  if (!r.ok()) return Status::Internal(StrFormat("corrupt corpus file: %s", path.c_str()));
+  ZOMBIE_RETURN_IF_ERROR(corpus.Validate());
+  return corpus;
+}
+
+}  // namespace zombie

@@ -1,0 +1,27 @@
+#include "data/webcat_generator.h"
+
+namespace zombie {
+
+SyntheticCorpusConfig MakeWebCatConfig(const WebCatOptions& options) {
+  SyntheticCorpusConfig cfg;
+  cfg.name = "webcat";
+  cfg.num_documents = options.num_documents;
+  cfg.seed = options.seed;
+  cfg.label_rule = LabelRule::kTopic;
+  cfg.positive_fraction = options.positive_fraction;
+  cfg.label_noise = options.label_noise;
+  cfg.domain_purity = options.domain_purity;
+  cfg.topic_token_share = options.topic_token_share;
+  cfg.topic_vocabulary_size = options.topic_vocabulary_size;
+  cfg.mean_extraction_cost_ms = options.mean_extraction_cost_ms;
+  cfg.extraction_cost_sigma = options.extraction_cost_sigma;
+  cfg.num_background_topics = 9;
+  cfg.num_domains = 100;
+  return cfg;
+}
+
+Corpus GenerateWebCatCorpus(const WebCatOptions& options) {
+  return SyntheticCorpusGenerator(MakeWebCatConfig(options)).Generate();
+}
+
+}  // namespace zombie

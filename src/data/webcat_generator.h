@@ -1,0 +1,45 @@
+#ifndef ZOMBIE_DATA_WEBCAT_GENERATOR_H_
+#define ZOMBIE_DATA_WEBCAT_GENERATOR_H_
+
+#include "data/corpus.h"
+#include "data/generator.h"
+
+namespace zombie {
+
+/// Task T1 "WebCat": rare-category web page classification, the paper's
+/// motivating workload. Positives (the target category) are ~5% of the
+/// crawl and concentrate on topic-affiliated domains, so a grouping of the
+/// corpus by content or by hostname carries strong usefulness signal —
+/// the regime where intelligent input selection pays off most.
+struct WebCatOptions {
+  size_t num_documents = 20000;
+  double positive_fraction = 0.05;
+  /// How strongly positives concentrate on their affiliated domains
+  /// (0 = none: metadata carries no signal).
+  double domain_purity = 0.85;
+  /// Content separability: share of tokens drawn from topic vocabulary.
+  double topic_token_share = 0.20;
+  /// Topic vocabulary breadth: larger values mean more per-class
+  /// parameters to estimate, i.e. more labeled positives needed before the
+  /// learner converges (the regime where input selection pays off).
+  size_t topic_vocabulary_size = 1600;
+  /// Flip probability; also inflates the measured positive rate slightly
+  /// (a flipped negative becomes a content-less positive).
+  double label_noise = 0.03;
+  double mean_extraction_cost_ms = 10.0;
+  /// Log-space spread of per-item extraction cost (heavier tail = more
+  /// cost dispersion for the bandit to exploit; see EngineOptions::
+  /// cost_aware_rewards).
+  double extraction_cost_sigma = 0.6;
+  uint64_t seed = 42;
+};
+
+/// Builds the full generator config for a WebCat corpus.
+SyntheticCorpusConfig MakeWebCatConfig(const WebCatOptions& options);
+
+/// Generates a WebCat corpus directly.
+Corpus GenerateWebCatCorpus(const WebCatOptions& options);
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_DATA_WEBCAT_GENERATOR_H_

@@ -1,0 +1,152 @@
+#include "featureeng/extractors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+// --- HashedBagOfWordsExtractor ---------------------------------------------
+
+HashedBagOfWordsExtractor::HashedBagOfWordsExtractor(uint32_t dimension,
+                                                     bool sublinear_tf,
+                                                     uint64_t salt)
+    : vectorizer_(dimension, /*signed_hash=*/false, salt),
+      sublinear_tf_(sublinear_tf) {}
+
+void HashedBagOfWordsExtractor::Extract(const Document& doc,
+                                        const Corpus& /*corpus*/,
+                                        TermCounts* out) const {
+  TermCounts counts = vectorizer_.TransformIds(doc.tokens);
+  for (auto& [idx, value] : counts) {
+    if (sublinear_tf_) value = std::log1p(value);
+    out->emplace_back(idx, value);
+  }
+}
+
+std::string HashedBagOfWordsExtractor::name() const {
+  return StrFormat("bow%u", vectorizer_.dimension());
+}
+
+// --- HashedBigramExtractor --------------------------------------------------
+
+HashedBigramExtractor::HashedBigramExtractor(uint32_t dimension, uint64_t salt)
+    : dimension_(dimension), salt_(salt) {
+  ZCHECK_GT(dimension, 0u);
+}
+
+void HashedBigramExtractor::Extract(const Document& doc,
+                                    const Corpus& /*corpus*/,
+                                    TermCounts* out) const {
+  for (size_t i = 0; i + 1 < doc.tokens.size(); ++i) {
+    uint64_t h = HashCombine(
+        HashCombine(doc.tokens[i], doc.tokens[i + 1]), salt_);
+    out->emplace_back(static_cast<uint32_t>(h % dimension_), 1.0);
+  }
+}
+
+std::string HashedBigramExtractor::name() const {
+  return StrFormat("bigram%u", dimension_);
+}
+
+// --- KeywordExtractor -------------------------------------------------------
+
+KeywordExtractor::KeywordExtractor(std::vector<uint32_t> keyword_token_ids)
+    : keywords_(std::move(keyword_token_ids)) {
+  std::sort(keywords_.begin(), keywords_.end());
+  keywords_.erase(std::unique(keywords_.begin(), keywords_.end()),
+                  keywords_.end());
+  ZCHECK(!keywords_.empty()) << "keyword list must be non-empty";
+}
+
+void KeywordExtractor::Extract(const Document& doc, const Corpus& /*corpus*/,
+                               TermCounts* out) const {
+  for (uint32_t tok : doc.tokens) {
+    auto it = std::lower_bound(keywords_.begin(), keywords_.end(), tok);
+    if (it != keywords_.end() && *it == tok) {
+      out->emplace_back(static_cast<uint32_t>(it - keywords_.begin()), 1.0);
+    }
+  }
+}
+
+std::string KeywordExtractor::name() const {
+  return StrFormat("keywords%zu", keywords_.size());
+}
+
+// --- DocLengthExtractor -----------------------------------------------------
+
+DocLengthExtractor::DocLengthExtractor(uint32_t num_buckets)
+    : num_buckets_(num_buckets) {
+  ZCHECK_GT(num_buckets, 0u);
+}
+
+void DocLengthExtractor::Extract(const Document& doc,
+                                 const Corpus& /*corpus*/,
+                                 TermCounts* out) const {
+  double lg = std::log2(static_cast<double>(doc.tokens.size()) + 1.0);
+  uint32_t bucket = std::min(num_buckets_ - 1, static_cast<uint32_t>(lg));
+  out->emplace_back(bucket, 1.0);
+}
+
+// --- DomainExtractor --------------------------------------------------------
+
+DomainExtractor::DomainExtractor(uint32_t dimension) : dimension_(dimension) {
+  ZCHECK_GT(dimension, 0u);
+}
+
+void DomainExtractor::Extract(const Document& doc, const Corpus& /*corpus*/,
+                              TermCounts* out) const {
+  uint64_t h = HashCombine(doc.domain, 0x00D0D0D0ULL);
+  out->emplace_back(static_cast<uint32_t>(h % dimension_), 1.0);
+}
+
+// --- TokenDiversityExtractor ------------------------------------------------
+
+TokenDiversityExtractor::TokenDiversityExtractor(uint32_t num_buckets)
+    : num_buckets_(num_buckets) {
+  ZCHECK_GT(num_buckets, 0u);
+}
+
+void TokenDiversityExtractor::Extract(const Document& doc,
+                                      const Corpus& /*corpus*/,
+                                      TermCounts* out) const {
+  if (doc.tokens.empty()) {
+    out->emplace_back(0, 1.0);
+    return;
+  }
+  std::vector<uint32_t> distinct = doc.tokens;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  double ratio = static_cast<double>(distinct.size()) /
+                 static_cast<double>(doc.tokens.size());
+  uint32_t bucket = std::min(
+      num_buckets_ - 1,
+      static_cast<uint32_t>(ratio * static_cast<double>(num_buckets_)));
+  out->emplace_back(bucket, 1.0);
+}
+
+// --- ExpensiveWrapperExtractor ----------------------------------------------
+
+ExpensiveWrapperExtractor::ExpensiveWrapperExtractor(
+    std::unique_ptr<FeatureExtractor> inner, double cost_multiplier)
+    : inner_(std::move(inner)), cost_multiplier_(cost_multiplier) {
+  ZCHECK(inner_ != nullptr);
+  ZCHECK_GT(cost_multiplier_, 0.0);
+}
+
+void ExpensiveWrapperExtractor::Extract(const Document& doc,
+                                        const Corpus& corpus,
+                                        TermCounts* out) const {
+  inner_->Extract(doc, corpus, out);
+}
+
+std::string ExpensiveWrapperExtractor::name() const {
+  return StrFormat("expensive(%s,x%.1f)", inner_->name().c_str(),
+                   cost_multiplier_);
+}
+
+}  // namespace zombie

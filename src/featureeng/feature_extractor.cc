@@ -1,0 +1,3 @@
+// FeatureExtractor is a pure interface; this file anchors the translation
+// unit for the featureeng library.
+#include "featureeng/feature_extractor.h"

@@ -1,0 +1,117 @@
+#include "featureeng/feature_scoring.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace zombie {
+
+namespace {
+
+struct ClassDf {
+  std::vector<uint32_t> df_pos;
+  std::vector<uint32_t> df_neg;
+  uint32_t num_pos = 0;
+  uint32_t num_neg = 0;
+};
+
+// One pass over the sample: per-term document frequency split by label.
+ClassDf CountClassDf(const Corpus& corpus,
+                     const std::vector<uint32_t>& sample) {
+  ClassDf out;
+  out.df_pos.assign(corpus.vocabulary().size(), 0);
+  out.df_neg.assign(corpus.vocabulary().size(), 0);
+  std::vector<uint32_t> distinct;
+  for (uint32_t idx : sample) {
+    ZCHECK_LT(idx, corpus.size());
+    const Document& doc = corpus.doc(idx);
+    bool positive = doc.label == 1;
+    (positive ? out.num_pos : out.num_neg) += 1;
+    distinct.assign(doc.tokens.begin(), doc.tokens.end());
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    auto& df = positive ? out.df_pos : out.df_neg;
+    for (uint32_t tok : distinct) {
+      if (tok < df.size()) ++df[tok];
+    }
+  }
+  return out;
+}
+
+std::vector<TermScore> TopK(std::vector<TermScore> scores, size_t top_k) {
+  std::sort(scores.begin(), scores.end(),
+            [](const TermScore& a, const TermScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.token_id < b.token_id;
+            });
+  if (scores.size() > top_k) scores.resize(top_k);
+  return scores;
+}
+
+}  // namespace
+
+std::vector<TermScore> ChiSquareTerms(const Corpus& corpus,
+                                      const std::vector<uint32_t>& sample,
+                                      size_t top_k) {
+  ClassDf df = CountClassDf(corpus, sample);
+  double n = static_cast<double>(df.num_pos + df.num_neg);
+  std::vector<TermScore> scores;
+  if (n == 0.0) return scores;
+  for (uint32_t tok = 0; tok < df.df_pos.size(); ++tok) {
+    // 2x2 table: a = pos&present, b = neg&present, c = pos&absent,
+    // d = neg&absent.
+    double a = df.df_pos[tok];
+    double b = df.df_neg[tok];
+    if (a + b == 0.0) continue;  // never appears in the sample
+    double c = static_cast<double>(df.num_pos) - a;
+    double d = static_cast<double>(df.num_neg) - b;
+    double denom = (a + b) * (c + d) * (a + c) * (b + d);
+    if (denom == 0.0) continue;
+    double num = a * d - b * c;
+    TermScore s;
+    s.token_id = tok;
+    s.score = n * num * num / denom;
+    s.df_positive = df.df_pos[tok];
+    s.df_negative = df.df_neg[tok];
+    scores.push_back(s);
+  }
+  return TopK(std::move(scores), top_k);
+}
+
+std::vector<TermScore> PmiTerms(const Corpus& corpus,
+                                const std::vector<uint32_t>& sample,
+                                size_t top_k) {
+  ClassDf df = CountClassDf(corpus, sample);
+  double n = static_cast<double>(df.num_pos + df.num_neg);
+  std::vector<TermScore> scores;
+  if (n == 0.0 || df.num_pos == 0) return scores;
+  double p_pos = static_cast<double>(df.num_pos) / n;
+  for (uint32_t tok = 0; tok < df.df_pos.size(); ++tok) {
+    double present = df.df_pos[tok] + df.df_neg[tok];
+    if (present == 0.0) continue;
+    // PMI(term, positive) with add-one smoothing.
+    double p_term = (present + 1.0) / (n + 2.0);
+    double p_joint = (static_cast<double>(df.df_pos[tok]) + 1.0) / (n + 2.0);
+    TermScore s;
+    s.token_id = tok;
+    s.score = std::log(p_joint / (p_term * p_pos));
+    s.df_positive = df.df_pos[tok];
+    s.df_negative = df.df_neg[tok];
+    scores.push_back(s);
+  }
+  return TopK(std::move(scores), top_k);
+}
+
+std::vector<uint32_t> SuggestKeywords(const Corpus& corpus,
+                                      const std::vector<uint32_t>& sample,
+                                      size_t top_k) {
+  std::vector<uint32_t> out;
+  for (const TermScore& s : ChiSquareTerms(corpus, sample, top_k)) {
+    out.push_back(s.token_id);
+  }
+  return out;
+}
+
+}  // namespace zombie

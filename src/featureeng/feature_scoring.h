@@ -1,0 +1,48 @@
+#ifndef ZOMBIE_FEATUREENG_FEATURE_SCORING_H_
+#define ZOMBIE_FEATUREENG_FEATURE_SCORING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/corpus.h"
+
+namespace zombie {
+
+/// Statistical term scoring over a *labeled sample* of the corpus — the
+/// data-driven half of the feature engineer's keyword hunt. The engineer
+/// featurizes a small labeled sample anyway (the holdout); these scorers
+/// turn it into candidate KeywordExtractor inputs.
+///
+/// Scores are computed from per-term document frequencies in the positive
+/// and negative classes of the supplied document indices.
+struct TermScore {
+  uint32_t token_id = 0;
+  double score = 0.0;
+  /// Document frequency in each class within the sample.
+  uint32_t df_positive = 0;
+  uint32_t df_negative = 0;
+};
+
+/// Chi-square statistic of the term-vs-label 2x2 contingency table. High
+/// values mark terms whose presence is strongly class-associated (in
+/// either direction).
+std::vector<TermScore> ChiSquareTerms(const Corpus& corpus,
+                                      const std::vector<uint32_t>& sample,
+                                      size_t top_k);
+
+/// Pointwise mutual information of (term present, label positive), with
+/// add-one smoothing; positive-class-targeted (terms indicating the
+/// positive class score highest).
+std::vector<TermScore> PmiTerms(const Corpus& corpus,
+                                const std::vector<uint32_t>& sample,
+                                size_t top_k);
+
+/// Convenience: the token ids of the top_k chi-square terms — directly
+/// usable as a KeywordExtractor's keyword list.
+std::vector<uint32_t> SuggestKeywords(const Corpus& corpus,
+                                      const std::vector<uint32_t>& sample,
+                                      size_t top_k);
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_FEATUREENG_FEATURE_SCORING_H_

@@ -1,0 +1,75 @@
+#include "featureeng/pipeline.h"
+
+#include "text/term_counts.h"
+#include "util/logging.h"
+
+namespace zombie {
+
+FeaturePipeline::FeaturePipeline(std::string name) : name_(std::move(name)) {}
+
+FeaturePipeline& FeaturePipeline::Add(
+    std::unique_ptr<FeatureExtractor> extractor) {
+  ZCHECK(extractor != nullptr);
+  uint32_t offset =
+      extractors_.empty()
+          ? 0
+          : offsets_.back() + extractors_.back()->dimension();
+  offsets_.push_back(offset);
+  extractors_.push_back(std::move(extractor));
+  return *this;
+}
+
+SparseVector FeaturePipeline::Extract(const Document& doc,
+                                      const Corpus& corpus) const {
+  TermCounts assembled;
+  TermCounts local;
+  for (size_t i = 0; i < extractors_.size(); ++i) {
+    local.clear();
+    extractors_[i]->Extract(doc, corpus, &local);
+    uint32_t dim = extractors_[i]->dimension();
+    for (const auto& [idx, value] : local) {
+      ZCHECK_LT(idx, dim) << "extractor " << extractors_[i]->name()
+                          << " emitted an out-of-range index";
+      assembled.emplace_back(offsets_[i] + idx, value);
+    }
+  }
+  SparseVector v = SparseVector::FromPairs(std::move(assembled));
+  if (l2_normalize_) {
+    double norm = v.L2Norm();
+    if (norm > 0.0) v.Scale(1.0 / norm);
+  }
+  return v;
+}
+
+double FeaturePipeline::total_cost_factor() const {
+  double total = 0.0;
+  for (const auto& e : extractors_) total += e->cost_factor();
+  return total;
+}
+
+int64_t FeaturePipeline::ExtractionCostMicros(const Document& doc) const {
+  double cost =
+      static_cast<double>(doc.extraction_cost_micros) * total_cost_factor();
+  return cost < 0.0 ? 0 : static_cast<int64_t>(cost);
+}
+
+uint32_t FeaturePipeline::dimension() const {
+  if (extractors_.empty()) return 0;
+  return offsets_.back() + extractors_.back()->dimension();
+}
+
+const FeatureExtractor& FeaturePipeline::extractor(size_t i) const {
+  ZCHECK_LT(i, extractors_.size());
+  return *extractors_[i];
+}
+
+std::string FeaturePipeline::Description() const {
+  std::string out;
+  for (size_t i = 0; i < extractors_.size(); ++i) {
+    if (i) out += " + ";
+    out += extractors_[i]->name();
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+}  // namespace zombie

@@ -1,0 +1,77 @@
+#include "index/grouped_corpus.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace zombie {
+
+GroupedCorpus::GroupedCorpus(const Corpus* corpus, GroupingResult grouping,
+                             uint64_t seed, bool shuffle)
+    : corpus_(corpus), grouping_(std::move(grouping)) {
+  ZCHECK(corpus_ != nullptr);
+  ZCHECK_OK(grouping_.Validate(corpus_->size()));
+  Rng rng(seed);
+  groups_ = grouping_.groups;
+  if (shuffle) {
+    for (auto& g : groups_) rng.Shuffle(&g);
+  }
+  cursors_.assign(groups_.size(), 0);
+  processed_.assign(corpus_->size(), 0);
+}
+
+size_t GroupedCorpus::group_size(size_t g) const {
+  ZCHECK_LT(g, groups_.size());
+  return groups_[g].size();
+}
+
+std::optional<uint32_t> GroupedCorpus::NextFromGroup(size_t g) {
+  ZCHECK_LT(g, groups_.size());
+  size_t& cursor = cursors_[g];
+  const auto& items = groups_[g];
+  while (cursor < items.size()) {
+    uint32_t doc = items[cursor++];
+    if (!processed_[doc]) {
+      processed_[doc] = 1;
+      ++num_processed_;
+      return doc;
+    }
+  }
+  return std::nullopt;
+}
+
+bool GroupedCorpus::GroupExhausted(size_t g) {
+  ZCHECK_LT(g, groups_.size());
+  size_t& cursor = cursors_[g];
+  const auto& items = groups_[g];
+  // Skip over consumed items without taking one.
+  while (cursor < items.size() && processed_[items[cursor]]) ++cursor;
+  return cursor >= items.size();
+}
+
+bool GroupedCorpus::AllExhausted() {
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (!GroupExhausted(g)) return false;
+  }
+  return true;
+}
+
+void GroupedCorpus::MarkProcessed(uint32_t doc_index) {
+  ZCHECK_LT(doc_index, processed_.size());
+  if (!processed_[doc_index]) {
+    processed_[doc_index] = 1;
+    ++num_processed_;
+  }
+}
+
+bool GroupedCorpus::IsProcessed(uint32_t doc_index) const {
+  ZCHECK_LT(doc_index, processed_.size());
+  return processed_[doc_index] != 0;
+}
+
+void GroupedCorpus::Reset() {
+  cursors_.assign(groups_.size(), 0);
+  processed_.assign(corpus_->size(), 0);
+  num_processed_ = 0;
+}
+
+}  // namespace zombie

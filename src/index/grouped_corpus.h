@@ -1,0 +1,72 @@
+#ifndef ZOMBIE_INDEX_GROUPED_CORPUS_H_
+#define ZOMBIE_INDEX_GROUPED_CORPUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/corpus.h"
+#include "index/grouper.h"
+
+namespace zombie {
+
+/// The online view of an indexed corpus: per-group cursors over (shuffled)
+/// item lists with a global processed set, so that overlapping groups never
+/// hand the engine the same item twice.
+///
+/// The engine asks a bandit policy for a group, then asks this class for
+/// the next unprocessed item of that group. Holdout items are pre-marked
+/// as processed so evaluation data never leaks into training.
+class GroupedCorpus {
+ public:
+  /// Takes a non-owning pointer to the corpus (must outlive this object)
+  /// and the grouping. Item order within each group is shuffled with
+  /// `seed` so corpus construction order carries no signal; pass
+  /// shuffle = false to preserve group order (the sequential-scan
+  /// baseline).
+  GroupedCorpus(const Corpus* corpus, GroupingResult grouping, uint64_t seed,
+                bool shuffle = true);
+
+  size_t num_groups() const { return groups_.size(); }
+  size_t group_size(size_t g) const;
+
+  /// Pops the next unprocessed document index from group g, marking it
+  /// processed globally. Returns nullopt when the group is exhausted
+  /// (possibly because overlapping groups consumed its items).
+  std::optional<uint32_t> NextFromGroup(size_t g);
+
+  /// True when group g has no unprocessed items left. May do cursor work
+  /// (skipping already-processed entries) but never consumes an item.
+  bool GroupExhausted(size_t g);
+
+  /// True when no group can produce another item.
+  bool AllExhausted();
+
+  /// Marks a document processed without attributing it to a group (e.g.
+  /// holdout sampling). Idempotent.
+  void MarkProcessed(uint32_t doc_index);
+
+  bool IsProcessed(uint32_t doc_index) const;
+
+  /// Number of distinct documents marked processed so far.
+  size_t num_processed() const { return num_processed_; }
+
+  /// Restores the all-unprocessed state (cursors rewound; shuffle order
+  /// preserved so repeated runs over one index are comparable).
+  void Reset();
+
+  const Corpus& corpus() const { return *corpus_; }
+  const GroupingResult& grouping() const { return grouping_; }
+
+ private:
+  const Corpus* corpus_;
+  GroupingResult grouping_;
+  std::vector<std::vector<uint32_t>> groups_;  // shuffled copies
+  std::vector<size_t> cursors_;
+  std::vector<uint8_t> processed_;
+  size_t num_processed_ = 0;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_INDEX_GROUPED_CORPUS_H_

@@ -1,0 +1,36 @@
+#include "index/grouper.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace zombie {
+
+Status GroupingResult::Validate(size_t corpus_size) const {
+  std::vector<uint8_t> covered(corpus_size, 0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    std::vector<uint32_t> sorted = groups[g];
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (sorted[i] >= corpus_size) {
+        return Status::Internal(StrFormat(
+            "group %zu references doc %u beyond corpus size %zu", g,
+            sorted[i], corpus_size));
+      }
+      if (i > 0 && sorted[i] == sorted[i - 1]) {
+        return Status::Internal(
+            StrFormat("group %zu contains doc %u twice", g, sorted[i]));
+      }
+      covered[sorted[i]] = 1;
+    }
+  }
+  for (size_t i = 0; i < corpus_size; ++i) {
+    if (!covered[i]) {
+      return Status::Internal(
+          StrFormat("doc %zu not covered by any group", i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace zombie

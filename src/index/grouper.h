@@ -1,0 +1,52 @@
+#ifndef ZOMBIE_INDEX_GROUPER_H_
+#define ZOMBIE_INDEX_GROUPER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "util/status.h"
+
+namespace zombie {
+
+/// Output of offline index construction: the corpus partitioned (or, for
+/// inverted-index groupers, covered — groups may overlap) into index
+/// groups, each of which becomes one bandit arm.
+struct GroupingResult {
+  /// groups[g] lists document indices belonging to group g. Every document
+  /// index must appear in at least one group; duplicates across groups are
+  /// allowed, duplicates within a group are not.
+  std::vector<std::vector<uint32_t>> groups;
+  /// Grouper identifier ("kmeans64", "token", ...).
+  std::string method;
+  /// Wall-clock cost actually spent building the index (bookkeeping,
+  /// clustering CPU).
+  int64_t build_wall_micros = 0;
+  /// Modeled virtual cost of the raw-data reads the build performed (e.g.
+  /// signature scans). Charged once per corpus, amortized across the
+  /// session's revisions in E8.
+  int64_t build_virtual_micros = 0;
+
+  size_t num_groups() const { return groups.size(); }
+
+  /// Checks the coverage/duplicate invariants against a corpus of
+  /// `corpus_size` documents.
+  Status Validate(size_t corpus_size) const;
+};
+
+/// Offline index construction strategy (the "index groups" of the paper).
+class Grouper {
+ public:
+  virtual ~Grouper() = default;
+
+  /// Builds index groups over the corpus. Implementations must fill
+  /// build_*_micros and satisfy GroupingResult::Validate.
+  virtual GroupingResult Group(const Corpus& corpus) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_INDEX_GROUPER_H_

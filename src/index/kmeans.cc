@@ -1,0 +1,142 @@
+#include "index/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace zombie {
+
+double SquaredL2(const std::vector<double>& a, const std::vector<double>& b) {
+  ZCHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+namespace {
+
+// k-means++ seeding: first centroid uniform, then proportional to squared
+// distance from the nearest chosen centroid.
+std::vector<std::vector<double>> SeedPlusPlus(
+    const std::vector<std::vector<double>>& rows, size_t k, Rng* rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(rows[rng->NextBelow(rows.size())]);
+  std::vector<double> min_dist(rows.size(),
+                               std::numeric_limits<double>::max());
+  while (centroids.size() < k) {
+    const auto& latest = centroids.back();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      min_dist[i] = std::min(min_dist[i], SquaredL2(rows[i], latest));
+    }
+    size_t pick = rng->NextDiscrete(min_dist);
+    if (pick >= rows.size()) {
+      // All distances zero (duplicate points): fall back to uniform.
+      pick = rng->NextBelow(rows.size());
+    }
+    centroids.push_back(rows[pick]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const std::vector<std::vector<double>>& rows,
+                       const KMeansConfig& config) {
+  ZCHECK(!rows.empty()) << "k-means needs at least one row";
+  ZCHECK_GE(config.k, 1u);
+  const size_t n = rows.size();
+  const size_t dim = rows[0].size();
+  for (const auto& r : rows) ZCHECK_EQ(r.size(), dim);
+
+  KMeansResult result;
+  Rng rng(config.seed);
+
+  if (config.k >= n) {
+    // Degenerate: one point per cluster (trailing clusters empty).
+    result.assignments.resize(n);
+    result.centroids.assign(config.k, std::vector<double>(dim, 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      result.assignments[i] = static_cast<uint32_t>(i);
+      result.centroids[i] = rows[i];
+    }
+    result.inertia = 0.0;
+    return result;
+  }
+
+  result.centroids = SeedPlusPlus(rows, config.k, &rng);
+  result.assignments.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      uint32_t best_c = 0;
+      for (size_t c = 0; c < config.k; ++c) {
+        double d = SquaredL2(rows[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(config.k,
+                                          std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(config.k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t c = result.assignments[i];
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += rows[i][d];
+    }
+    for (size_t c = 0; c < config.k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from the point farthest from its
+        // current centroid (a standard fix that keeps k live clusters).
+        size_t far = 0;
+        double far_d = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          double d =
+              SquaredL2(rows[i], result.centroids[result.assignments[i]]);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        result.centroids[c] = rows[far];
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] =
+            sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+
+    if (!changed) break;
+    if (prev_inertia < std::numeric_limits<double>::max() &&
+        prev_inertia > 0.0 &&
+        (prev_inertia - inertia) / prev_inertia < config.tolerance) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace zombie

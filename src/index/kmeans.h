@@ -1,0 +1,41 @@
+#ifndef ZOMBIE_INDEX_KMEANS_H_
+#define ZOMBIE_INDEX_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace zombie {
+
+class Rng;
+
+/// Configuration for Lloyd's k-means with k-means++ seeding.
+struct KMeansConfig {
+  size_t k = 16;
+  size_t max_iterations = 25;
+  /// Stop when no assignment changes (always checked) or when the relative
+  /// inertia improvement falls below this threshold.
+  double tolerance = 1e-4;
+  uint64_t seed = 7;
+};
+
+/// Result of one clustering run.
+struct KMeansResult {
+  std::vector<uint32_t> assignments;            // per row: cluster id < k
+  std::vector<std::vector<double>> centroids;   // k rows (possibly empty cluster)
+  double inertia = 0.0;                          // sum of squared distances
+  size_t iterations = 0;
+};
+
+/// Clusters dense rows (all the same dimension) into `k` groups. If k >=
+/// #rows, each row gets its own cluster. Empty clusters are re-seeded from
+/// the point farthest from its centroid. Deterministic given config.seed.
+KMeansResult RunKMeans(const std::vector<std::vector<double>>& rows,
+                       const KMeansConfig& config);
+
+/// Squared Euclidean distance between equal-length dense vectors.
+double SquaredL2(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_INDEX_KMEANS_H_

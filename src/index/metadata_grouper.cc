@@ -1,0 +1,51 @@
+#include "index/metadata_grouper.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+MetadataGrouper::MetadataGrouper(size_t max_groups)
+    : max_groups_(max_groups) {
+  ZCHECK_GE(max_groups, 1u);
+}
+
+GroupingResult MetadataGrouper::Group(const Corpus& corpus) {
+  Stopwatch watch;
+  GroupingResult result;
+  result.method = name();
+  if (corpus.empty()) {
+    result.build_wall_micros = watch.ElapsedMicros();
+    return result;
+  }
+  size_t domains = std::max<size_t>(corpus.num_domains(), 1);
+  size_t k = std::min(max_groups_, domains);
+  result.groups.resize(k);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    uint32_t domain = corpus.doc(i).domain;
+    size_t g = domains <= k
+                   ? domain % k
+                   : static_cast<size_t>(HashCombine(domain, 0x4D455441ULL) % k);
+    result.groups[g].push_back(static_cast<uint32_t>(i));
+  }
+  // Drop empty groups (unused domains).
+  result.groups.erase(
+      std::remove_if(result.groups.begin(), result.groups.end(),
+                     [](const auto& g) { return g.empty(); }),
+      result.groups.end());
+  // Metadata reads are free relative to extraction.
+  result.build_virtual_micros = 0;
+  result.build_wall_micros = watch.ElapsedMicros();
+  return result;
+}
+
+std::string MetadataGrouper::name() const {
+  return StrFormat("metadata%zu", max_groups_);
+}
+
+}  // namespace zombie

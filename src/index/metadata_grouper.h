@@ -1,0 +1,27 @@
+#ifndef ZOMBIE_INDEX_METADATA_GROUPER_H_
+#define ZOMBIE_INDEX_METADATA_GROUPER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "index/grouper.h"
+
+namespace zombie {
+
+/// Groups documents by metadata (the domain / hostname field) without
+/// reading content at all — the cheapest possible index. When more domains
+/// exist than `max_groups`, domains are folded together by hash.
+class MetadataGrouper : public Grouper {
+ public:
+  explicit MetadataGrouper(size_t max_groups = 64);
+
+  GroupingResult Group(const Corpus& corpus) override;
+  std::string name() const override;
+
+ private:
+  size_t max_groups_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_INDEX_METADATA_GROUPER_H_

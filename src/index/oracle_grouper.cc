@@ -1,0 +1,49 @@
+#include "index/oracle_grouper.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace zombie {
+
+OracleGrouper::OracleGrouper(OracleMode mode) : mode_(mode) {}
+
+GroupingResult OracleGrouper::Group(const Corpus& corpus) {
+  Stopwatch watch;
+  GroupingResult result;
+  result.method = name();
+  if (corpus.empty()) {
+    result.build_wall_micros = watch.ElapsedMicros();
+    return result;
+  }
+  if (mode_ == OracleMode::kLabel) {
+    result.groups.resize(2);
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      size_t g = corpus.doc(i).label == 1 ? 1 : 0;
+      result.groups[g].push_back(static_cast<uint32_t>(i));
+    }
+  } else {
+    uint32_t max_topic = 0;
+    for (const auto& d : corpus.documents()) {
+      max_topic = std::max(max_topic, d.topic);
+    }
+    result.groups.resize(max_topic + 1);
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      result.groups[corpus.doc(i).topic].push_back(static_cast<uint32_t>(i));
+    }
+  }
+  result.groups.erase(
+      std::remove_if(result.groups.begin(), result.groups.end(),
+                     [](const auto& g) { return g.empty(); }),
+      result.groups.end());
+  result.build_virtual_micros = 0;  // an oracle is free, and fictional
+  result.build_wall_micros = watch.ElapsedMicros();
+  return result;
+}
+
+std::string OracleGrouper::name() const {
+  return mode_ == OracleMode::kLabel ? "oracle-label" : "oracle-topic";
+}
+
+}  // namespace zombie

@@ -1,0 +1,36 @@
+#ifndef ZOMBIE_INDEX_ORACLE_GROUPER_H_
+#define ZOMBIE_INDEX_ORACLE_GROUPER_H_
+
+#include <string>
+
+#include "index/grouper.h"
+
+namespace zombie {
+
+/// What hidden ground truth the oracle groups by.
+enum class OracleMode {
+  /// Two groups: positives and negatives. The tightest possible upper
+  /// bound on what any grouping can achieve.
+  kLabel,
+  /// One group per latent topic; slightly weaker but closer to what a
+  /// perfect content clustering could realistically reach.
+  kTopic,
+};
+
+/// Cheating grouper that reads the generator's hidden fields. Never valid
+/// as a real system component — it exists to bound the headroom of input
+/// selection in E5 ("how much of the oracle gap does k-means close?").
+class OracleGrouper : public Grouper {
+ public:
+  explicit OracleGrouper(OracleMode mode = OracleMode::kLabel);
+
+  GroupingResult Group(const Corpus& corpus) override;
+  std::string name() const override;
+
+ private:
+  OracleMode mode_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_INDEX_ORACLE_GROUPER_H_

@@ -1,0 +1,41 @@
+#include "index/random_grouper.h"
+
+#include <vector>
+
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+RandomGrouper::RandomGrouper(size_t num_groups, uint64_t seed)
+    : num_groups_(num_groups), seed_(seed) {
+  ZCHECK_GE(num_groups, 1u);
+}
+
+GroupingResult RandomGrouper::Group(const Corpus& corpus) {
+  Stopwatch watch;
+  Rng rng(seed_);
+  std::vector<uint32_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+  rng.Shuffle(&order);
+
+  GroupingResult result;
+  result.method = name();
+  size_t k = std::min(num_groups_, std::max<size_t>(corpus.size(), 1));
+  result.groups.resize(k);
+  for (size_t i = 0; i < order.size(); ++i) {
+    result.groups[i % k].push_back(order[i]);
+  }
+  // No raw-data reads: random grouping only touches ids.
+  result.build_virtual_micros = 0;
+  result.build_wall_micros = watch.ElapsedMicros();
+  return result;
+}
+
+std::string RandomGrouper::name() const {
+  return StrFormat("random%zu", num_groups_);
+}
+
+}  // namespace zombie

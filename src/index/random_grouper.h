@@ -1,0 +1,28 @@
+#ifndef ZOMBIE_INDEX_RANDOM_GROUPER_H_
+#define ZOMBIE_INDEX_RANDOM_GROUPER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "index/grouper.h"
+
+namespace zombie {
+
+/// Uniform random partition into `num_groups` near-equal groups. Carries
+/// no usefulness signal by construction — the control grouper: Zombie over
+/// random groups should degrade to random scanning.
+class RandomGrouper : public Grouper {
+ public:
+  RandomGrouper(size_t num_groups, uint64_t seed);
+
+  GroupingResult Group(const Corpus& corpus) override;
+  std::string name() const override;
+
+ private:
+  size_t num_groups_;
+  uint64_t seed_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_INDEX_RANDOM_GROUPER_H_

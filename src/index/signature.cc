@@ -1,0 +1,97 @@
+#include "index/signature.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace zombie {
+
+std::vector<double> ComputeSignature(const Document& doc,
+                                     const SignatureConfig& config,
+                                     const std::vector<double>* idf) {
+  ZCHECK_GT(config.dimensions, 0u);
+  // Layout: [hashed token weights | length bucket | domain hash] — the two
+  // scalar channels live in the last dims when enabled.
+  uint32_t extra = (config.include_length ? 1 : 0) +
+                   (config.include_domain ? 1 : 0);
+  ZCHECK_GT(config.dimensions, extra);
+  uint32_t token_dims = config.dimensions - extra;
+
+  std::vector<double> sig(config.dimensions, 0.0);
+  size_t limit = std::min(config.max_tokens, doc.tokens.size());
+  for (size_t i = 0; i < limit; ++i) {
+    uint32_t tok = doc.tokens[i];
+    double w = 1.0;
+    if (idf != nullptr && tok < idf->size()) w = (*idf)[tok];
+    uint64_t h = HashCombine(tok, config.salt);
+    sig[h % token_dims] += w;
+  }
+  if (config.l2_normalize) {
+    double norm_sq = 0.0;
+    for (uint32_t i = 0; i < token_dims; ++i) norm_sq += sig[i] * sig[i];
+    if (norm_sq > 0.0) {
+      double inv = 1.0 / std::sqrt(norm_sq);
+      for (uint32_t i = 0; i < token_dims; ++i) sig[i] *= inv;
+    }
+  }
+  uint32_t next = token_dims;
+  if (config.include_length) {
+    // Log-length, scaled to roughly [0, 1] for typical pages.
+    sig[next++] =
+        std::log2(static_cast<double>(doc.tokens.size()) + 1.0) / 16.0;
+  }
+  if (config.include_domain) {
+    uint64_t h = HashCombine(doc.domain, config.salt ^ 0xD0D0ULL);
+    // A scalar domain fingerprint in [0, 1): identical domains coincide,
+    // different domains usually differ — enough for k-means to exploit.
+    sig[next++] = static_cast<double>(h % 4096) / 4096.0;
+  }
+  return sig;
+}
+
+SignatureMatrix ComputeSignatures(const Corpus& corpus,
+                                  const SignatureConfig& config) {
+  SignatureMatrix m;
+  m.rows.reserve(corpus.size());
+  double virtual_cost = 0.0;
+
+  // Optional first pass: document frequencies over the signature prefix.
+  std::vector<double> idf;
+  if (config.use_idf && !corpus.empty()) {
+    std::vector<uint32_t> df(corpus.vocabulary().size(), 0);
+    std::vector<uint32_t> scratch;
+    for (const Document& doc : corpus.documents()) {
+      size_t limit = std::min(config.max_tokens, doc.tokens.size());
+      scratch.assign(doc.tokens.begin(),
+                     doc.tokens.begin() + static_cast<ptrdiff_t>(limit));
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      for (uint32_t tok : scratch) {
+        if (tok < df.size()) ++df[tok];
+      }
+    }
+    double n = static_cast<double>(corpus.size());
+    idf.resize(df.size());
+    for (size_t t = 0; t < df.size(); ++t) {
+      idf[t] = std::log((1.0 + n) / (1.0 + static_cast<double>(df[t])));
+    }
+    // The DF pass re-reads the prefixes; charge it like a second scan.
+    virtual_cost = 0.0;  // accumulated below per document, doubled
+  }
+
+  const std::vector<double>* idf_ptr =
+      (config.use_idf && !idf.empty()) ? &idf : nullptr;
+  double passes = config.use_idf ? 2.0 : 1.0;
+  for (const Document& doc : corpus.documents()) {
+    m.rows.push_back(ComputeSignature(doc, config, idf_ptr));
+    virtual_cost += passes * config.cost_fraction *
+                    static_cast<double>(doc.extraction_cost_micros);
+  }
+  m.virtual_cost_micros = static_cast<int64_t>(virtual_cost);
+  return m;
+}
+
+}  // namespace zombie

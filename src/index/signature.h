@@ -1,0 +1,54 @@
+#ifndef ZOMBIE_INDEX_SIGNATURE_H_
+#define ZOMBIE_INDEX_SIGNATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/document.h"
+
+namespace zombie {
+
+/// Knobs for the cheap per-item signature used by content-based groupers.
+///
+/// Index construction must cost far less than full feature extraction for
+/// Zombie's offline indexing to amortize: the signature therefore reads only
+/// a *prefix* of each document's tokens and hashes them into a small dense
+/// vector. `cost_fraction` is the modeled virtual cost of computing one
+/// signature relative to fully extracting the item; it is charged to the
+/// one-time index-construction budget reported by E8.
+struct SignatureConfig {
+  uint32_t dimensions = 128;
+  size_t max_tokens = 200;
+  bool include_length = true;
+  bool include_domain = true;
+  bool l2_normalize = true;
+  /// Weight each token by its inverse document frequency before hashing
+  /// (computed in a first pass over the corpus). Without it, the Zipf head
+  /// of the common vocabulary drowns the topical signal and k-means
+  /// clusters on noise; with it, clusters track topics.
+  bool use_idf = true;
+  double cost_fraction = 0.05;
+  uint64_t salt = 0x516E4A7572ULL;
+};
+
+/// Dense signature of one document under `config`. `idf` supplies the
+/// per-token-id weights when config.use_idf is set (pass nullptr or an
+/// empty vector for unweighted hashing).
+std::vector<double> ComputeSignature(const Document& doc,
+                                     const SignatureConfig& config,
+                                     const std::vector<double>* idf = nullptr);
+
+/// Signatures for every document, plus the modeled virtual cost of the
+/// scan (sum of cost_fraction * per-item extraction cost).
+struct SignatureMatrix {
+  std::vector<std::vector<double>> rows;
+  int64_t virtual_cost_micros = 0;
+};
+
+SignatureMatrix ComputeSignatures(const Corpus& corpus,
+                                  const SignatureConfig& config);
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_INDEX_SIGNATURE_H_

@@ -1,0 +1,49 @@
+#ifndef ZOMBIE_INDEX_TOKEN_GROUPER_H_
+#define ZOMBIE_INDEX_TOKEN_GROUPER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/grouper.h"
+
+namespace zombie {
+
+/// Inverted-index grouping: one group per selected vocabulary token, each
+/// containing the documents mentioning it, plus a catch-all group for
+/// uncovered documents. Groups overlap (a document mentioning two selected
+/// tokens is in both); the GroupedCorpus dedups at selection time.
+///
+/// Token selection is label-free: mid-document-frequency tokens (too rare
+/// carries no mass, too frequent carries no signal), ranked rarest-first
+/// within the band. For mention-style tasks (T2) the entity tokens land in
+/// this band, so one arm nearly isolates the positives.
+struct TokenGrouperOptions {
+  /// Maximum number of token groups (excluding the catch-all).
+  size_t max_groups = 63;
+  /// Document-frequency band, as fractions of corpus size.
+  double min_df_fraction = 0.002;
+  double max_df_fraction = 0.20;
+  /// Vocabulary terms the engineer seeds the index with (task hints, e.g.
+  /// entity names). Resolved against the corpus vocabulary at Group time;
+  /// unknown terms are ignored. Seeded terms always get a group and do not
+  /// count against max_groups' DF-band selection order.
+  std::vector<std::string> seed_terms;
+};
+
+class TokenGrouper : public Grouper {
+ public:
+  explicit TokenGrouper(TokenGrouperOptions options = {});
+
+  GroupingResult Group(const Corpus& corpus) override;
+  std::string name() const override { return "token"; }
+
+  const TokenGrouperOptions& options() const { return options_; }
+
+ private:
+  TokenGrouperOptions options_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_INDEX_TOKEN_GROUPER_H_

@@ -1,0 +1,58 @@
+#include "ml/dataset.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace zombie {
+
+size_t Dataset::num_positive() const {
+  size_t n = 0;
+  for (const auto& e : examples_) {
+    if (e.y == 1) ++n;
+  }
+  return n;
+}
+
+double Dataset::positive_fraction() const {
+  if (examples_.empty()) return 0.0;
+  return static_cast<double>(num_positive()) /
+         static_cast<double>(examples_.size());
+}
+
+void Dataset::Shuffle(Rng* rng) { rng->Shuffle(&examples_); }
+
+std::pair<Dataset, Dataset> Dataset::SplitTrainTest(double test_fraction,
+                                                    Rng* rng) const {
+  ZCHECK_GE(test_fraction, 0.0);
+  ZCHECK_LE(test_fraction, 1.0);
+  std::vector<size_t> order(examples_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  size_t test_size =
+      static_cast<size_t>(test_fraction * static_cast<double>(order.size()));
+  Dataset train;
+  Dataset test;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Example& e = examples_[order[i]];
+    if (i < test_size) {
+      test.Add(e);
+    } else {
+      train.Add(e);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+std::vector<Dataset> Dataset::SplitFolds(size_t k, Rng* rng) const {
+  ZCHECK_GE(k, 1u);
+  std::vector<size_t> order(examples_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  std::vector<Dataset> folds(k);
+  for (size_t i = 0; i < order.size(); ++i) {
+    folds[i % k].Add(examples_[order[i]]);
+  }
+  return folds;
+}
+
+}  // namespace zombie

@@ -1,0 +1,59 @@
+#ifndef ZOMBIE_ML_DATASET_H_
+#define ZOMBIE_ML_DATASET_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ml/sparse_vector.h"
+
+namespace zombie {
+
+class Rng;
+
+/// One labeled training/evaluation example.
+struct Example {
+  SparseVector x;
+  int32_t y = 0;
+};
+
+/// A flat collection of labeled examples.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  void Add(SparseVector x, int32_t y) {
+    examples_.push_back(Example{std::move(x), y});
+  }
+  void Add(Example e) { examples_.push_back(std::move(e)); }
+
+  size_t size() const { return examples_.size(); }
+  bool empty() const { return examples_.empty(); }
+
+  const Example& example(size_t i) const { return examples_[i]; }
+  const std::vector<Example>& examples() const { return examples_; }
+
+  /// Number of examples with y == 1.
+  size_t num_positive() const;
+
+  /// Fraction of examples with y == 1 (0 for an empty set).
+  double positive_fraction() const;
+
+  /// Shuffles example order in place.
+  void Shuffle(Rng* rng);
+
+  /// Splits into train/test: the first `test_fraction` of a shuffled copy
+  /// goes to test. Deterministic given the rng.
+  std::pair<Dataset, Dataset> SplitTrainTest(double test_fraction,
+                                             Rng* rng) const;
+
+  /// Splits into k folds of near-equal size (for cross-validation).
+  std::vector<Dataset> SplitFolds(size_t k, Rng* rng) const;
+
+ private:
+  std::vector<Example> examples_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_ML_DATASET_H_

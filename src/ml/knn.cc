@@ -1,0 +1,42 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace zombie {
+
+KnnLearner::KnnLearner(size_t k) : k_(k) { ZCHECK_GE(k, 1u); }
+
+void KnnLearner::Update(const SparseVector& x, int32_t y) {
+  ZCHECK(y == 0 || y == 1) << "binary labels required, got " << y;
+  memory_.push_back(Example{x, y});
+}
+
+double KnnLearner::Score(const SparseVector& x) const {
+  if (memory_.empty()) return 0.0;
+  // (similarity, label) for all memorized examples; take the top k.
+  std::vector<std::pair<double, int32_t>> sims;
+  sims.reserve(memory_.size());
+  for (const Example& e : memory_) {
+    sims.emplace_back(x.CosineSimilarity(e.x), e.y);
+  }
+  size_t k = std::min(k_, sims.size());
+  std::partial_sort(
+      sims.begin(), sims.begin() + static_cast<ptrdiff_t>(k), sims.end(),
+      [](const auto& a, const auto& b) { return a.first > b.first; });
+  double score = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    double w = std::max(sims[i].first, 0.0);
+    score += sims[i].second == 1 ? w : -w;
+  }
+  return score / static_cast<double>(k);
+}
+
+void KnnLearner::Reset() { memory_.clear(); }
+
+std::unique_ptr<Learner> KnnLearner::Clone() const {
+  return std::make_unique<KnnLearner>(k_);
+}
+
+}  // namespace zombie

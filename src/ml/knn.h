@@ -1,0 +1,40 @@
+#ifndef ZOMBIE_ML_KNN_H_
+#define ZOMBIE_ML_KNN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/learner.h"
+
+namespace zombie {
+
+/// k-nearest-neighbor classifier over cosine similarity. Update() just
+/// memorizes; Score() is a linear scan, so this learner is intended for
+/// small training sets (tests, the custom_feature example) — not for the
+/// inner loop at scale.
+class KnnLearner : public Learner {
+ public:
+  explicit KnnLearner(size_t k = 5);
+
+  void Update(const SparseVector& x, int32_t y) override;
+  /// Score is in [-1, 1]: (positive neighbors - negative neighbors) / k,
+  /// similarity-weighted.
+  double Score(const SparseVector& x) const override;
+  void Reset() override;
+  std::unique_ptr<Learner> Clone() const override;
+  std::string name() const override { return "knn"; }
+  size_t num_updates() const override { return memory_.size(); }
+
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+  std::vector<Example> memory_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_ML_KNN_H_

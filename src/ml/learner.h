@@ -1,0 +1,58 @@
+#ifndef ZOMBIE_ML_LEARNER_H_
+#define ZOMBIE_ML_LEARNER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ml/sparse_vector.h"
+
+namespace zombie {
+
+/// Binary online learner interface. Labels are 0/1.
+///
+/// The Zombie inner loop feeds one example at a time via Update(); the
+/// quality estimator calls Score()/Predict() on the holdout. Batch training
+/// is expressed as repeated Update() passes (see Evaluator::TrainEpochs).
+class Learner {
+ public:
+  virtual ~Learner() = default;
+
+  /// Consumes one labeled example (y in {0, 1}).
+  virtual void Update(const SparseVector& x, int32_t y) = 0;
+
+  /// Decision value; > 0 means class 1. Magnitude reflects confidence for
+  /// margin-based learners, a log-odds ratio for probabilistic ones. An
+  /// exact 0 (e.g. an untrained model) classifies as the negative class so
+  /// that a blank model does not spuriously "recall" every positive.
+  virtual double Score(const SparseVector& x) const = 0;
+
+  /// Hard prediction in {0, 1}. Default thresholds Score at zero
+  /// (ties negative).
+  virtual int32_t Predict(const SparseVector& x) const {
+    return Score(x) > 0.0 ? 1 : 0;
+  }
+
+  /// P(y == 1 | x) in [0, 1]. Default squashes Score through a logistic;
+  /// learners with calibrated probabilities override.
+  virtual double PredictProbability(const SparseVector& x) const {
+    return 1.0 / (1.0 + std::exp(-Score(x)));
+  }
+
+  /// Forgets all training state.
+  virtual void Reset() = 0;
+
+  /// Fresh, untrained copy with identical hyperparameters.
+  virtual std::unique_ptr<Learner> Clone() const = 0;
+
+  /// Short identifier for tables ("nb", "logreg", ...).
+  virtual std::string name() const = 0;
+
+  /// Number of Update() calls since construction/Reset.
+  virtual size_t num_updates() const = 0;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_ML_LEARNER_H_

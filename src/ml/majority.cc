@@ -1,0 +1,26 @@
+#include "ml/majority.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace zombie {
+
+void MajorityClassLearner::Update(const SparseVector& /*x*/, int32_t y) {
+  ZCHECK(y == 0 || y == 1) << "binary labels required, got " << y;
+  ++count_[y];
+}
+
+double MajorityClassLearner::Score(const SparseVector& /*x*/) const {
+  double p1 = (static_cast<double>(count_[1]) + 1.0) /
+              (static_cast<double>(count_[0] + count_[1]) + 2.0);
+  return std::log(p1 / (1.0 - p1));
+}
+
+void MajorityClassLearner::Reset() { count_[0] = count_[1] = 0; }
+
+std::unique_ptr<Learner> MajorityClassLearner::Clone() const {
+  return std::make_unique<MajorityClassLearner>();
+}
+
+}  // namespace zombie

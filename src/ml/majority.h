@@ -1,0 +1,32 @@
+#ifndef ZOMBIE_ML_MAJORITY_H_
+#define ZOMBIE_ML_MAJORITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ml/learner.h"
+
+namespace zombie {
+
+/// Predicts the majority class seen so far, ignoring features. Baseline for
+/// sanity checks: any real learner must beat it on a learnable task.
+class MajorityClassLearner : public Learner {
+ public:
+  MajorityClassLearner() = default;
+
+  void Update(const SparseVector& x, int32_t y) override;
+  /// Score is the smoothed log-odds of the empirical class balance.
+  double Score(const SparseVector& x) const override;
+  void Reset() override;
+  std::unique_ptr<Learner> Clone() const override;
+  std::string name() const override { return "majority"; }
+  size_t num_updates() const override { return count_[0] + count_[1]; }
+
+ private:
+  size_t count_[2] = {0, 0};
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_ML_MAJORITY_H_

@@ -1,0 +1,55 @@
+#ifndef ZOMBIE_ML_NAIVE_BAYES_H_
+#define ZOMBIE_ML_NAIVE_BAYES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/learner.h"
+
+namespace zombie {
+
+/// Multinomial naive Bayes with Laplace smoothing, trained incrementally.
+///
+/// This is the default Zombie inner-loop learner: a single Update() costs
+/// O(nnz) and the model is exact for the data seen so far (no epochs),
+/// which is exactly what a one-item-at-a-time input selection loop wants.
+/// Real-valued features are treated as fractional counts; negative feature
+/// values are clamped to zero (multinomial NB is count-based).
+class NaiveBayesLearner : public Learner {
+ public:
+  /// `alpha` is the Laplace smoothing pseudo-count (> 0). The default is
+  /// small because the feature pipeline L2-normalizes: per-feature masses
+  /// are fractions, and a large alpha would drown them for thousands of
+  /// updates.
+  explicit NaiveBayesLearner(double alpha = 0.1);
+
+  void Update(const SparseVector& x, int32_t y) override;
+  double Score(const SparseVector& x) const override;
+  double PredictProbability(const SparseVector& x) const override;
+  void Reset() override;
+  std::unique_ptr<Learner> Clone() const override;
+  std::string name() const override { return "nb"; }
+  size_t num_updates() const override { return num_updates_; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  // Log P(y=1|x) - log P(y=0|x) with smoothing over the currently observed
+  // feature dimensionality.
+  double LogOdds(const SparseVector& x) const;
+
+  double alpha_;
+  size_t num_updates_ = 0;
+  // Per-class document counts and per-class total token mass.
+  double class_count_[2] = {0.0, 0.0};
+  double token_total_[2] = {0.0, 0.0};
+  // Per-class per-feature token mass; grown on demand.
+  std::vector<double> token_count_[2];
+  uint32_t dimension_ = 0;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_ML_NAIVE_BAYES_H_

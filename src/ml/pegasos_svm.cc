@@ -1,0 +1,58 @@
+#include "ml/pegasos_svm.h"
+
+#include "util/logging.h"
+
+namespace zombie {
+
+PegasosSvmLearner::PegasosSvmLearner(PegasosOptions options)
+    : options_(options) {
+  ZCHECK_GT(options.lambda, 0.0);
+}
+
+double PegasosSvmLearner::Score(const SparseVector& x) const {
+  return scale_ * x.Dot(weights_) + bias_;
+}
+
+void PegasosSvmLearner::Rescale() {
+  if (scale_ > 1e-9) return;
+  for (double& w : weights_) w *= scale_;
+  scale_ = 1.0;
+}
+
+void PegasosSvmLearner::Update(const SparseVector& x, int32_t y) {
+  ZCHECK(y == 0 || y == 1) << "binary labels required, got " << y;
+  ++num_updates_;
+  // t+1 avoids the degenerate first step where (1 - eta*lambda) would be 0.
+  double t = static_cast<double>(num_updates_) + 1.0;
+  double eta = 1.0 / (options_.lambda * t);
+  double yy = y == 1 ? 1.0 : -1.0;
+
+  double margin = yy * Score(x);
+
+  // w <- (1 - eta*lambda) w  [+ eta*y*x when the margin is violated].
+  scale_ *= (1.0 - eta * options_.lambda);
+  if (scale_ <= 0.0) scale_ = 1e-12;
+  Rescale();
+
+  if (margin < 1.0) {
+    if (weights_.size() < x.dimension()) weights_.resize(x.dimension(), 0.0);
+    double step = eta * yy / scale_;
+    for (size_t i = 0; i < x.num_nonzero(); ++i) {
+      weights_[x.index_at(i)] += step * x.value_at(i);
+    }
+    bias_ += eta * yy;
+  }
+}
+
+void PegasosSvmLearner::Reset() {
+  weights_.clear();
+  scale_ = 1.0;
+  bias_ = 0.0;
+  num_updates_ = 0;
+}
+
+std::unique_ptr<Learner> PegasosSvmLearner::Clone() const {
+  return std::make_unique<PegasosSvmLearner>(options_);
+}
+
+}  // namespace zombie

@@ -1,0 +1,45 @@
+#ifndef ZOMBIE_ML_PEGASOS_SVM_H_
+#define ZOMBIE_ML_PEGASOS_SVM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/learner.h"
+
+namespace zombie {
+
+/// Hyperparameters for the Pegasos linear SVM.
+struct PegasosOptions {
+  /// Regularization strength; the Pegasos step size is 1 / (lambda * t).
+  double lambda = 1e-4;
+};
+
+/// Linear SVM trained with the Pegasos stochastic subgradient method
+/// (Shalev-Shwartz et al.). Uses the weight-scaling trick so each Update()
+/// is O(nnz). Scores are unnormalized margins.
+class PegasosSvmLearner : public Learner {
+ public:
+  explicit PegasosSvmLearner(PegasosOptions options = {});
+
+  void Update(const SparseVector& x, int32_t y) override;
+  double Score(const SparseVector& x) const override;
+  void Reset() override;
+  std::unique_ptr<Learner> Clone() const override;
+  std::string name() const override { return "svm"; }
+  size_t num_updates() const override { return num_updates_; }
+
+ private:
+  void Rescale();
+
+  PegasosOptions options_;
+  std::vector<double> weights_;
+  double scale_ = 1.0;
+  double bias_ = 0.0;
+  size_t num_updates_ = 0;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_ML_PEGASOS_SVM_H_

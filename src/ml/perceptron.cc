@@ -1,0 +1,54 @@
+#include "ml/perceptron.h"
+
+#include "util/logging.h"
+
+namespace zombie {
+
+void AveragedPerceptronLearner::Update(const SparseVector& x, int32_t y) {
+  ZCHECK(y == 0 || y == 1) << "binary labels required, got " << y;
+  ++num_updates_;
+  double t = static_cast<double>(num_updates_);
+  // Perceptron convention: labels in {-1, +1}.
+  double yy = y == 1 ? 1.0 : -1.0;
+  double margin = x.Dot(weights_) + bias_;
+  if (yy * margin > 0.0) return;  // correct: no update
+
+  ++num_mistakes_;
+  if (weights_.size() < x.dimension()) {
+    weights_.resize(x.dimension(), 0.0);
+    cum_weights_.resize(x.dimension(), 0.0);
+  }
+  for (size_t i = 0; i < x.num_nonzero(); ++i) {
+    uint32_t idx = x.index_at(i);
+    double delta = yy * x.value_at(i);
+    weights_[idx] += delta;
+    cum_weights_[idx] += t * delta;  // step-stamped for lazy averaging
+  }
+  bias_ += yy;
+  cum_bias_ += t * yy;
+}
+
+double AveragedPerceptronLearner::Score(const SparseVector& x) const {
+  if (num_updates_ == 0) return 0.0;
+  double t = static_cast<double>(num_updates_);
+  // avg_w = w - cum_w / t; compute the dot products separately to avoid
+  // materializing the averaged vector per call.
+  double s = x.Dot(weights_) + bias_;
+  double cum = x.Dot(cum_weights_) + cum_bias_;
+  return s - cum / t;
+}
+
+void AveragedPerceptronLearner::Reset() {
+  weights_.clear();
+  cum_weights_.clear();
+  bias_ = 0.0;
+  cum_bias_ = 0.0;
+  num_updates_ = 0;
+  num_mistakes_ = 0;
+}
+
+std::unique_ptr<Learner> AveragedPerceptronLearner::Clone() const {
+  return std::make_unique<AveragedPerceptronLearner>();
+}
+
+}  // namespace zombie

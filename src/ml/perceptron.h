@@ -1,0 +1,42 @@
+#ifndef ZOMBIE_ML_PERCEPTRON_H_
+#define ZOMBIE_ML_PERCEPTRON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/learner.h"
+
+namespace zombie {
+
+/// Averaged perceptron. Updates only on mistakes; Score() uses the running
+/// average of all intermediate weight vectors (computed lazily with the
+/// standard two-vector trick), which is far more stable than the last
+/// iterate for a stream of examples.
+class AveragedPerceptronLearner : public Learner {
+ public:
+  AveragedPerceptronLearner() = default;
+
+  void Update(const SparseVector& x, int32_t y) override;
+  double Score(const SparseVector& x) const override;
+  void Reset() override;
+  std::unique_ptr<Learner> Clone() const override;
+  std::string name() const override { return "perceptron"; }
+  size_t num_updates() const override { return num_updates_; }
+
+  size_t num_mistakes() const { return num_mistakes_; }
+
+ private:
+  // Averaged weight = weights_ - cum_weights_ / t  (same for bias).
+  std::vector<double> weights_;
+  std::vector<double> cum_weights_;  // sum over steps of step-stamped updates
+  double bias_ = 0.0;
+  double cum_bias_ = 0.0;
+  size_t num_updates_ = 0;
+  size_t num_mistakes_ = 0;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_ML_PERCEPTRON_H_

@@ -1,0 +1,80 @@
+#ifndef ZOMBIE_ML_SPARSE_VECTOR_H_
+#define ZOMBIE_ML_SPARSE_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zombie {
+
+/// Immutable-ish sparse feature vector: parallel (index, value) arrays kept
+/// sorted by index with no duplicates and no explicit zeros. This is the
+/// feature representation flowing from the feature pipeline into learners.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Builds from possibly unsorted/duplicated pairs; duplicates are summed
+  /// and zero-valued entries dropped.
+  static SparseVector FromPairs(
+      std::vector<std::pair<uint32_t, double>> pairs);
+
+  /// Appends an entry; index must be strictly greater than the last index
+  /// (checked). Fast path for already-ordered construction.
+  void PushBack(uint32_t index, double value);
+
+  size_t num_nonzero() const { return indices_.size(); }
+  bool empty() const { return indices_.empty(); }
+
+  const std::vector<uint32_t>& indices() const { return indices_; }
+  const std::vector<double>& values() const { return values_; }
+
+  uint32_t index_at(size_t i) const { return indices_[i]; }
+  double value_at(size_t i) const { return values_[i]; }
+
+  /// Largest index + 1, or 0 when empty.
+  uint32_t dimension() const {
+    return indices_.empty() ? 0 : indices_.back() + 1;
+  }
+
+  /// Value at a feature index (0.0 if absent); binary search.
+  double Get(uint32_t index) const;
+
+  /// Dot product against a dense weight vector; indices beyond the dense
+  /// size contribute zero.
+  double Dot(const std::vector<double>& dense) const;
+
+  /// Dot product with another sparse vector (merge join).
+  double Dot(const SparseVector& other) const;
+
+  /// dense[i] += scale * this[i]; grows `dense` as needed.
+  void AddScaledTo(double scale, std::vector<double>* dense) const;
+
+  /// Multiplies all values in place.
+  void Scale(double factor);
+
+  double L2Norm() const;
+  double L1Norm() const;
+
+  /// Squared Euclidean distance to another sparse vector.
+  double SquaredDistance(const SparseVector& other) const;
+
+  /// Cosine similarity in [-1, 1]; 0 if either vector is empty/zero.
+  double CosineSimilarity(const SparseVector& other) const;
+
+  bool operator==(const SparseVector& other) const {
+    return indices_ == other.indices_ && values_ == other.values_;
+  }
+
+  /// Debug rendering like "{3:1.0, 17:0.5}".
+  std::string ToString() const;
+
+ private:
+  std::vector<uint32_t> indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_ML_SPARSE_VECTOR_H_

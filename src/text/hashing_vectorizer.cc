@@ -1,0 +1,49 @@
+#include "text/hashing_vectorizer.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace zombie {
+
+HashingVectorizer::HashingVectorizer(uint32_t dimension, bool signed_hash,
+                                     uint64_t salt)
+    : dimension_(dimension), signed_hash_(signed_hash), salt_(salt) {
+  ZCHECK_GT(dimension, 0u);
+}
+
+uint32_t HashingVectorizer::IndexOf(const std::string& token) const {
+  uint64_t h = HashCombine(HashBytes(token.data(), token.size()), salt_);
+  return static_cast<uint32_t>(h % dimension_);
+}
+
+TermCounts HashingVectorizer::Transform(
+    const std::vector<std::string>& tokens) const {
+  TermCounts counts;
+  counts.reserve(tokens.size());
+  for (const auto& tok : tokens) {
+    uint64_t h = HashCombine(HashBytes(tok.data(), tok.size()), salt_);
+    uint32_t idx = static_cast<uint32_t>(h % dimension_);
+    double sign = 1.0;
+    if (signed_hash_ && ((h >> 32) & 1) != 0) sign = -1.0;
+    counts.emplace_back(idx, sign);
+  }
+  NormalizeTermCounts(&counts);
+  return counts;
+}
+
+TermCounts HashingVectorizer::TransformIds(
+    const std::vector<uint32_t>& token_ids) const {
+  TermCounts counts;
+  counts.reserve(token_ids.size());
+  for (uint32_t id : token_ids) {
+    uint64_t h = HashCombine(id, salt_);
+    uint32_t idx = static_cast<uint32_t>(h % dimension_);
+    double sign = 1.0;
+    if (signed_hash_ && ((h >> 32) & 1) != 0) sign = -1.0;
+    counts.emplace_back(idx, sign);
+  }
+  NormalizeTermCounts(&counts);
+  return counts;
+}
+
+}  // namespace zombie

@@ -1,0 +1,42 @@
+#ifndef ZOMBIE_TEXT_HASHING_VECTORIZER_H_
+#define ZOMBIE_TEXT_HASHING_VECTORIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/term_counts.h"
+
+namespace zombie {
+
+/// Feature hashing ("hashing trick"): maps arbitrary token strings into a
+/// fixed-dimension sparse count vector without a vocabulary. Collisions are
+/// tolerated by design; a sign hash optionally debiases them.
+class HashingVectorizer {
+ public:
+  /// `dimension` must be positive; powers of two hash fastest but any value
+  /// works. When `signed_hash` is set, half the tokens contribute -1 per
+  /// occurrence so collisions cancel in expectation.
+  explicit HashingVectorizer(uint32_t dimension, bool signed_hash = false,
+                             uint64_t salt = 0);
+
+  /// Hashes string tokens into sorted (index, weight) pairs.
+  TermCounts Transform(const std::vector<std::string>& tokens) const;
+
+  /// Hashes pre-assigned token ids (cheap path for synthetic corpora).
+  TermCounts TransformIds(const std::vector<uint32_t>& token_ids) const;
+
+  /// The feature index a single token maps to.
+  uint32_t IndexOf(const std::string& token) const;
+
+  uint32_t dimension() const { return dimension_; }
+
+ private:
+  uint32_t dimension_;
+  bool signed_hash_;
+  uint64_t salt_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_TEXT_HASHING_VECTORIZER_H_

@@ -1,0 +1,54 @@
+#ifndef ZOMBIE_TEXT_TERM_COUNTS_H_
+#define ZOMBIE_TEXT_TERM_COUNTS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace zombie {
+
+/// Sparse (index, weight) pairs sorted by index — the interchange format
+/// between the text layer and the ML layer's SparseVector (featureeng does
+/// the conversion so that text/ and ml/ stay independent).
+using TermCounts = std::vector<std::pair<uint32_t, double>>;
+
+/// Aggregates raw token ids into sorted (id, count) pairs.
+inline TermCounts CountTokenIds(const std::vector<uint32_t>& token_ids) {
+  TermCounts counts;
+  if (token_ids.empty()) return counts;
+  std::vector<uint32_t> sorted = token_ids;
+  std::sort(sorted.begin(), sorted.end());
+  counts.reserve(sorted.size() / 2 + 1);
+  uint32_t current = sorted[0];
+  double run = 0.0;
+  for (uint32_t id : sorted) {
+    if (id != current) {
+      counts.emplace_back(current, run);
+      current = id;
+      run = 0.0;
+    }
+    run += 1.0;
+  }
+  counts.emplace_back(current, run);
+  return counts;
+}
+
+/// Merges duplicate indices (summing weights) and sorts by index.
+inline void NormalizeTermCounts(TermCounts* counts) {
+  std::sort(counts->begin(), counts->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  size_t w = 0;
+  for (size_t r = 0; r < counts->size(); ++r) {
+    if (w > 0 && (*counts)[w - 1].first == (*counts)[r].first) {
+      (*counts)[w - 1].second += (*counts)[r].second;
+    } else {
+      (*counts)[w++] = (*counts)[r];
+    }
+  }
+  counts->resize(w);
+}
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_TEXT_TERM_COUNTS_H_

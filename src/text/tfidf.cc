@@ -1,0 +1,57 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace zombie {
+
+void TfIdfTransform::AddDocument(const std::vector<uint32_t>& token_ids) {
+  ZCHECK(!finalized_) << "AddDocument after Finalize";
+  ++num_documents_;
+  // Count each distinct term once per document.
+  std::vector<uint32_t> distinct = token_ids;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  for (uint32_t id : distinct) {
+    if (id >= doc_freq_.size()) doc_freq_.resize(id + 1, 0);
+    ++doc_freq_[id];
+  }
+}
+
+void TfIdfTransform::Finalize() {
+  ZCHECK(!finalized_);
+  idf_.resize(doc_freq_.size());
+  double n = static_cast<double>(num_documents_);
+  for (size_t i = 0; i < doc_freq_.size(); ++i) {
+    idf_[i] =
+        std::log((1.0 + n) / (1.0 + static_cast<double>(doc_freq_[i]))) + 1.0;
+  }
+  finalized_ = true;
+}
+
+double TfIdfTransform::Idf(uint32_t term_id) const {
+  ZCHECK(finalized_);
+  if (term_id >= idf_.size()) return 1.0;
+  return idf_[term_id];
+}
+
+TermCounts TfIdfTransform::Transform(const std::vector<uint32_t>& token_ids,
+                                     bool l2_normalize) const {
+  ZCHECK(finalized_) << "Transform before Finalize";
+  TermCounts counts = CountTokenIds(token_ids);
+  double norm_sq = 0.0;
+  for (auto& [id, weight] : counts) {
+    weight *= Idf(id);
+    norm_sq += weight * weight;
+  }
+  if (l2_normalize && norm_sq > 0.0) {
+    double inv = 1.0 / std::sqrt(norm_sq);
+    for (auto& [id, weight] : counts) weight *= inv;
+  }
+  return counts;
+}
+
+}  // namespace zombie

@@ -1,0 +1,68 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace zombie {
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+
+bool Tokenizer::IsTokenChar(unsigned char c) const {
+  if (std::isalpha(c)) return true;
+  if (options_.keep_digits && std::isdigit(c)) return true;
+  return false;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  TokenizeAppend(text, &out);
+  return out;
+}
+
+size_t Tokenizer::TokenizeAppend(std::string_view text,
+                                 std::vector<std::string>* out) const {
+  size_t appended = 0;
+  std::string token;
+  auto flush = [&]() {
+    if (token.size() >= options_.min_token_length &&
+        (options_.max_token_length == 0 ||
+         token.size() <= options_.max_token_length)) {
+      out->push_back(token);
+      ++appended;
+    }
+    token.clear();
+  };
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (IsTokenChar(c)) {
+      token.push_back(options_.lowercase
+                          ? static_cast<char>(std::tolower(c))
+                          : raw);
+    } else if (!token.empty()) {
+      flush();
+    }
+  }
+  if (!token.empty()) flush();
+  return appended;
+}
+
+std::vector<std::string> WordNgrams(const std::vector<std::string>& tokens,
+                                    size_t n, char joiner) {
+  ZCHECK_GE(n, 1u);
+  if (n == 1) return tokens;
+  std::vector<std::string> out;
+  if (tokens.size() < n) return out;
+  out.reserve(tokens.size() - n + 1);
+  for (size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string gram = tokens[i];
+    for (size_t j = 1; j < n; ++j) {
+      gram += joiner;
+      gram += tokens[i + j];
+    }
+    out.push_back(std::move(gram));
+  }
+  return out;
+}
+
+}  // namespace zombie

@@ -1,0 +1,54 @@
+#ifndef ZOMBIE_TEXT_TOKENIZER_H_
+#define ZOMBIE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zombie {
+
+/// Options controlling tokenization of raw text.
+struct TokenizerOptions {
+  /// ASCII-lowercase tokens before emitting.
+  bool lowercase = true;
+  /// Drop tokens shorter than this many characters.
+  size_t min_token_length = 1;
+  /// Drop tokens longer than this many characters (0 = no limit).
+  size_t max_token_length = 64;
+  /// Treat digits as token characters (else digits split tokens).
+  bool keep_digits = true;
+};
+
+/// Splits raw text into word tokens on non-alphanumeric boundaries.
+///
+/// This is the text front end for user-supplied raw documents (see the
+/// custom_feature example); the synthetic corpus generators emit token ids
+/// directly and skip this stage.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes `text` into owned token strings.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// Appends tokens to `out` without clearing it; returns how many were
+  /// appended. Useful when concatenating fields of a document.
+  size_t TokenizeAppend(std::string_view text,
+                        std::vector<std::string>* out) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool IsTokenChar(unsigned char c) const;
+
+  TokenizerOptions options_;
+};
+
+/// Produces word n-grams ("a_b", "b_c" for n=2) from a token sequence.
+/// n must be >= 1; n == 1 returns a copy of the input.
+std::vector<std::string> WordNgrams(const std::vector<std::string>& tokens,
+                                    size_t n, char joiner = '_');
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_TEXT_TOKENIZER_H_

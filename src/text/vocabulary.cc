@@ -1,0 +1,28 @@
+#include "text/vocabulary.h"
+
+#include "util/logging.h"
+
+namespace zombie {
+
+uint32_t Vocabulary::GetOrAdd(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  if (frozen_) return kUnknownTerm;
+  uint32_t id = static_cast<uint32_t>(terms_.size());
+  ZCHECK_LT(id, kUnknownTerm) << "vocabulary overflow";
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+uint32_t Vocabulary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kUnknownTerm : it->second;
+}
+
+const std::string& Vocabulary::Term(uint32_t id) const {
+  ZCHECK_LT(id, terms_.size());
+  return terms_[id];
+}
+
+}  // namespace zombie

@@ -1,0 +1,49 @@
+#ifndef ZOMBIE_TEXT_VOCABULARY_H_
+#define ZOMBIE_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace zombie {
+
+/// Bidirectional term <-> dense-id map shared by a corpus.
+///
+/// Ids are dense and assigned in insertion order, so they double as feature
+/// indices for bag-of-words models. A Vocabulary can be frozen once corpus
+/// construction finishes; lookups of unknown terms then return kUnknownTerm
+/// instead of allocating new ids.
+class Vocabulary {
+ public:
+  /// Sentinel returned by Lookup()/GetOrAdd() for unknown terms.
+  static constexpr uint32_t kUnknownTerm = 0xFFFFFFFFu;
+
+  Vocabulary() = default;
+
+  /// Returns the id of `term`, inserting it if absent. If the vocabulary is
+  /// frozen and the term is absent, returns kUnknownTerm.
+  uint32_t GetOrAdd(std::string_view term);
+
+  /// Returns the id of `term` or kUnknownTerm.
+  uint32_t Lookup(std::string_view term) const;
+
+  /// Returns the term for a valid id; id must be < size().
+  const std::string& Term(uint32_t id) const;
+
+  size_t size() const { return terms_.size(); }
+  bool frozen() const { return frozen_; }
+
+  /// Freezes the vocabulary; subsequent GetOrAdd of new terms fails soft.
+  void Freeze() { frozen_ = true; }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> terms_;
+  bool frozen_ = false;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_TEXT_VOCABULARY_H_

@@ -1,0 +1,36 @@
+#include "util/clock.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace zombie {
+
+void VirtualClock::Advance(int64_t micros) {
+  ZCHECK_GE(micros, 0);
+  now_micros_ += micros;
+}
+
+std::string FormatDuration(int64_t micros) {
+  char buf[64];
+  if (micros < 0) micros = 0;
+  double secs = static_cast<double>(micros) / 1e6;
+  if (secs < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%ldus", static_cast<long>(micros));
+  } else if (secs < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", secs * 1e3);
+  } else if (secs < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", secs);
+  } else if (secs < 3600.0) {
+    int m = static_cast<int>(secs) / 60;
+    int s = static_cast<int>(secs) % 60;
+    std::snprintf(buf, sizeof(buf), "%dm%02ds", m, s);
+  } else {
+    int h = static_cast<int>(secs) / 3600;
+    int m = (static_cast<int>(secs) % 3600) / 60;
+    std::snprintf(buf, sizeof(buf), "%dh%02dm", h, m);
+  }
+  return buf;
+}
+
+}  // namespace zombie

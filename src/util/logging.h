@@ -1,0 +1,82 @@
+#ifndef ZOMBIE_UTIL_LOGGING_H_
+#define ZOMBIE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace zombie {
+
+/// Severity levels for the library logger. kFatal aborts the process after
+/// emitting the message (used for unrecoverable invariant violations).
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum severity that is emitted. Defaults to kInfo. Benches set
+/// kWarning to keep experiment tables clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line collector; emits on destruction. Not for direct
+/// use — use the ZLOG / ZCHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the log level is filtered out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace zombie
+
+/// Stream-style logging: `ZLOG(Info) << "indexed " << n << " items";`.
+/// Filtered below the configured level without evaluating the stream chain.
+#define ZLOG(level)                                                     \
+  if (static_cast<int>(::zombie::LogLevel::k##level) <                  \
+      static_cast<int>(::zombie::GetLogLevel())) {                      \
+  } else                                                                \
+    ::zombie::internal_logging::LogMessage(::zombie::LogLevel::k##level, \
+                                           __FILE__, __LINE__)          \
+        .stream()
+
+/// Aborts with a message when `cond` does not hold. Active in all build
+/// modes: invariant violations in a data system must never be silent.
+#define ZCHECK(cond)                                                       \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::zombie::internal_logging::LogMessage(::zombie::LogLevel::kFatal,     \
+                                           __FILE__, __LINE__)             \
+            .stream()                                                      \
+        << "Check failed: " #cond " "
+
+#define ZCHECK_EQ(a, b) ZCHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ZCHECK_NE(a, b) ZCHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ZCHECK_LT(a, b) ZCHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ZCHECK_LE(a, b) ZCHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ZCHECK_GT(a, b) ZCHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define ZCHECK_GE(a, b) ZCHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Checks that a Status-returning expression is OK; aborts otherwise.
+#define ZCHECK_OK(expr)                                        \
+  do {                                                         \
+    ::zombie::Status _zst = (expr);                            \
+    ZCHECK(_zst.ok()) << _zst.ToString();                      \
+  } while (0)
+
+#endif  // ZOMBIE_UTIL_LOGGING_H_

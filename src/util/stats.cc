@@ -1,0 +1,141 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace zombie {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    mean_ = x;
+    min_ = x;
+    max_ = x;
+    m2_ = 0.0;
+    return;
+  }
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (count_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+void WindowedMean::Add(double x) {
+  values_.push_back(x);
+  sum_ += x;
+  ++total_count_;
+  if (window_ > 0 && values_.size() > window_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+}
+
+double WindowedMean::mean() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+void WindowedMean::Reset() {
+  values_.clear();
+  sum_ = 0.0;
+  total_count_ = 0;
+}
+
+void DiscountedMean::Add(double x) {
+  weighted_sum_ = weighted_sum_ * gamma_ + x;
+  weight_ = weight_ * gamma_ + 1.0;
+}
+
+double DiscountedMean::mean() const {
+  if (weight_ <= 0.0) return 0.0;
+  return weighted_sum_ / weight_;
+}
+
+void DiscountedMean::Reset() {
+  weighted_sum_ = 0.0;
+  weight_ = 0.0;
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Median(std::vector<double> xs) { return Quantile(std::move(xs), 0.5); }
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  ZCHECK_GE(q, 0.0);
+  ZCHECK_LE(q, 1.0);
+  std::sort(xs.begin(), xs.end());
+  double pos = q * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+BootstrapCi BootstrapMeanCi(const std::vector<double>& xs, double confidence,
+                            int resamples, Rng* rng) {
+  BootstrapCi ci;
+  ci.point = Mean(xs);
+  if (xs.size() < 2 || resamples < 2) {
+    ci.lo = ci.hi = ci.point;
+    return ci;
+  }
+  std::vector<double> means;
+  means.reserve(static_cast<size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double s = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      s += xs[rng->NextBelow(xs.size())];
+    }
+    means.push_back(s / static_cast<double>(xs.size()));
+  }
+  double alpha = 1.0 - confidence;
+  ci.lo = Quantile(means, alpha / 2.0);
+  ci.hi = Quantile(std::move(means), 1.0 - alpha / 2.0);
+  return ci;
+}
+
+double WelchT(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() < 2 || b.size() < 2) return 0.0;
+  double va = Variance(a) / static_cast<double>(a.size());
+  double vb = Variance(b) / static_cast<double>(b.size());
+  double denom = std::sqrt(va + vb);
+  if (denom == 0.0) return 0.0;
+  return (Mean(a) - Mean(b)) / denom;
+}
+
+}  // namespace zombie

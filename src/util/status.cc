@@ -1,0 +1,49 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace zombie {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kExhausted:
+      return "Exhausted";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal_status {
+
+void DieOnBadStatusAccess(const Status& status) {
+  std::fprintf(stderr, "FATAL: StatusOr::value() on error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal_status
+}  // namespace zombie

@@ -1,0 +1,129 @@
+#ifndef ZOMBIE_UTIL_STATUS_H_
+#define ZOMBIE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace zombie {
+
+/// Error categories used across the library. Mirrors the usual
+/// database-system status taxonomy (RocksDB/Arrow style): library code never
+/// throws; fallible operations return a Status (or StatusOr<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIOError,
+  kExhausted,
+};
+
+/// A lightweight success/error result carrying a code and a message.
+///
+/// The OK status is cheap (no allocation). Construction helpers mirror the
+/// code names: `Status::InvalidArgument("...")` etc.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Exhausted(std::string msg) {
+    return Status(StatusCode::kExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: k must be positive".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Either a value of type T or an error Status. Minimal StatusOr: access to
+/// value() on an error status aborts via CHECK, so callers must test ok()
+/// first (enforced in debug and release alike).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or from an error status keeps call
+  /// sites terse: `return 42;` / `return Status::InvalidArgument(...)`.
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(value_);
+  }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  T value_{};
+};
+
+namespace internal_status {
+[[noreturn]] void DieOnBadStatusAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!status_.ok()) internal_status::DieOnBadStatusAccess(status_);
+}
+
+/// Propagates an error status from an expression producing a Status.
+#define ZOMBIE_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::zombie::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef ZOMBIE_UTIL_STRING_UTIL_H_
+#define ZOMBIE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zombie {
+
+/// Splits on any occurrence of `sep`; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII-only case fold.
+std::string ToLowerAscii(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,108 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "util/logging.h"
+
+namespace zombie {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  ZCHECK(!header_.empty()) << "table needs at least one column";
+}
+
+void TableWriter::BeginRow() { rows_.emplace_back(); }
+
+void TableWriter::Cell(const std::string& value) {
+  ZCHECK(!rows_.empty()) << "Cell() before BeginRow()";
+  ZCHECK_LT(rows_.back().size(), header_.size());
+  rows_.back().push_back(value);
+}
+
+void TableWriter::Cell(const char* value) { Cell(std::string(value)); }
+
+void TableWriter::Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  Cell(std::string(buf));
+}
+
+void TableWriter::Cell(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  Cell(std::string(buf));
+}
+
+std::string TableWriter::ToAscii() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&]() {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      s += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+namespace {
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TableWriter::ToCsv() const {
+  std::string out;
+  auto emit = [&out](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c) out += ',';
+      out += CsvEscape(cells[c]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+void TableWriter::Print(std::FILE* out) const {
+  std::string s = ToAscii();
+  std::fwrite(s.data(), 1, s.size(), out);
+  std::fflush(out);
+}
+
+bool TableWriter::WriteCsvFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string s = ToCsv();
+  size_t written = std::fwrite(s.data(), 1, s.size(), f);
+  std::fclose(f);
+  return written == s.size();
+}
+
+}  // namespace zombie

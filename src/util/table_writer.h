@@ -1,0 +1,47 @@
+#ifndef ZOMBIE_UTIL_TABLE_WRITER_H_
+#define ZOMBIE_UTIL_TABLE_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace zombie {
+
+/// Collects rows and renders them either as an aligned ASCII table (for the
+/// bench binaries' stdout, mirroring the paper's tables) or as CSV (for
+/// downstream plotting of the figure analogues).
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent Cell() calls fill it left to right.
+  void BeginRow();
+  void Cell(const std::string& value);
+  void Cell(const char* value);
+  void Cell(double value, int precision = 3);
+  void Cell(int64_t value);
+  void Cell(int value) { Cell(static_cast<int64_t>(value)); }
+  void Cell(size_t value) { Cell(static_cast<int64_t>(value)); }
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders an aligned, boxed ASCII table.
+  std::string ToAscii() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string ToCsv() const;
+
+  /// Convenience: print the ASCII form to `out` (default stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Writes the CSV form to a file. Returns false on I/O failure.
+  bool WriteCsvFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_UTIL_TABLE_WRITER_H_

@@ -1,0 +1,56 @@
+#ifndef ZOMBIE_UTIL_THREAD_POOL_H_
+#define ZOMBIE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace zombie {
+
+/// Fixed-size worker pool used by benches to run independent experiment
+/// trials in parallel. The engine itself stays single-threaded — trial-level
+/// parallelism keeps every trace deterministic (each trial owns its RNG).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called after Wait() has begun returning
+  /// with the intent of destroying the pool, but is safe from tasks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by tasks)
+  /// has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers
+  std::condition_variable idle_cv_;   // signals Wait()
+  std::queue<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,97 @@
+#include "bandit/arm_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace zombie {
+namespace {
+
+TEST(ArmStatsTest, InitialState) {
+  ArmStats s(3);
+  EXPECT_EQ(s.num_arms(), 3u);
+  EXPECT_EQ(s.num_active(), 3u);
+  EXPECT_EQ(s.total_pulls(), 0u);
+  for (size_t a = 0; a < 3; ++a) {
+    EXPECT_TRUE(s.active(a));
+    EXPECT_EQ(s.pulls(a), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(a), s.options().prior_mean);
+  }
+}
+
+TEST(ArmStatsTest, RecordUpdatesCounters) {
+  ArmStats s(2);
+  s.Record(0, 1.0);
+  s.Record(0, 0.0);
+  s.Record(1, 0.5);
+  EXPECT_EQ(s.pulls(0), 2u);
+  EXPECT_EQ(s.pulls(1), 1u);
+  EXPECT_EQ(s.total_pulls(), 3u);
+  EXPECT_DOUBLE_EQ(s.total_reward(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.lifetime_mean(1), 0.5);
+}
+
+TEST(ArmStatsTest, WindowedMeanTracksRecentRewards) {
+  ArmStatsOptions opts;
+  opts.window = 3;
+  opts.discount = 1.0;
+  ArmStats s(1, opts);
+  // Old high rewards age out of the window.
+  s.Record(0, 1.0);
+  s.Record(0, 1.0);
+  s.Record(0, 0.0);
+  s.Record(0, 0.0);
+  s.Record(0, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.lifetime_mean(0), 0.4);
+}
+
+TEST(ArmStatsTest, DiscountedMeanWinsWhenBothConfigured) {
+  ArmStatsOptions opts;
+  opts.window = 100;
+  opts.discount = 0.5;
+  ArmStats s(1, opts);
+  s.Record(0, 0.0);
+  s.Record(0, 1.0);
+  // Discounted: (0*0.5 + 1) / (0.5 + 1) = 2/3, not windowed 0.5.
+  EXPECT_NEAR(s.mean(0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ArmStatsTest, PlainMeanWhenWindowDisabled) {
+  ArmStatsOptions opts;
+  opts.window = 0;
+  ArmStats s(1, opts);
+  for (int i = 0; i < 10; ++i) s.Record(0, i < 5 ? 1.0 : 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(0), 0.5);
+}
+
+TEST(ArmStatsTest, DeactivateRemovesFromActiveCount) {
+  ArmStats s(3);
+  s.Deactivate(1);
+  EXPECT_FALSE(s.active(1));
+  EXPECT_EQ(s.num_active(), 2u);
+  s.Deactivate(1);  // idempotent
+  EXPECT_EQ(s.num_active(), 2u);
+  s.Deactivate(0);
+  s.Deactivate(2);
+  EXPECT_EQ(s.num_active(), 0u);
+}
+
+TEST(ArmStatsTest, PriorMeanBeforeFirstPull) {
+  ArmStatsOptions opts;
+  opts.prior_mean = 0.42;
+  ArmStats s(2, opts);
+  EXPECT_DOUBLE_EQ(s.mean(0), 0.42);
+  EXPECT_DOUBLE_EQ(s.lifetime_mean(0), 0.42);
+  s.Record(0, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(1), 0.42);
+}
+
+TEST(ArmStatsDeathTest, OutOfRangeArmAborts) {
+  ArmStats s(2);
+  EXPECT_DEATH(s.Record(2, 1.0), "Check failed");
+  EXPECT_DEATH((void)s.mean(5), "Check failed");
+}
+
+}  // namespace
+}  // namespace zombie

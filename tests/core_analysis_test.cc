@@ -1,0 +1,99 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace zombie {
+namespace {
+
+RunResult MakeRun(std::vector<std::pair<int64_t, double>> micros_quality,
+                  int64_t holdout_micros = 0) {
+  RunResult r;
+  size_t items = 0;
+  for (const auto& [micros, quality] : micros_quality) {
+    CurvePoint p;
+    p.items_processed = items;
+    p.virtual_micros = micros;
+    p.quality = quality;
+    r.curve.Add(p);
+    items += 100;
+  }
+  r.items_processed = items == 0 ? 0 : items - 100;
+  r.final_quality = r.curve.FinalQuality();
+  r.holdout_virtual_micros = holdout_micros;
+  r.loop_virtual_micros =
+      micros_quality.empty() ? 0 : micros_quality.back().first;
+  return r;
+}
+
+TEST(SpeedupTest, ComputesCrossingsAndRatios) {
+  // Baseline reaches 0.76 (95% of 0.8) at t=8000; zombie at t=2000.
+  RunResult baseline = MakeRun({{0, 0.0}, {4000, 0.5}, {8000, 0.78}, {12000, 0.8}});
+  RunResult zombie = MakeRun({{0, 0.0}, {2000, 0.79}, {3000, 0.8}});
+  SpeedupReport s = ComputeSpeedup(baseline, zombie, 0.95);
+  EXPECT_NEAR(s.target_quality, 0.76, 1e-12);
+  EXPECT_EQ(s.baseline_micros, 8000);
+  EXPECT_EQ(s.treatment_micros, 2000);
+  EXPECT_DOUBLE_EQ(s.time_speedup, 4.0);
+  EXPECT_EQ(s.baseline_items, 200);
+  EXPECT_EQ(s.treatment_items, 100);
+  EXPECT_DOUBLE_EQ(s.items_speedup, 2.0);
+  EXPECT_TRUE(s.valid());
+  EXPECT_NE(s.ToString().find("4.00x"), std::string::npos);
+}
+
+TEST(SpeedupTest, HoldoutCostCountsOnBothSides) {
+  RunResult baseline = MakeRun({{0, 0.0}, {1000, 1.0}}, /*holdout=*/500);
+  RunResult zombie = MakeRun({{0, 0.0}, {1000, 1.0}}, /*holdout=*/500);
+  SpeedupReport s = ComputeSpeedup(baseline, zombie, 0.95);
+  EXPECT_EQ(s.baseline_micros, 1500);
+  EXPECT_EQ(s.treatment_micros, 1500);
+  EXPECT_DOUBLE_EQ(s.time_speedup, 1.0);
+}
+
+TEST(SpeedupTest, UnreachedTargetInvalidates) {
+  RunResult baseline = MakeRun({{0, 0.0}, {1000, 0.8}});
+  RunResult zombie = MakeRun({{0, 0.0}, {1000, 0.5}});  // never gets there
+  SpeedupReport s = ComputeSpeedup(baseline, zombie, 0.95);
+  EXPECT_FALSE(s.valid());
+  EXPECT_EQ(s.treatment_micros, -1);
+  EXPECT_NE(s.ToString().find("not reached"), std::string::npos);
+}
+
+TEST(SpeedupTest, SlowdownReportsBelowOne) {
+  RunResult baseline = MakeRun({{0, 0.0}, {1000, 1.0}});
+  RunResult slower = MakeRun({{0, 0.0}, {4000, 1.0}});
+  SpeedupReport s = ComputeSpeedup(baseline, slower, 0.9);
+  EXPECT_DOUBLE_EQ(s.time_speedup, 0.25);
+}
+
+TEST(MeanCurveTest, AveragesPointwise) {
+  RunResult a = MakeRun({{0, 0.0}, {1000, 0.4}});
+  RunResult b = MakeRun({{0, 0.2}, {3000, 0.6}});
+  auto mc = MeanCurve({a, b});
+  ASSERT_EQ(mc.size(), 2u);
+  EXPECT_DOUBLE_EQ(mc[0].mean_quality, 0.1);
+  EXPECT_DOUBLE_EQ(mc[1].mean_quality, 0.5);
+  EXPECT_DOUBLE_EQ(mc[1].mean_virtual_seconds, 0.002);
+  EXPECT_GT(mc[1].stddev_quality, 0.0);
+}
+
+TEST(MeanCurveTest, TruncatesToShortestCurve) {
+  RunResult a = MakeRun({{0, 0.0}, {1000, 0.4}, {2000, 0.8}});
+  RunResult b = MakeRun({{0, 0.0}, {1000, 0.4}});
+  EXPECT_EQ(MeanCurve({a, b}).size(), 2u);
+  EXPECT_TRUE(MeanCurve({}).empty());
+}
+
+TEST(MeanScalarsTest, Basics) {
+  RunResult a = MakeRun({{0, 0.0}, {1000000, 1.0}});
+  RunResult b = MakeRun({{0, 0.0}, {3000000, 0.5}});
+  std::vector<RunResult> runs;
+  runs.push_back(a);
+  runs.push_back(b);
+  EXPECT_DOUBLE_EQ(MeanFinalQuality(runs), 0.75);
+  EXPECT_DOUBLE_EQ(MeanItemsProcessed(runs), 100.0);
+  EXPECT_DOUBLE_EQ(MeanVirtualSeconds(runs), 2.0);
+}
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,90 @@
+#include "core/convergence.h"
+
+#include <gtest/gtest.h>
+
+namespace zombie {
+namespace {
+
+ConvergenceOptions Opts(size_t window, double epsilon) {
+  ConvergenceOptions o;
+  o.window = window;
+  o.epsilon = epsilon;
+  return o;
+}
+
+TEST(ConvergenceTest, NeverConvergedBeforeWindowFills) {
+  ConvergenceDetector d(Opts(4, 0.01));
+  for (int i = 0; i < 3; ++i) {
+    d.Add(0.5);
+    EXPECT_FALSE(d.converged()) << "after " << i + 1;
+  }
+  d.Add(0.5);
+  EXPECT_TRUE(d.converged());
+}
+
+TEST(ConvergenceTest, FlatCurveConverges) {
+  ConvergenceDetector d(Opts(5, 0.001));
+  for (int i = 0; i < 5; ++i) d.Add(0.7);
+  EXPECT_TRUE(d.converged());
+}
+
+TEST(ConvergenceTest, RisingCurveDoesNot) {
+  ConvergenceDetector d(Opts(5, 0.01));
+  for (int i = 0; i < 20; ++i) {
+    d.Add(0.05 * i);
+    EXPECT_FALSE(d.converged()) << "step " << i;
+  }
+}
+
+TEST(ConvergenceTest, SpreadWithinEpsilonConverges) {
+  ConvergenceDetector d(Opts(3, 0.1));
+  d.Add(0.50);
+  d.Add(0.55);
+  d.Add(0.59);
+  EXPECT_TRUE(d.converged());
+  // A jump re-opens the window.
+  d.Add(0.80);
+  EXPECT_FALSE(d.converged());
+}
+
+TEST(ConvergenceTest, OldValuesAgeOut) {
+  ConvergenceDetector d(Opts(3, 0.01));
+  d.Add(0.1);  // will age out
+  d.Add(0.5);
+  d.Add(0.5);
+  EXPECT_FALSE(d.converged());
+  d.Add(0.5);  // window now {0.5, 0.5, 0.5}
+  EXPECT_TRUE(d.converged());
+}
+
+TEST(ConvergenceTest, ZeroEpsilonNeedsExactEquality) {
+  ConvergenceDetector d(Opts(2, 0.0));
+  d.Add(0.5);
+  d.Add(0.5);
+  EXPECT_TRUE(d.converged());
+  d.Add(0.5000001);
+  EXPECT_FALSE(d.converged());
+}
+
+TEST(ConvergenceTest, ResetClearsHistory) {
+  ConvergenceDetector d(Opts(2, 0.1));
+  d.Add(0.5);
+  d.Add(0.5);
+  EXPECT_TRUE(d.converged());
+  d.Reset();
+  EXPECT_FALSE(d.converged());
+  EXPECT_EQ(d.num_observations(), 0u);
+}
+
+TEST(ConvergenceTest, CountsObservations) {
+  ConvergenceDetector d;
+  for (int i = 0; i < 7; ++i) d.Add(0.1);
+  EXPECT_EQ(d.num_observations(), 7u);
+}
+
+TEST(ConvergenceDeathTest, WindowBelowTwoAborts) {
+  EXPECT_DEATH(ConvergenceDetector(Opts(1, 0.01)), "Check failed");
+}
+
+}  // namespace
+}  // namespace zombie

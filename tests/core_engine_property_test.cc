@@ -1,0 +1,96 @@
+// Property-style sweep: engine invariants that must hold for every
+// (task, seed) combination — accounting identities, curve monotonicity,
+// holdout exclusion, and stop-rule sanity.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bandit/epsilon_greedy.h"
+#include "core/engine.h"
+#include "core/reward.h"
+#include "core/task_factory.h"
+#include "index/kmeans_grouper.h"
+#include "ml/naive_bayes.h"
+
+namespace zombie {
+namespace {
+
+class EngineInvariantTest
+    : public testing::TestWithParam<std::tuple<TaskKind, uint64_t>> {};
+
+TEST_P(EngineInvariantTest, AccountingAndMonotonicityHold) {
+  auto [kind, seed] = GetParam();
+  Task task = MakeTask(kind, 1500, seed);
+  KMeansGrouper grouper(8, seed);
+  GroupingResult grouping = grouper.Group(task.corpus);
+
+  EngineOptions opts;
+  opts.seed = seed;
+  opts.holdout_size = 100;
+  opts.eval_every = 20;
+  opts.stop.min_items = 100;
+  opts.stop.max_items = 600;
+  ZombieEngine engine(&task.corpus, &task.pipeline, opts);
+  EpsilonGreedyPolicy policy;
+  NaiveBayesLearner nb;
+  LabelReward reward;
+  RunResult r = engine.Run(grouping, policy, nb, reward);
+
+  // Items never exceed budget nor the trainable corpus.
+  EXPECT_LE(r.items_processed, 600u);
+  EXPECT_LE(r.items_processed, task.corpus.size() - 100);
+
+  // Pull accounting: per-arm pulls sum to items; positives bounded.
+  size_t pulls = 0;
+  size_t positives = 0;
+  for (const auto& a : r.arms) {
+    pulls += a.pulls;
+    positives += a.positives_seen;
+    EXPECT_LE(a.positives_seen, a.pulls);
+    EXPECT_LE(a.pulls, a.group_size);
+    EXPECT_GE(a.total_reward, 0.0);
+    EXPECT_LE(a.total_reward, static_cast<double>(a.pulls) + 1e-9);
+  }
+  EXPECT_EQ(pulls, r.items_processed);
+  EXPECT_EQ(positives, r.positives_processed);
+
+  // Curve invariants: starts at 0 items, strictly increasing items,
+  // non-decreasing virtual time, quality in [0, 1].
+  ASSERT_GE(r.curve.size(), 2u);
+  EXPECT_EQ(r.curve.point(0).items_processed, 0u);
+  for (size_t i = 1; i < r.curve.size(); ++i) {
+    EXPECT_GT(r.curve.point(i).items_processed,
+              r.curve.point(i - 1).items_processed);
+    EXPECT_GE(r.curve.point(i).virtual_micros,
+              r.curve.point(i - 1).virtual_micros);
+  }
+  for (const auto& p : r.curve.points()) {
+    EXPECT_GE(p.quality, 0.0);
+    EXPECT_LE(p.quality, 1.0);
+  }
+
+  // Clock accounting: loop time positive iff items processed; totals add.
+  EXPECT_GT(r.holdout_virtual_micros, 0);
+  EXPECT_EQ(r.total_virtual_micros(),
+            r.loop_virtual_micros + r.holdout_virtual_micros);
+  if (r.items_processed > 0) {
+    EXPECT_GT(r.loop_virtual_micros, 0);
+  }
+
+  // Final metrics coherent with the curve's last point.
+  EXPECT_DOUBLE_EQ(r.final_quality, r.curve.FinalQuality());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TasksAndSeeds, EngineInvariantTest,
+    testing::Combine(testing::Values(TaskKind::kWebCat, TaskKind::kEntity,
+                                     TaskKind::kBalanced),
+                     testing::Values(1, 2, 3, 4)),
+    [](const testing::TestParamInfo<std::tuple<TaskKind, uint64_t>>& info) {
+      return std::string(TaskKindName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,144 @@
+#include "core/reward.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/naive_bayes.h"
+
+namespace zombie {
+namespace {
+
+RewardInputs Inputs(int32_t label, double score, double prob,
+                    double probe_delta = 0.0) {
+  RewardInputs in;
+  in.label = label;
+  in.score_before = score;
+  in.probability_before = prob;
+  in.probe_quality_delta = probe_delta;
+  return in;
+}
+
+TEST(LabelRewardTest, RewardsTargetClass) {
+  LabelReward r;
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 0.0, 0.5)), 1.0);
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(0, 0.0, 0.5)), 0.0);
+  EXPECT_FALSE(r.requires_probe());
+}
+
+TEST(LabelRewardTest, CustomTargetClass) {
+  LabelReward r(0);
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(0, 0.0, 0.5)), 1.0);
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 0.0, 0.5)), 0.0);
+}
+
+TEST(UncertaintyRewardTest, PeaksAtBoundary) {
+  UncertaintyReward r;
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 0.0, 0.5)), 1.0);
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 5.0, 1.0)), 0.0);
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(0, -5.0, 0.0)), 0.0);
+  EXPECT_NEAR(r.Compute(Inputs(1, 1.0, 0.75)), 0.5, 1e-12);
+}
+
+TEST(UncertaintyRewardTest, ClampsOutOfRangeProbabilities) {
+  UncertaintyReward r;
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 0.0, 1.5)), 0.0);
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 0.0, -0.5)), 0.0);
+}
+
+TEST(MisclassificationRewardTest, RewardsMistakes) {
+  MisclassificationReward r;
+  // score > 0 predicts 1.
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, -1.0, 0.3)), 1.0);  // miss
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 1.0, 0.7)), 0.0);   // hit
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(0, 1.0, 0.7)), 1.0);   // false positive
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(0, -1.0, 0.3)), 0.0);  // hit
+  // score == 0 classifies negative, so a negative item is a hit.
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(0, 0.0, 0.5)), 0.0);
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 0.0, 0.5)), 1.0);
+}
+
+TEST(ImprovementRewardTest, ScalesAndClampsDelta) {
+  ImprovementReward r(10.0);
+  EXPECT_TRUE(r.requires_probe());
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 0.0, 0.5, 0.05)), 0.5);
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 0.0, 0.5, 0.5)), 1.0);   // saturates
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 0.0, 0.5, -0.1)), 0.0);  // no negative
+}
+
+TEST(BlendedRewardTest, MixesLabelAndUncertainty) {
+  BlendedReward r(0.6);
+  // Positive at the boundary: 0.6*1 + 0.4*1 = 1.
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 0.0, 0.5)), 1.0);
+  // Confident negative: 0.6*0 + 0.4*0 = 0.
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(0, -5.0, 0.0)), 0.0);
+  // Uncertain negative: 0.4 * 1.
+  EXPECT_NEAR(r.Compute(Inputs(0, 0.0, 0.5)), 0.4, 1e-12);
+}
+
+TEST(BalanceRewardTest, RewardsUnderrepresentedClass) {
+  BalanceReward r;
+  RewardInputs in = Inputs(1, 0.0, 0.5);
+  in.seen_positive = 2;
+  in.seen_negative = 10;
+  EXPECT_DOUBLE_EQ(r.Compute(in), 1.0);  // positives scarce, item positive
+  in.label = 0;
+  EXPECT_DOUBLE_EQ(r.Compute(in), 0.0);
+  in.seen_positive = 10;
+  in.seen_negative = 2;
+  EXPECT_DOUBLE_EQ(r.Compute(in), 1.0);  // negatives scarce, item negative
+  in.label = 1;
+  EXPECT_DOUBLE_EQ(r.Compute(in), 0.0);
+}
+
+TEST(BalanceRewardTest, TiesFavorPositives) {
+  BalanceReward r;
+  RewardInputs in = Inputs(1, 0.0, 0.5);
+  in.seen_positive = 5;
+  in.seen_negative = 5;
+  EXPECT_DOUBLE_EQ(r.Compute(in), 1.0);
+}
+
+TEST(ZeroRewardTest, AlwaysZero) {
+  ZeroReward r;
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(1, 3.0, 0.9, 1.0)), 0.0);
+  EXPECT_DOUBLE_EQ(r.Compute(Inputs(0, -3.0, 0.1, -1.0)), 0.0);
+}
+
+TEST(RewardFactoryTest, MakesEveryKind) {
+  for (RewardKind kind :
+       {RewardKind::kLabel, RewardKind::kUncertainty,
+        RewardKind::kMisclassification, RewardKind::kImprovement,
+        RewardKind::kBlend, RewardKind::kBalance, RewardKind::kZero}) {
+    auto r = MakeReward(kind);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->name(), RewardKindName(kind));
+    auto clone = r->Clone();
+    EXPECT_EQ(clone->name(), r->name());
+  }
+}
+
+TEST(RewardRangeTest, AllRewardsInUnitInterval) {
+  // Property: for any inputs, every shipped reward lands in [0, 1].
+  std::vector<std::unique_ptr<RewardFunction>> rewards;
+  for (RewardKind kind :
+       {RewardKind::kLabel, RewardKind::kUncertainty,
+        RewardKind::kMisclassification, RewardKind::kImprovement,
+        RewardKind::kBlend, RewardKind::kBalance, RewardKind::kZero}) {
+    rewards.push_back(MakeReward(kind));
+  }
+  for (const auto& r : rewards) {
+    for (int32_t label : {0, 1}) {
+      for (double score : {-10.0, -0.5, 0.0, 0.5, 10.0}) {
+        for (double prob : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+          for (double delta : {-1.0, 0.0, 0.01, 1.0}) {
+            double v = r->Compute(Inputs(label, score, prob, delta));
+            EXPECT_GE(v, 0.0) << r->name();
+            EXPECT_LE(v, 1.0) << r->name();
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zombie

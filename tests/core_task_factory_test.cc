@@ -1,0 +1,53 @@
+#include "core/task_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace zombie {
+namespace {
+
+TEST(TaskFactoryTest, NamesMatchKinds) {
+  EXPECT_STREQ(TaskKindName(TaskKind::kWebCat), "webcat");
+  EXPECT_STREQ(TaskKindName(TaskKind::kEntity), "entity");
+  EXPECT_STREQ(TaskKindName(TaskKind::kBalanced), "balanced");
+}
+
+TEST(TaskFactoryTest, BuildsEveryTask) {
+  for (TaskKind kind :
+       {TaskKind::kWebCat, TaskKind::kEntity, TaskKind::kBalanced}) {
+    Task task = MakeTask(kind, 500, 3);
+    EXPECT_EQ(task.name, TaskKindName(kind));
+    EXPECT_EQ(task.corpus.size(), 500u);
+    EXPECT_TRUE(task.corpus.Validate().ok());
+    EXPECT_GT(task.pipeline.dimension(), 0u);
+    // The pipeline must produce features for the first document.
+    SparseVector v = task.pipeline.Extract(task.corpus.doc(0), task.corpus);
+    EXPECT_FALSE(v.empty());
+  }
+}
+
+TEST(TaskFactoryTest, DeterministicForSeed) {
+  Task a = MakeTask(TaskKind::kWebCat, 300, 9);
+  Task b = MakeTask(TaskKind::kWebCat, 300, 9);
+  for (size_t i = 0; i < a.corpus.size(); ++i) {
+    ASSERT_EQ(a.corpus.doc(i).tokens, b.corpus.doc(i).tokens);
+  }
+}
+
+TEST(TaskFactoryTest, SkewedTasksAreSkewedBalancedIsNot) {
+  Task webcat = MakeTask(TaskKind::kWebCat, 4000, 1);
+  Task entity = MakeTask(TaskKind::kEntity, 4000, 1);
+  Task balanced = MakeTask(TaskKind::kBalanced, 4000, 1);
+  EXPECT_LT(webcat.corpus.ComputeStats().positive_fraction, 0.2);
+  EXPECT_LT(entity.corpus.ComputeStats().positive_fraction, 0.2);
+  EXPECT_NEAR(balanced.corpus.ComputeStats().positive_fraction, 0.5, 0.05);
+}
+
+TEST(TaskFactoryTest, DefaultPipelinesDifferByTask) {
+  Task webcat = MakeTask(TaskKind::kWebCat, 200, 1);
+  Task entity = MakeTask(TaskKind::kEntity, 200, 1);
+  // The entity pipeline is deliberately collision-prone (smaller BoW).
+  EXPECT_GT(webcat.pipeline.dimension(), entity.pipeline.dimension());
+}
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,98 @@
+#include "data/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace zombie {
+namespace {
+
+Document MakeDoc(uint64_t id, std::vector<uint32_t> tokens, int32_t label,
+                 uint32_t domain = 0) {
+  Document d;
+  d.id = id;
+  d.tokens = std::move(tokens);
+  d.label = label;
+  d.domain = domain;
+  d.extraction_cost_micros = 1000;
+  d.labeling_cost_micros = 10;
+  return d;
+}
+
+TEST(CorpusTest, AddAndAccess) {
+  Corpus c;
+  c.mutable_vocabulary().GetOrAdd("a");
+  c.mutable_vocabulary().GetOrAdd("b");
+  c.AddDomain("site0");
+  EXPECT_EQ(c.AddDocument(MakeDoc(7, {0, 1}, 1)), 0u);
+  EXPECT_EQ(c.AddDocument(MakeDoc(8, {1}, 0)), 1u);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.doc(0).id, 7u);
+  EXPECT_EQ(c.doc(1).label, 0);
+  EXPECT_EQ(c.DomainName(0), "site0");
+}
+
+TEST(CorpusTest, StatsComputation) {
+  Corpus c;
+  c.mutable_vocabulary().GetOrAdd("t");
+  c.AddDomain("d");
+  c.AddDocument(MakeDoc(0, {0, 0}, 1));
+  c.AddDocument(MakeDoc(1, {0}, 0));
+  c.AddDocument(MakeDoc(2, {0, 0, 0}, 0));
+  CorpusStats s = c.ComputeStats();
+  EXPECT_EQ(s.num_documents, 3u);
+  EXPECT_EQ(s.num_positive, 1u);
+  EXPECT_NEAR(s.positive_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.mean_length, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_extraction_cost_ms, 1.0);
+  EXPECT_EQ(s.num_domains, 1u);
+  EXPECT_EQ(s.vocabulary_size, 1u);
+}
+
+TEST(CorpusTest, EmptyStats) {
+  Corpus c;
+  CorpusStats s = c.ComputeStats();
+  EXPECT_EQ(s.num_documents, 0u);
+  EXPECT_EQ(s.positive_fraction, 0.0);
+}
+
+TEST(CorpusTest, ValidateCatchesBadTokenId) {
+  Corpus c;
+  c.mutable_vocabulary().GetOrAdd("only");
+  c.AddDocument(MakeDoc(0, {5}, 0));  // token 5 beyond vocab of 1
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(CorpusTest, ValidateCatchesBadDomain) {
+  Corpus c;
+  c.mutable_vocabulary().GetOrAdd("t");
+  c.AddDomain("d0");
+  c.AddDocument(MakeDoc(0, {0}, 0, /*domain=*/3));
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(CorpusTest, ValidateCatchesNegativeCost) {
+  Corpus c;
+  c.mutable_vocabulary().GetOrAdd("t");
+  Document d = MakeDoc(0, {0}, 0);
+  d.extraction_cost_micros = -5;
+  c.AddDocument(std::move(d));
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(CorpusTest, ValidateAcceptsWellFormed) {
+  Corpus c;
+  c.mutable_vocabulary().GetOrAdd("t");
+  c.AddDomain("d");
+  c.AddDocument(MakeDoc(0, {0}, 1));
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(CorpusTest, DomainlessCorpusValidates) {
+  // A corpus with no registered domains skips the domain check.
+  Corpus c;
+  c.mutable_vocabulary().GetOrAdd("t");
+  c.AddDocument(MakeDoc(0, {0}, 0, /*domain=*/42));
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,74 @@
+#include "data/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace zombie {
+namespace {
+
+TEST(ConstantCostModelTest, AlwaysSameValue) {
+  ConstantCostModel m(1234);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(m.SampleCostMicros(100, &rng), 1234);
+  }
+}
+
+TEST(ConstantCostModelTest, ZeroAllowed) {
+  ConstantCostModel m(0);
+  Rng rng(1);
+  EXPECT_EQ(m.SampleCostMicros(5, &rng), 0);
+}
+
+TEST(LogNormalCostModelTest, MeanMatchesTarget) {
+  LogNormalCostModel m(10000.0, 0.5);
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    int64_t c = m.SampleCostMicros(100, &rng);
+    ASSERT_GE(c, 1);
+    sum += static_cast<double>(c);
+  }
+  EXPECT_NEAR(sum / n, 10000.0, 200.0);
+}
+
+TEST(LogNormalCostModelTest, ZeroSigmaIsDeterministic) {
+  LogNormalCostModel m(5000.0, 0.0);
+  Rng rng(3);
+  EXPECT_EQ(m.SampleCostMicros(10, &rng), m.SampleCostMicros(10, &rng));
+  EXPECT_NEAR(static_cast<double>(m.SampleCostMicros(10, &rng)), 5000.0, 1.0);
+}
+
+TEST(LogNormalCostModelTest, CostsNeverBelowOneMicro) {
+  LogNormalCostModel m(2.0, 2.0);  // tiny mean, huge spread
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(m.SampleCostMicros(1, &rng), 1);
+  }
+}
+
+TEST(LengthProportionalCostModelTest, ScalesWithLength) {
+  LengthProportionalCostModel m(1000.0, 10.0, 0.0);
+  Rng rng(5);
+  int64_t short_doc = m.SampleCostMicros(10, &rng);
+  int64_t long_doc = m.SampleCostMicros(1000, &rng);
+  EXPECT_EQ(short_doc, 1100);
+  EXPECT_EQ(long_doc, 11000);
+}
+
+TEST(LengthProportionalCostModelTest, NoiseKeepsMeanRoughly) {
+  LengthProportionalCostModel m(0.0, 100.0, 0.5);
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(m.SampleCostMicros(10, &rng));
+  }
+  // Base cost 1000 with mean-one multiplicative noise.
+  EXPECT_NEAR(sum / n, 1000.0, 30.0);
+}
+
+}  // namespace
+}  // namespace zombie

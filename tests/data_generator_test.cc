@@ -1,0 +1,206 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "data/balanced_generator.h"
+#include "data/entity_generator.h"
+#include "data/webcat_generator.h"
+
+namespace zombie {
+namespace {
+
+SyntheticCorpusConfig SmallConfig() {
+  SyntheticCorpusConfig cfg;
+  cfg.num_documents = 2000;
+  cfg.common_vocabulary_size = 500;
+  cfg.topic_vocabulary_size = 100;
+  cfg.num_background_topics = 4;
+  cfg.num_domains = 20;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  SyntheticCorpusGenerator g(SmallConfig());
+  Corpus a = g.Generate();
+  Corpus b = g.Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.doc(i).tokens, b.doc(i).tokens);
+    EXPECT_EQ(a.doc(i).label, b.doc(i).label);
+    EXPECT_EQ(a.doc(i).domain, b.doc(i).domain);
+    EXPECT_EQ(a.doc(i).extraction_cost_micros,
+              b.doc(i).extraction_cost_micros);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentCorpora) {
+  SyntheticCorpusConfig cfg = SmallConfig();
+  Corpus a = SyntheticCorpusGenerator(cfg).Generate();
+  cfg.seed = 78;
+  Corpus b = SyntheticCorpusGenerator(cfg).Generate();
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = a.doc(i).tokens != b.doc(i).tokens;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, PositiveFractionNearTarget) {
+  SyntheticCorpusConfig cfg = SmallConfig();
+  cfg.num_documents = 10000;
+  cfg.positive_fraction = 0.10;
+  cfg.label_noise = 0.0;
+  Corpus c = SyntheticCorpusGenerator(cfg).Generate();
+  EXPECT_NEAR(c.ComputeStats().positive_fraction, 0.10, 0.02);
+}
+
+TEST(GeneratorTest, ValidatePassesAndVocabularyFrozen) {
+  Corpus c = SyntheticCorpusGenerator(SmallConfig()).Generate();
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_TRUE(c.vocabulary().frozen());
+  // Vocabulary holds the common slice plus one slice per topic.
+  SyntheticCorpusConfig cfg = SmallConfig();
+  EXPECT_EQ(c.vocabulary().size(),
+            cfg.common_vocabulary_size +
+                (cfg.num_background_topics + 1) * cfg.topic_vocabulary_size);
+}
+
+TEST(GeneratorTest, DomainPurityConcentratesTopics) {
+  SyntheticCorpusConfig cfg = SmallConfig();
+  cfg.num_documents = 5000;
+  cfg.domain_purity = 1.0;
+  Corpus c = SyntheticCorpusGenerator(cfg).Generate();
+  // With full purity, any domain hosts documents of exactly one topic.
+  std::vector<int32_t> domain_topic(cfg.num_domains, -1);
+  for (const Document& d : c.documents()) {
+    if (domain_topic[d.domain] == -1) {
+      domain_topic[d.domain] = static_cast<int32_t>(d.topic);
+    }
+    EXPECT_EQ(domain_topic[d.domain], static_cast<int32_t>(d.topic));
+  }
+}
+
+TEST(GeneratorTest, ZeroDomainPurityIsUniform) {
+  SyntheticCorpusConfig cfg = SmallConfig();
+  cfg.num_documents = 20000;
+  cfg.domain_purity = 0.0;
+  cfg.positive_fraction = 0.5;
+  Corpus c = SyntheticCorpusGenerator(cfg).Generate();
+  // Positive rates per domain hover near the global rate.
+  std::vector<int> pos(cfg.num_domains, 0);
+  std::vector<int> tot(cfg.num_domains, 0);
+  for (const Document& d : c.documents()) {
+    ++tot[d.domain];
+    pos[d.domain] += d.label == 1;
+  }
+  for (size_t dom = 0; dom < cfg.num_domains; ++dom) {
+    ASSERT_GT(tot[dom], 100);
+    EXPECT_NEAR(static_cast<double>(pos[dom]) / tot[dom], 0.5, 0.15);
+  }
+}
+
+TEST(GeneratorTest, MinDocLengthRespected) {
+  SyntheticCorpusConfig cfg = SmallConfig();
+  cfg.min_doc_length = 30;
+  cfg.mean_doc_length = 35.0;
+  Corpus c = SyntheticCorpusGenerator(cfg).Generate();
+  for (const Document& d : c.documents()) {
+    EXPECT_GE(d.tokens.size(), 30u);
+  }
+}
+
+TEST(GeneratorTest, MeanLengthNearTarget) {
+  SyntheticCorpusConfig cfg = SmallConfig();
+  cfg.num_documents = 10000;
+  cfg.mean_doc_length = 100.0;
+  Corpus c = SyntheticCorpusGenerator(cfg).Generate();
+  EXPECT_NEAR(c.ComputeStats().mean_length, 100.0, 8.0);
+}
+
+TEST(GeneratorTest, CostMeanNearTarget) {
+  SyntheticCorpusConfig cfg = SmallConfig();
+  cfg.num_documents = 10000;
+  cfg.mean_extraction_cost_ms = 5.0;
+  Corpus c = SyntheticCorpusGenerator(cfg).Generate();
+  EXPECT_NEAR(c.ComputeStats().mean_extraction_cost_ms, 5.0, 0.5);
+}
+
+TEST(GeneratorTest, TokenPresenceLabelRuleMatchesTokens) {
+  SyntheticCorpusConfig cfg = SmallConfig();
+  cfg.label_rule = LabelRule::kTokenPresence;
+  cfg.num_mention_tokens = 3;
+  cfg.label_noise = 0.0;
+  SyntheticCorpusGenerator g(cfg);
+  Corpus c = g.Generate();
+  for (const Document& d : c.documents()) {
+    bool has_mention = false;
+    for (uint32_t tok : d.tokens) has_mention |= g.IsMentionToken(tok);
+    EXPECT_EQ(d.label == 1, has_mention) << "doc " << d.id;
+  }
+}
+
+TEST(GeneratorTest, TokenIdLayoutHelpers) {
+  SyntheticCorpusConfig cfg = SmallConfig();
+  SyntheticCorpusGenerator g(cfg);
+  EXPECT_EQ(g.CommonTokenId(0), 0u);
+  EXPECT_EQ(g.TopicTokenId(0, 0), cfg.common_vocabulary_size);
+  EXPECT_EQ(g.TopicTokenId(1, 5),
+            cfg.common_vocabulary_size + cfg.topic_vocabulary_size + 5);
+  EXPECT_EQ(g.num_topics(), cfg.num_background_topics + 1);
+}
+
+TEST(GeneratorConfigTest, ValidateRejectsBadKnobs) {
+  SyntheticCorpusConfig cfg = SmallConfig();
+  cfg.positive_fraction = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SmallConfig();
+  cfg.num_documents = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SmallConfig();
+  cfg.label_noise = 0.7;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SmallConfig();
+  cfg.domain_purity = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SmallConfig();
+  cfg.label_rule = LabelRule::kTokenPresence;
+  cfg.num_mention_tokens = cfg.topic_vocabulary_size + 1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+}
+
+TEST(PresetTest, WebCatPreset) {
+  WebCatOptions opts;
+  opts.num_documents = 3000;
+  Corpus c = GenerateWebCatCorpus(opts);
+  EXPECT_EQ(c.size(), 3000u);
+  EXPECT_EQ(c.name(), "webcat");
+  EXPECT_TRUE(c.Validate().ok());
+  double frac = c.ComputeStats().positive_fraction;
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.15);
+}
+
+TEST(PresetTest, EntityPresetLabelsMatchMentions) {
+  EntityExtractOptions opts;
+  opts.num_documents = 3000;
+  Corpus c = GenerateEntityExtractCorpus(opts);
+  EXPECT_EQ(c.name(), "entity");
+  SyntheticCorpusGenerator g(MakeEntityExtractConfig(opts));
+  for (const Document& d : c.documents()) {
+    bool has_mention = false;
+    for (uint32_t tok : d.tokens) has_mention |= g.IsMentionToken(tok);
+    EXPECT_EQ(d.label == 1, has_mention);
+  }
+}
+
+TEST(PresetTest, BalancedPresetIsBalancedAndUnconcentrated) {
+  BalancedOptions opts;
+  opts.num_documents = 8000;
+  Corpus c = GenerateBalancedCorpus(opts);
+  EXPECT_NEAR(c.ComputeStats().positive_fraction, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace zombie

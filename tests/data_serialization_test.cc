@@ -1,0 +1,117 @@
+#include "data/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "data/webcat_generator.h"
+
+namespace zombie {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(SerializationTest, RoundTripsGeneratedCorpus) {
+  WebCatOptions opts;
+  opts.num_documents = 500;
+  Corpus original = GenerateWebCatCorpus(opts);
+  std::string path = TempPath("roundtrip.zmbc");
+  ASSERT_TRUE(SaveCorpus(original, path).ok());
+
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Corpus& c = loaded.value();
+
+  EXPECT_EQ(c.name(), original.name());
+  EXPECT_EQ(c.size(), original.size());
+  EXPECT_EQ(c.vocabulary().size(), original.vocabulary().size());
+  EXPECT_EQ(c.num_domains(), original.num_domains());
+  for (size_t i = 0; i < c.size(); ++i) {
+    const Document& a = original.doc(i);
+    const Document& b = c.doc(i);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.tokens, b.tokens);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.domain, b.domain);
+    EXPECT_EQ(a.topic, b.topic);
+    EXPECT_EQ(a.extraction_cost_micros, b.extraction_cost_micros);
+    EXPECT_EQ(a.labeling_cost_micros, b.labeling_cost_micros);
+    EXPECT_EQ(a.url, b.url);
+  }
+  for (uint32_t t = 0; t < original.vocabulary().size(); ++t) {
+    EXPECT_EQ(c.vocabulary().Term(t), original.vocabulary().Term(t));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadedVocabularyIsFrozen) {
+  WebCatOptions opts;
+  opts.num_documents = 50;
+  Corpus original = GenerateWebCatCorpus(opts);
+  std::string path = TempPath("frozen.zmbc");
+  ASSERT_TRUE(SaveCorpus(original, path).ok());
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().vocabulary().frozen());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, EmptyCorpusRoundTrips) {
+  Corpus empty;
+  empty.set_name("nothing");
+  std::string path = TempPath("empty.zmbc");
+  ASSERT_TRUE(SaveCorpus(empty, path).ok());
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 0u);
+  EXPECT_EQ(loaded.value().name(), "nothing");
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsIOError) {
+  StatusOr<Corpus> loaded = LoadCorpus("/no/such/file.zmbc");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(SerializationTest, BadMagicIsRejected) {
+  std::string path = TempPath("garbage.zmbc");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a corpus file at all", f);
+  std::fclose(f);
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInternal);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedFileIsRejected) {
+  WebCatOptions opts;
+  opts.num_documents = 100;
+  Corpus original = GenerateWebCatCorpus(opts);
+  std::string path = TempPath("trunc.zmbc");
+  ASSERT_TRUE(SaveCorpus(original, path).ok());
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, UnwritablePathIsIOError) {
+  Corpus c;
+  EXPECT_EQ(SaveCorpus(c, "/no/such/dir/file.zmbc").code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,88 @@
+#include "featureeng/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/corpus.h"
+#include "featureeng/extractors.h"
+
+namespace zombie {
+namespace {
+
+Document Doc(std::vector<uint32_t> tokens, int64_t cost_micros = 1000) {
+  Document d;
+  d.tokens = std::move(tokens);
+  d.extraction_cost_micros = cost_micros;
+  return d;
+}
+
+TEST(PipelineTest, NamespacesExtractorIndices) {
+  FeaturePipeline p("test");
+  p.Add(std::make_unique<DocLengthExtractor>(16));   // dims [0, 16)
+  p.Add(std::make_unique<DomainExtractor>(256));     // dims [16, 272)
+  p.set_l2_normalize(false);
+  Corpus c;
+  SparseVector v = p.Extract(Doc({1, 2, 3}), c);
+  ASSERT_EQ(v.num_nonzero(), 2u);
+  EXPECT_LT(v.index_at(0), 16u);
+  EXPECT_GE(v.index_at(1), 16u);
+  EXPECT_LT(v.index_at(1), 272u);
+  EXPECT_EQ(p.dimension(), 272u);
+}
+
+TEST(PipelineTest, EmptyPipelineYieldsEmptyVector) {
+  FeaturePipeline p("empty");
+  Corpus c;
+  EXPECT_TRUE(p.Extract(Doc({1}), c).empty());
+  EXPECT_EQ(p.dimension(), 0u);
+  EXPECT_DOUBLE_EQ(p.total_cost_factor(), 0.0);
+  EXPECT_EQ(p.Description(), "(empty)");
+}
+
+TEST(PipelineTest, L2NormalizationUnitNorm) {
+  FeaturePipeline p("norm");
+  p.Add(std::make_unique<HashedBagOfWordsExtractor>(1024));
+  Corpus c;
+  SparseVector v = p.Extract(Doc({1, 2, 3, 4, 5}), c);
+  EXPECT_NEAR(v.L2Norm(), 1.0, 1e-12);
+  p.set_l2_normalize(false);
+  SparseVector raw = p.Extract(Doc({1, 2, 3, 4, 5}), c);
+  EXPECT_GT(raw.L2Norm(), 1.0);
+}
+
+TEST(PipelineTest, CostFactorSumsExtractors) {
+  FeaturePipeline p("cost");
+  p.Add(std::make_unique<HashedBagOfWordsExtractor>(64));   // 1.0
+  p.Add(std::make_unique<HashedBigramExtractor>(64));       // 1.5
+  p.Add(std::make_unique<DocLengthExtractor>());            // 0.05
+  EXPECT_NEAR(p.total_cost_factor(), 2.55, 1e-12);
+  EXPECT_EQ(p.ExtractionCostMicros(Doc({1, 2}, 1000)), 2550);
+}
+
+TEST(PipelineTest, DescriptionJoinsNames) {
+  FeaturePipeline p("desc");
+  p.Add(std::make_unique<HashedBagOfWordsExtractor>(256));
+  p.Add(std::make_unique<DocLengthExtractor>());
+  EXPECT_EQ(p.Description(), "bow256 + doclen");
+  EXPECT_EQ(p.name(), "desc");
+}
+
+TEST(PipelineTest, ExtractorAccessor) {
+  FeaturePipeline p("acc");
+  p.Add(std::make_unique<DocLengthExtractor>());
+  EXPECT_EQ(p.num_extractors(), 1u);
+  EXPECT_EQ(p.extractor(0).name(), "doclen");
+}
+
+TEST(PipelineTest, DeterministicExtraction) {
+  FeaturePipeline p("det");
+  p.Add(std::make_unique<HashedBagOfWordsExtractor>(512));
+  p.Add(std::make_unique<HashedBigramExtractor>(512));
+  Corpus c;
+  Document d = Doc({9, 8, 7, 6, 5});
+  EXPECT_EQ(p.Extract(d, c), p.Extract(d, c));
+}
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,111 @@
+#include "featureeng/feature_scoring.h"
+
+#include <gtest/gtest.h>
+
+#include "data/webcat_generator.h"
+
+namespace zombie {
+namespace {
+
+// A tiny hand-built corpus where token 0 marks positives, token 1 marks
+// negatives, and token 2 is uninformative (everywhere).
+Corpus MarkerCorpus() {
+  Corpus c;
+  for (const char* t : {"pos_marker", "neg_marker", "common"}) {
+    c.mutable_vocabulary().GetOrAdd(t);
+  }
+  for (int i = 0; i < 20; ++i) {
+    Document d;
+    d.id = static_cast<uint64_t>(i);
+    bool positive = i < 10;
+    d.label = positive ? 1 : 0;
+    d.tokens = {positive ? 0u : 1u};
+    // The common token appears in most (not all) documents of both
+    // classes; a universal token has an undefined chi-square (absent
+    // column is empty) and is rightly dropped by the scorer.
+    if (i % 4 != 0) d.tokens.push_back(2u);
+    d.extraction_cost_micros = 100;
+    c.AddDocument(std::move(d));
+  }
+  return c;
+}
+
+std::vector<uint32_t> AllDocs(const Corpus& c) {
+  std::vector<uint32_t> ids(c.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
+  return ids;
+}
+
+TEST(ChiSquareTest, MarkersOutscoreCommonTerm) {
+  Corpus c = MarkerCorpus();
+  auto scores = ChiSquareTerms(c, AllDocs(c), 3);
+  ASSERT_EQ(scores.size(), 3u);
+  // Both markers are perfectly class-associated; common is independent.
+  EXPECT_TRUE(scores[0].token_id == 0 || scores[0].token_id == 1);
+  EXPECT_TRUE(scores[1].token_id == 0 || scores[1].token_id == 1);
+  EXPECT_EQ(scores[2].token_id, 2u);
+  EXPECT_GT(scores[0].score, scores[2].score);
+  // The common term is nearly class-independent: tiny chi-square.
+  EXPECT_LT(scores[2].score, 1.0);
+}
+
+TEST(ChiSquareTest, DfCountsAreFilledIn) {
+  Corpus c = MarkerCorpus();
+  auto scores = ChiSquareTerms(c, AllDocs(c), 3);
+  for (const auto& s : scores) {
+    if (s.token_id == 0) {
+      EXPECT_EQ(s.df_positive, 10u);
+      EXPECT_EQ(s.df_negative, 0u);
+    }
+    if (s.token_id == 2) {
+      EXPECT_EQ(s.df_positive, 7u);
+      EXPECT_EQ(s.df_negative, 8u);
+    }
+  }
+}
+
+TEST(ChiSquareTest, TopKLimitsOutput) {
+  Corpus c = MarkerCorpus();
+  EXPECT_EQ(ChiSquareTerms(c, AllDocs(c), 1).size(), 1u);
+  EXPECT_TRUE(ChiSquareTerms(c, {}, 5).empty());
+}
+
+TEST(PmiTest, PositiveMarkerRanksFirst) {
+  Corpus c = MarkerCorpus();
+  auto scores = PmiTerms(c, AllDocs(c), 3);
+  ASSERT_FALSE(scores.empty());
+  // PMI targets the positive class: the positive marker must win, and the
+  // negative marker must score lowest.
+  EXPECT_EQ(scores[0].token_id, 0u);
+  EXPECT_EQ(scores.back().token_id, 1u);
+  EXPECT_GT(scores[0].score, 0.0);
+  EXPECT_LT(scores.back().score, 0.0);
+}
+
+TEST(SuggestKeywordsTest, FindsTargetTopicTermsOnWebCat) {
+  WebCatOptions opts;
+  opts.num_documents = 3000;
+  opts.positive_fraction = 0.2;
+  opts.label_noise = 0.0;
+  Corpus corpus = GenerateWebCatCorpus(opts);
+  std::vector<uint32_t> sample;
+  for (uint32_t i = 0; i < 1000; ++i) sample.push_back(i);
+  std::vector<uint32_t> keywords = SuggestKeywords(corpus, sample, 10);
+  ASSERT_EQ(keywords.size(), 10u);
+  // The suggested keywords should overwhelmingly be target-topic tokens
+  // (named "topic0_wX" in the generator's vocabulary layout).
+  size_t topic0 = 0;
+  for (uint32_t tok : keywords) {
+    const std::string& term = corpus.vocabulary().Term(tok);
+    if (term.rfind("topic0_", 0) == 0) ++topic0;
+  }
+  EXPECT_GE(topic0, 8u);
+}
+
+TEST(ScoringDeathTest, OutOfRangeSampleAborts) {
+  Corpus c = MarkerCorpus();
+  EXPECT_DEATH(ChiSquareTerms(c, {999}, 3), "Check failed");
+}
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,149 @@
+#include "index/grouped_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/webcat_generator.h"
+#include "index/random_grouper.h"
+#include "index/token_grouper.h"
+
+namespace zombie {
+namespace {
+
+Corpus TestCorpus(size_t n = 200) {
+  WebCatOptions opts;
+  opts.num_documents = n;
+  return GenerateWebCatCorpus(opts);
+}
+
+GroupingResult TwoGroups(size_t n) {
+  GroupingResult g;
+  g.method = "two";
+  g.groups.resize(2);
+  for (size_t i = 0; i < n; ++i) {
+    g.groups[i % 2].push_back(static_cast<uint32_t>(i));
+  }
+  return g;
+}
+
+TEST(GroupedCorpusTest, DrainsEveryItemExactlyOnce) {
+  Corpus corpus = TestCorpus(100);
+  GroupedCorpus gc(&corpus, TwoGroups(100), 1);
+  std::set<uint32_t> seen;
+  while (!gc.AllExhausted()) {
+    for (size_t g = 0; g < gc.num_groups(); ++g) {
+      auto idx = gc.NextFromGroup(g);
+      if (idx.has_value()) {
+        EXPECT_TRUE(seen.insert(*idx).second) << "duplicate " << *idx;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(gc.num_processed(), 100u);
+}
+
+TEST(GroupedCorpusTest, OverlappingGroupsNeverRepeatItems) {
+  Corpus corpus = TestCorpus(50);
+  GroupingResult g;
+  g.method = "overlap";
+  g.groups.resize(2);
+  for (uint32_t i = 0; i < 50; ++i) {
+    g.groups[0].push_back(i);
+    if (i % 2 == 0) g.groups[1].push_back(i);  // subset overlap
+  }
+  GroupedCorpus gc(&corpus, std::move(g), 2);
+  std::set<uint32_t> seen;
+  // Drain group 1 (the subset) first.
+  while (auto idx = gc.NextFromGroup(1)) seen.insert(*idx);
+  EXPECT_EQ(seen.size(), 25u);
+  // Group 0 then yields only the other half.
+  size_t rest = 0;
+  while (auto idx = gc.NextFromGroup(0)) {
+    EXPECT_TRUE(seen.insert(*idx).second);
+    ++rest;
+  }
+  EXPECT_EQ(rest, 25u);
+  EXPECT_TRUE(gc.AllExhausted());
+}
+
+TEST(GroupedCorpusTest, ExhaustedGroupReturnsNullopt) {
+  Corpus corpus = TestCorpus(10);
+  GroupingResult g;
+  g.groups = {{0, 1}, {2, 3, 4, 5, 6, 7, 8, 9}};
+  GroupedCorpus gc(&corpus, std::move(g), 3);
+  EXPECT_TRUE(gc.NextFromGroup(0).has_value());
+  EXPECT_TRUE(gc.NextFromGroup(0).has_value());
+  EXPECT_FALSE(gc.NextFromGroup(0).has_value());
+  EXPECT_TRUE(gc.GroupExhausted(0));
+  EXPECT_FALSE(gc.GroupExhausted(1));
+  EXPECT_FALSE(gc.AllExhausted());
+}
+
+TEST(GroupedCorpusTest, MarkProcessedExcludesFromSelection) {
+  Corpus corpus = TestCorpus(10);
+  GroupingResult g;
+  g.groups = {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}};
+  GroupedCorpus gc(&corpus, std::move(g), 4);
+  for (uint32_t i = 0; i < 5; ++i) gc.MarkProcessed(i);
+  EXPECT_EQ(gc.num_processed(), 5u);
+  std::set<uint32_t> seen;
+  while (auto idx = gc.NextFromGroup(0)) seen.insert(*idx);
+  EXPECT_EQ(seen.size(), 5u);
+  for (uint32_t i : seen) EXPECT_GE(i, 5u);
+}
+
+TEST(GroupedCorpusTest, MarkProcessedIdempotent) {
+  Corpus corpus = TestCorpus(10);
+  GroupedCorpus gc(&corpus, TwoGroups(10), 5);
+  gc.MarkProcessed(3);
+  gc.MarkProcessed(3);
+  EXPECT_EQ(gc.num_processed(), 1u);
+  EXPECT_TRUE(gc.IsProcessed(3));
+  EXPECT_FALSE(gc.IsProcessed(4));
+}
+
+TEST(GroupedCorpusTest, ShuffleChangesOrderButNotContents) {
+  Corpus corpus = TestCorpus(60);
+  GroupingResult g = TwoGroups(60);
+  GroupedCorpus shuffled(&corpus, g, 6, /*shuffle=*/true);
+  GroupedCorpus ordered(&corpus, g, 6, /*shuffle=*/false);
+  std::vector<uint32_t> s_order;
+  std::vector<uint32_t> o_order;
+  while (auto idx = shuffled.NextFromGroup(0)) s_order.push_back(*idx);
+  while (auto idx = ordered.NextFromGroup(0)) o_order.push_back(*idx);
+  EXPECT_NE(s_order, o_order);
+  std::sort(s_order.begin(), s_order.end());
+  EXPECT_EQ(s_order, o_order);  // ordered group 0 is already sorted (evens)
+}
+
+TEST(GroupedCorpusTest, ResetRestoresAllItems) {
+  Corpus corpus = TestCorpus(20);
+  GroupedCorpus gc(&corpus, TwoGroups(20), 7);
+  while (auto idx = gc.NextFromGroup(0)) {
+  }
+  gc.MarkProcessed(1);
+  gc.Reset();
+  EXPECT_EQ(gc.num_processed(), 0u);
+  EXPECT_FALSE(gc.GroupExhausted(0));
+  size_t count = 0;
+  while (auto idx = gc.NextFromGroup(0)) ++count;
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(GroupedCorpusTest, GroupSizeReportsOriginalSizes) {
+  Corpus corpus = TestCorpus(30);
+  GroupedCorpus gc(&corpus, TwoGroups(30), 8);
+  EXPECT_EQ(gc.group_size(0), 15u);
+  EXPECT_EQ(gc.group_size(1), 15u);
+}
+
+TEST(GroupedCorpusDeathTest, InvalidGroupingAborts) {
+  Corpus corpus = TestCorpus(5);
+  GroupingResult g;
+  g.groups = {{0, 1}};  // docs 2..4 uncovered
+  EXPECT_DEATH(GroupedCorpus(&corpus, std::move(g), 1), "not covered");
+}
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,132 @@
+#include "index/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace zombie {
+namespace {
+
+// Three well-separated blobs in 2D.
+std::vector<std::vector<double>> Blobs(size_t per_blob, Rng* rng) {
+  std::vector<std::vector<double>> rows;
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (int b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      rows.push_back({centers[b][0] + rng->NextGaussian() * 0.3,
+                      centers[b][1] + rng->NextGaussian() * 0.3});
+    }
+  }
+  return rows;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Rng rng(1);
+  auto rows = Blobs(50, &rng);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  KMeansResult r = RunKMeans(rows, cfg);
+  ASSERT_EQ(r.assignments.size(), 150u);
+  // Each blob must be a single pure cluster.
+  for (int b = 0; b < 3; ++b) {
+    uint32_t c = r.assignments[static_cast<size_t>(b) * 50];
+    for (size_t i = 0; i < 50; ++i) {
+      EXPECT_EQ(r.assignments[static_cast<size_t>(b) * 50 + i], c);
+    }
+  }
+  // Distinct clusters per blob.
+  EXPECT_NE(r.assignments[0], r.assignments[50]);
+  EXPECT_NE(r.assignments[50], r.assignments[100]);
+  EXPECT_LT(r.inertia, 150 * 0.3 * 0.3 * 2 * 4);  // near within-blob noise
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Rng rng(2);
+  auto rows = Blobs(30, &rng);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  cfg.seed = 99;
+  KMeansResult a = RunKMeans(rows, cfg);
+  KMeansResult b = RunKMeans(rows, cfg);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, KGreaterOrEqualNGivesOnePointClusters) {
+  std::vector<std::vector<double>> rows = {{0.0}, {1.0}, {2.0}};
+  KMeansConfig cfg;
+  cfg.k = 5;
+  KMeansResult r = RunKMeans(rows, cfg);
+  EXPECT_EQ(r.inertia, 0.0);
+  EXPECT_EQ(r.assignments, (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(r.centroids.size(), 5u);
+}
+
+TEST(KMeansTest, KOneGroupsEverything) {
+  Rng rng(3);
+  auto rows = Blobs(10, &rng);
+  KMeansConfig cfg;
+  cfg.k = 1;
+  KMeansResult r = RunKMeans(rows, cfg);
+  for (uint32_t a : r.assignments) EXPECT_EQ(a, 0u);
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  std::vector<std::vector<double>> rows(20, std::vector<double>{1.0, 2.0});
+  KMeansConfig cfg;
+  cfg.k = 4;
+  KMeansResult r = RunKMeans(rows, cfg);
+  EXPECT_EQ(r.assignments.size(), 20u);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, AssignmentsAlwaysWithinK) {
+  Rng rng(4);
+  auto rows = Blobs(20, &rng);
+  KMeansConfig cfg;
+  cfg.k = 7;
+  KMeansResult r = RunKMeans(rows, cfg);
+  for (uint32_t a : r.assignments) EXPECT_LT(a, 7u);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(5);
+  auto rows = Blobs(40, &rng);
+  double prev = 1e300;
+  for (size_t k : {1, 2, 3, 6}) {
+    KMeansConfig cfg;
+    cfg.k = k;
+    double inertia = RunKMeans(rows, cfg).inertia;
+    EXPECT_LE(inertia, prev + 1e-9) << "k=" << k;
+    prev = inertia;
+  }
+}
+
+TEST(KMeansTest, IterationCountBounded) {
+  Rng rng(6);
+  auto rows = Blobs(30, &rng);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  cfg.max_iterations = 2;
+  KMeansResult r = RunKMeans(rows, cfg);
+  EXPECT_LE(r.iterations, 2u);
+}
+
+TEST(SquaredL2Test, KnownValue) {
+  EXPECT_DOUBLE_EQ(SquaredL2({1.0, 2.0}, {4.0, 6.0}), 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(SquaredL2({}, {}), 0.0);
+}
+
+TEST(KMeansDeathTest, EmptyRowsAbort) {
+  KMeansConfig cfg;
+  EXPECT_DEATH(RunKMeans({}, cfg), "at least one row");
+}
+
+TEST(KMeansDeathTest, RaggedRowsAbort) {
+  KMeansConfig cfg;
+  cfg.k = 1;
+  EXPECT_DEATH(RunKMeans({{1.0}, {1.0, 2.0}}, cfg), "Check failed");
+}
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,202 @@
+// End-to-end checks of the paper's headline behaviours, run at reduced
+// scale: intelligent input selection beats a random scan on skewed tasks,
+// does no meaningful harm on a balanced task, and better groupings yield
+// better selection.
+
+#include <gtest/gtest.h>
+
+#include "bandit/epsilon_greedy.h"
+#include "core/analysis.h"
+#include "core/baselines.h"
+#include "core/engine.h"
+#include "core/reward.h"
+#include "core/task_factory.h"
+#include "data/serialization.h"
+#include "index/kmeans_grouper.h"
+#include "index/oracle_grouper.h"
+#include "index/random_grouper.h"
+#include "index/token_grouper.h"
+#include "ml/naive_bayes.h"
+
+namespace zombie {
+namespace {
+
+EngineOptions TestOptions(uint64_t seed) {
+  EngineOptions o;
+  o.seed = seed;
+  o.holdout_size = 200;
+  o.eval_every = 25;
+  return o;
+}
+
+struct Outcome {
+  RunResult zombie;
+  RunResult baseline;
+};
+
+Outcome RunPair(const Task& task, const GroupingResult& grouping,
+                uint64_t seed) {
+  NaiveBayesLearner nb;
+  EpsilonGreedyPolicy policy;
+  LabelReward reward;
+  Outcome out{
+      ZombieEngine(&task.corpus, &task.pipeline, TestOptions(seed))
+          .Run(grouping, policy, nb, reward),
+      RunRandomBaseline(ZombieEngine(&task.corpus, &task.pipeline,
+                                     FullScanOptions(TestOptions(seed))),
+                        nb)};
+  return out;
+}
+
+TEST(IntegrationTest, ZombieBeatsRandomScanOnWebCat) {
+  // Majority vote across seeds: items-to-target must be at least 2x
+  // better with input selection on the skewed task.
+  int wins = 0;
+  for (uint64_t seed : {42ull, 43ull, 44ull}) {
+    Task task = MakeTask(TaskKind::kWebCat, 8000, seed);
+    KMeansGrouper grouper(16, 7);
+    Outcome o = RunPair(task, grouper.Group(task.corpus), seed);
+    SpeedupReport s = ComputeSpeedup(o.baseline, o.zombie, 0.9);
+    if (s.items_speedup > 2.0) ++wins;
+  }
+  EXPECT_GE(wins, 2);
+}
+
+TEST(IntegrationTest, ZombieBeatsRandomScanOnEntityWithTokenIndex) {
+  int wins = 0;
+  for (uint64_t seed : {42ull, 43ull}) {
+    Task task = MakeTask(TaskKind::kEntity, 8000, seed);
+    // The engineer seeds the inverted index with the entity's mention
+    // terms (the designed usage for extraction tasks).
+    TokenGrouperOptions topts;
+    for (size_t m = 0; m < 5; ++m) {
+      topts.seed_terms.push_back("topic0_w" + std::to_string(m));
+    }
+    TokenGrouper grouper(topts);
+    Outcome o = RunPair(task, grouper.Group(task.corpus), seed);
+    SpeedupReport s = ComputeSpeedup(o.baseline, o.zombie, 0.9);
+    if (s.items_speedup > 2.0) ++wins;
+  }
+  EXPECT_GE(wins, 1);
+}
+
+TEST(IntegrationTest, NoMeaningfulHarmOnBalancedTask) {
+  // On the balanced control task, early-stopped Zombie must reach nearly
+  // the full-scan quality (input selection cannot help, must not hurt).
+  for (uint64_t seed : {42ull, 43ull}) {
+    Task task = MakeTask(TaskKind::kBalanced, 6000, seed);
+    KMeansGrouper grouper(16, 7);
+    Outcome o = RunPair(task, grouper.Group(task.corpus), seed);
+    EXPECT_GT(o.zombie.final_quality, 0.92 * o.baseline.final_quality)
+        << "seed " << seed;
+    // And it processes far fewer items doing so (early stop works).
+    EXPECT_LT(o.zombie.items_processed, o.baseline.items_processed / 2);
+  }
+}
+
+TEST(IntegrationTest, BetterGroupingsSelectMorePositives) {
+  // Positive-selection efficiency must be ordered:
+  // oracle >= kmeans > random-partition (which matches the base rate).
+  Task task = MakeTask(TaskKind::kWebCat, 8000, 42);
+  auto positive_rate = [&task](GroupingResult grouping) {
+    NaiveBayesLearner nb;
+    EpsilonGreedyPolicy policy;
+    LabelReward reward;
+    EngineOptions opts = TestOptions(1);
+    opts.stop.max_items = 600;
+    opts.stop.plateau_enabled = false;
+    RunResult r = ZombieEngine(&task.corpus, &task.pipeline, opts)
+                      .Run(grouping, policy, nb, reward);
+    return static_cast<double>(r.positives_processed) /
+           static_cast<double>(r.items_processed);
+  };
+  OracleGrouper oracle(OracleMode::kLabel);
+  KMeansGrouper kmeans(16, 7);
+  RandomGrouper random(16, 7);
+  double oracle_rate = positive_rate(oracle.Group(task.corpus));
+  double kmeans_rate = positive_rate(kmeans.Group(task.corpus));
+  double random_rate = positive_rate(random.Group(task.corpus));
+  double base = task.corpus.ComputeStats().positive_fraction;
+  EXPECT_GT(oracle_rate, 0.8);
+  EXPECT_GT(kmeans_rate, 2.0 * base);
+  EXPECT_GE(oracle_rate, kmeans_rate);
+  EXPECT_LT(random_rate, 2.0 * base);
+}
+
+TEST(IntegrationTest, EarlyStopSavesMostOfTheCorpus) {
+  Task task = MakeTask(TaskKind::kWebCat, 10000, 45);
+  KMeansGrouper grouper(16, 7);
+  NaiveBayesLearner nb;
+  EpsilonGreedyPolicy policy;
+  LabelReward reward;
+  RunResult r = ZombieEngine(&task.corpus, &task.pipeline, TestOptions(2))
+                    .Run(grouper.Group(task.corpus), policy, nb, reward);
+  EXPECT_EQ(r.stop_reason, StopReason::kPlateau);
+  EXPECT_LT(r.items_processed, task.corpus.size() / 4);
+}
+
+TEST(IntegrationTest, PersistedCorpusReproducesIdenticalTraces) {
+  // Save → load → run must produce the exact same trace as running on the
+  // in-memory original: serialization is faithful and the engine is
+  // deterministic over it.
+  Task task = MakeTask(TaskKind::kWebCat, 2000, 47);
+  std::string path = testing::TempDir() + "/integration_corpus.zmbc";
+  ASSERT_TRUE(SaveCorpus(task.corpus, path).ok());
+  StatusOr<Corpus> loaded = LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok());
+  std::remove(path.c_str());
+
+  FeaturePipeline pipeline_a = MakeDefaultPipeline(TaskKind::kWebCat,
+                                                   task.corpus);
+  FeaturePipeline pipeline_b = MakeDefaultPipeline(TaskKind::kWebCat,
+                                                   loaded.value());
+  KMeansGrouper grouper(8, 3);
+  GroupingResult grouping_a = grouper.Group(task.corpus);
+  GroupingResult grouping_b = grouper.Group(loaded.value());
+  EXPECT_EQ(grouping_a.groups, grouping_b.groups);
+
+  EngineOptions opts = TestOptions(9);
+  opts.stop.max_items = 300;
+  NaiveBayesLearner nb;
+  EpsilonGreedyPolicy policy;
+  LabelReward reward;
+  RunResult a = ZombieEngine(&task.corpus, &pipeline_a, opts)
+                    .Run(grouping_a, policy, nb, reward);
+  RunResult b = ZombieEngine(&loaded.value(), &pipeline_b, opts)
+                    .Run(grouping_b, policy, nb, reward);
+  EXPECT_EQ(a.items_processed, b.items_processed);
+  EXPECT_EQ(a.loop_virtual_micros, b.loop_virtual_micros);
+  EXPECT_EQ(a.final_quality, b.final_quality);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve.point(i).quality, b.curve.point(i).quality);
+  }
+}
+
+TEST(IntegrationTest, BanditConcentratesPullsOnRichArms) {
+  Task task = MakeTask(TaskKind::kWebCat, 8000, 46);
+  KMeansGrouper grouper(16, 7);
+  GroupingResult grouping = grouper.Group(task.corpus);
+  NaiveBayesLearner nb;
+  EpsilonGreedyPolicy policy;
+  LabelReward reward;
+  EngineOptions opts = TestOptions(3);
+  opts.stop.max_items = 800;
+  opts.stop.plateau_enabled = false;
+  RunResult r = ZombieEngine(&task.corpus, &task.pipeline, opts)
+                    .Run(grouping, policy, nb, reward);
+  // The most-pulled arm should be one of the positive-rich groups.
+  size_t best_arm = 0;
+  for (size_t a = 1; a < r.arms.size(); ++a) {
+    if (r.arms[a].pulls > r.arms[best_arm].pulls) best_arm = a;
+  }
+  const auto& grp = grouping.groups[best_arm];
+  size_t pos = 0;
+  for (uint32_t d : grp) pos += task.corpus.doc(d).label == 1;
+  double rate = static_cast<double>(pos) / static_cast<double>(grp.size());
+  double base = task.corpus.ComputeStats().positive_fraction;
+  EXPECT_GT(rate, 2.0 * base);
+}
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ml/adagrad_lr.h"
+#include "ml/dataset.h"
+#include "ml/evaluator.h"
+#include "ml/knn.h"
+#include "ml/logistic_regression.h"
+#include "ml/majority.h"
+#include "ml/metrics.h"
+#include "ml/naive_bayes.h"
+#include "ml/pegasos_svm.h"
+#include "ml/perceptron.h"
+#include "util/random.h"
+
+namespace zombie {
+namespace {
+
+SparseVector V(std::vector<std::pair<uint32_t, double>> pairs) {
+  return SparseVector::FromPairs(std::move(pairs));
+}
+
+// A linearly separable two-cluster dataset: positives light up features
+// [0, 5), negatives [5, 10), with a little noise.
+Dataset SeparableData(size_t n, Rng* rng) {
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) {
+    int32_t y = rng->NextBernoulli(0.5) ? 1 : 0;
+    std::vector<std::pair<uint32_t, double>> pairs;
+    uint32_t base = y == 1 ? 0 : 5;
+    for (int k = 0; k < 3; ++k) {
+      pairs.emplace_back(base + static_cast<uint32_t>(rng->NextBelow(5)),
+                         1.0);
+    }
+    // Shared noise feature.
+    pairs.emplace_back(10 + static_cast<uint32_t>(rng->NextBelow(3)), 1.0);
+    data.Add(V(std::move(pairs)), y);
+  }
+  return data;
+}
+
+// Every learner under test, as fresh prototypes.
+std::vector<std::unique_ptr<Learner>> AllLearners() {
+  std::vector<std::unique_ptr<Learner>> out;
+  out.push_back(std::make_unique<NaiveBayesLearner>());
+  out.push_back(std::make_unique<LogisticRegressionLearner>());
+  out.push_back(std::make_unique<AveragedPerceptronLearner>());
+  out.push_back(std::make_unique<PegasosSvmLearner>());
+  out.push_back(std::make_unique<KnnLearner>(3));
+  out.push_back(std::make_unique<AdaGradLogisticLearner>());
+  return out;
+}
+
+class EveryLearnerTest : public testing::TestWithParam<size_t> {
+ protected:
+  std::unique_ptr<Learner> MakeLearner() {
+    return AllLearners()[GetParam()]->Clone();
+  }
+};
+
+TEST_P(EveryLearnerTest, LearnsSeparableData) {
+  Rng rng(42);
+  Dataset train = SeparableData(300, &rng);
+  Dataset test = SeparableData(100, &rng);
+  auto learner = MakeLearner();
+  TrainEpochs(learner.get(), train, 3, &rng);
+  BinaryMetrics m = EvaluateLearner(*learner, test);
+  EXPECT_GT(m.accuracy, 0.9) << learner->name();
+  EXPECT_GT(m.f1, 0.9) << learner->name();
+}
+
+TEST_P(EveryLearnerTest, ResetForgetsEverything) {
+  Rng rng(43);
+  Dataset train = SeparableData(100, &rng);
+  auto learner = MakeLearner();
+  TrainEpochs(learner.get(), train, 1, &rng);
+  learner->Reset();
+  EXPECT_EQ(learner->num_updates(), 0u);
+  SparseVector x = V({{0, 1.0}, {1, 1.0}});
+  EXPECT_EQ(learner->Score(x), 0.0) << learner->name();
+}
+
+TEST_P(EveryLearnerTest, CloneIsFreshAndIndependent) {
+  Rng rng(44);
+  Dataset train = SeparableData(100, &rng);
+  auto learner = MakeLearner();
+  TrainEpochs(learner.get(), train, 1, &rng);
+  auto clone = learner->Clone();
+  EXPECT_EQ(clone->num_updates(), 0u) << learner->name();
+  EXPECT_EQ(clone->name(), learner->name());
+}
+
+TEST_P(EveryLearnerTest, ProbabilitiesInUnitInterval) {
+  Rng rng(45);
+  Dataset train = SeparableData(200, &rng);
+  auto learner = MakeLearner();
+  TrainEpochs(learner.get(), train, 2, &rng);
+  for (const Example& e : train.examples()) {
+    double p = learner->PredictProbability(e.x);
+    EXPECT_GE(p, 0.0) << learner->name();
+    EXPECT_LE(p, 1.0) << learner->name();
+  }
+}
+
+TEST_P(EveryLearnerTest, PredictConsistentWithScore) {
+  Rng rng(46);
+  Dataset train = SeparableData(150, &rng);
+  auto learner = MakeLearner();
+  TrainEpochs(learner.get(), train, 2, &rng);
+  for (const Example& e : train.examples()) {
+    double s = learner->Score(e.x);
+    EXPECT_EQ(learner->Predict(e.x), s > 0.0 ? 1 : 0) << learner->name();
+  }
+}
+
+TEST_P(EveryLearnerTest, RejectsNonBinaryLabels) {
+  auto learner = MakeLearner();
+  SparseVector x = V({{0, 1.0}});
+  EXPECT_DEATH(learner->Update(x, 2), "binary");
+  EXPECT_DEATH(learner->Update(x, -1), "binary");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLearners, EveryLearnerTest,
+                         testing::Values(0, 1, 2, 3, 4, 5));
+
+// --- Learner-specific behaviors -------------------------------------------
+
+TEST(NaiveBayesTest, PriorDominatesWithoutFeatures) {
+  NaiveBayesLearner nb;
+  SparseVector empty;
+  for (int i = 0; i < 20; ++i) nb.Update(V({{0, 1.0}}), 1);
+  EXPECT_GT(nb.Score(empty), 0.0);  // prior says positive
+  for (int i = 0; i < 60; ++i) nb.Update(V({{1, 1.0}}), 0);
+  EXPECT_LT(nb.Score(empty), 0.0);  // prior flipped
+}
+
+TEST(NaiveBayesTest, DiscriminativeTokenShiftsScore) {
+  NaiveBayesLearner nb;
+  for (int i = 0; i < 50; ++i) {
+    nb.Update(V({{0, 1.0}}), 1);
+    nb.Update(V({{1, 1.0}}), 0);
+  }
+  EXPECT_GT(nb.Score(V({{0, 1.0}})), 0.0);
+  EXPECT_LT(nb.Score(V({{1, 1.0}})), 0.0);
+}
+
+TEST(NaiveBayesTest, NegativeFeatureValuesIgnored) {
+  NaiveBayesLearner nb;
+  nb.Update(V({{0, -5.0}}), 1);
+  nb.Update(V({{1, 1.0}}), 0);
+  // Feature 0 contributed nothing, so scoring it reflects only priors and
+  // smoothing, and must not produce NaN.
+  double s = nb.Score(V({{0, 1.0}}));
+  EXPECT_FALSE(std::isnan(s));
+}
+
+TEST(NaiveBayesTest, UntrainedScoreIsZero) {
+  NaiveBayesLearner nb;
+  EXPECT_EQ(nb.Score(V({{0, 1.0}})), 0.0);
+  EXPECT_DOUBLE_EQ(nb.PredictProbability(V({{0, 1.0}})), 0.5);
+}
+
+TEST(LogisticRegressionTest, ProbabilityCalibrationDirection) {
+  LogisticRegressionLearner lr;
+  for (int i = 0; i < 200; ++i) {
+    lr.Update(V({{0, 1.0}}), 1);
+    lr.Update(V({{1, 1.0}}), 0);
+  }
+  EXPECT_GT(lr.PredictProbability(V({{0, 1.0}})), 0.8);
+  EXPECT_LT(lr.PredictProbability(V({{1, 1.0}})), 0.2);
+}
+
+TEST(LogisticRegressionTest, WeightAccessors) {
+  LogisticRegressionLearner lr;
+  EXPECT_EQ(lr.WeightAt(0), 0.0);
+  for (int i = 0; i < 50; ++i) {
+    lr.Update(V({{0, 1.0}}), 1);
+    lr.Update(V({{1, 1.0}}), 0);
+  }
+  EXPECT_GT(lr.WeightAt(0), 0.0);
+  EXPECT_LT(lr.WeightAt(1), 0.0);
+  EXPECT_EQ(lr.WeightAt(999), 0.0);
+}
+
+TEST(LogisticRegressionTest, RegularizationShrinksWeights) {
+  LogisticRegressionOptions strong;
+  strong.lambda = 0.5;
+  LogisticRegressionOptions weak;
+  weak.lambda = 1e-6;
+  LogisticRegressionLearner lr_strong(strong);
+  LogisticRegressionLearner lr_weak(weak);
+  for (int i = 0; i < 300; ++i) {
+    lr_strong.Update(V({{0, 1.0}}), 1);
+    lr_strong.Update(V({{1, 1.0}}), 0);
+    lr_weak.Update(V({{0, 1.0}}), 1);
+    lr_weak.Update(V({{1, 1.0}}), 0);
+  }
+  EXPECT_LT(std::abs(lr_strong.WeightAt(0)), std::abs(lr_weak.WeightAt(0)));
+}
+
+TEST(PerceptronTest, NoUpdateWhenCorrect) {
+  AveragedPerceptronLearner p;
+  p.Update(V({{0, 1.0}}), 1);  // first example always a "mistake" (margin 0)
+  size_t mistakes = p.num_mistakes();
+  // Now that it classifies feature 0 as positive, repeats are correct.
+  p.Update(V({{0, 1.0}}), 1);
+  p.Update(V({{0, 1.0}}), 1);
+  EXPECT_EQ(p.num_mistakes(), mistakes);
+  EXPECT_EQ(p.num_updates(), 3u);
+}
+
+TEST(PerceptronTest, AveragingSmoothsLateMistakes) {
+  AveragedPerceptronLearner p;
+  for (int i = 0; i < 100; ++i) {
+    p.Update(V({{0, 1.0}}), 1);
+    p.Update(V({{1, 1.0}}), 0);
+  }
+  EXPECT_GT(p.Score(V({{0, 1.0}})), 0.0);
+  EXPECT_LT(p.Score(V({{1, 1.0}})), 0.0);
+}
+
+TEST(PegasosTest, MarginGrowsWithTraining) {
+  PegasosSvmLearner svm;
+  for (int i = 0; i < 500; ++i) {
+    svm.Update(V({{0, 1.0}}), 1);
+    svm.Update(V({{1, 1.0}}), 0);
+  }
+  EXPECT_GT(svm.Score(V({{0, 1.0}})), 0.0);
+  EXPECT_LT(svm.Score(V({{1, 1.0}})), 0.0);
+}
+
+TEST(AdaGradTest, LearnsDirectionLikeLogReg) {
+  AdaGradLogisticLearner lr;
+  for (int i = 0; i < 100; ++i) {
+    lr.Update(V({{0, 1.0}}), 1);
+    lr.Update(V({{1, 1.0}}), 0);
+  }
+  EXPECT_GT(lr.WeightAt(0), 0.0);
+  EXPECT_LT(lr.WeightAt(1), 0.0);
+  EXPECT_GT(lr.PredictProbability(V({{0, 1.0}})), 0.8);
+  EXPECT_LT(lr.PredictProbability(V({{1, 1.0}})), 0.2);
+}
+
+TEST(AdaGradTest, RareFeatureKeepsLargeSteps) {
+  // A feature seen once moves as far as its first step allows; a feature
+  // hammered 100 times anneals. Verify the rare feature's weight after one
+  // update exceeds the frequent feature's per-update movement at the end.
+  AdaGradLogisticLearner lr;
+  for (int i = 0; i < 100; ++i) lr.Update(V({{0, 1.0}}), 1);
+  double frequent_before = lr.WeightAt(0);
+  lr.Update(V({{0, 1.0}}), 1);
+  double frequent_step = lr.WeightAt(0) - frequent_before;
+  lr.Update(V({{5, 1.0}}), 1);  // first sighting of feature 5
+  double rare_step = lr.WeightAt(5);
+  EXPECT_GT(rare_step, frequent_step);
+}
+
+TEST(AdaGradTest, WeightAtOutOfRangeIsZero) {
+  AdaGradLogisticLearner lr;
+  EXPECT_EQ(lr.WeightAt(1234), 0.0);
+}
+
+TEST(KnnTest, UsesNearestNeighbors) {
+  KnnLearner knn(3);
+  knn.Update(V({{0, 1.0}}), 1);
+  knn.Update(V({{0, 1.0}, {1, 0.1}}), 1);
+  knn.Update(V({{5, 1.0}}), 0);
+  knn.Update(V({{5, 1.0}, {6, 0.1}}), 0);
+  EXPECT_GT(knn.Score(V({{0, 1.0}, {1, 0.05}})), 0.0);
+  EXPECT_LT(knn.Score(V({{5, 1.0}})), 0.0);
+}
+
+TEST(KnnTest, EmptyMemoryScoresZero) {
+  KnnLearner knn(5);
+  EXPECT_EQ(knn.Score(V({{0, 1.0}})), 0.0);
+}
+
+TEST(MajorityTest, TracksSeenBalance) {
+  MajorityClassLearner m;
+  SparseVector x;
+  EXPECT_EQ(m.Score(x), 0.0);
+  m.Update(x, 1);
+  EXPECT_GT(m.Score(x), 0.0);
+  m.Update(x, 0);
+  m.Update(x, 0);
+  EXPECT_LT(m.Score(x), 0.0);
+}
+
+}  // namespace
+}  // namespace zombie

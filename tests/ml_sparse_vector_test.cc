@@ -1,0 +1,157 @@
+#include "ml/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace zombie {
+namespace {
+
+SparseVector V(std::vector<std::pair<uint32_t, double>> pairs) {
+  return SparseVector::FromPairs(std::move(pairs));
+}
+
+TEST(SparseVectorTest, FromPairsSortsAndMerges) {
+  SparseVector v = V({{5, 1.0}, {2, 2.0}, {5, 3.0}, {7, 0.0}});
+  ASSERT_EQ(v.num_nonzero(), 2u);
+  EXPECT_EQ(v.index_at(0), 2u);
+  EXPECT_DOUBLE_EQ(v.value_at(0), 2.0);
+  EXPECT_EQ(v.index_at(1), 5u);
+  EXPECT_DOUBLE_EQ(v.value_at(1), 4.0);
+}
+
+TEST(SparseVectorTest, MergedToZeroIsDropped) {
+  SparseVector v = V({{3, 1.0}, {3, -1.0}});
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.dimension(), 0u);
+}
+
+TEST(SparseVectorTest, PushBackStrictOrder) {
+  SparseVector v;
+  v.PushBack(1, 1.0);
+  v.PushBack(4, 2.0);
+  EXPECT_EQ(v.num_nonzero(), 2u);
+  EXPECT_EQ(v.dimension(), 5u);
+  EXPECT_DEATH(v.PushBack(4, 3.0), "strictly increasing");
+}
+
+TEST(SparseVectorTest, PushBackSkipsZeros) {
+  SparseVector v;
+  v.PushBack(1, 0.0);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SparseVectorTest, GetBinarySearch) {
+  SparseVector v = V({{10, 1.5}, {20, -2.5}});
+  EXPECT_DOUBLE_EQ(v.Get(10), 1.5);
+  EXPECT_DOUBLE_EQ(v.Get(20), -2.5);
+  EXPECT_DOUBLE_EQ(v.Get(15), 0.0);
+  EXPECT_DOUBLE_EQ(v.Get(0), 0.0);
+  EXPECT_DOUBLE_EQ(v.Get(100), 0.0);
+}
+
+TEST(SparseVectorTest, DotWithDense) {
+  SparseVector v = V({{0, 2.0}, {3, 1.0}});
+  std::vector<double> dense = {1.0, 9.0, 9.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Dot(dense), 2.0 + 4.0);
+  // Indices past the dense size contribute zero.
+  std::vector<double> short_dense = {5.0};
+  EXPECT_DOUBLE_EQ(v.Dot(short_dense), 10.0);
+  EXPECT_DOUBLE_EQ(v.Dot(std::vector<double>{}), 0.0);
+}
+
+TEST(SparseVectorTest, DotSparseSparse) {
+  SparseVector a = V({{1, 2.0}, {3, 1.0}, {8, 4.0}});
+  SparseVector b = V({{3, 5.0}, {8, 0.5}, {9, 100.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 5.0 + 2.0);
+  EXPECT_DOUBLE_EQ(b.Dot(a), a.Dot(b));  // symmetry
+  EXPECT_DOUBLE_EQ(a.Dot(SparseVector()), 0.0);
+}
+
+TEST(SparseVectorTest, AddScaledToGrowsDense) {
+  SparseVector v = V({{2, 3.0}});
+  std::vector<double> dense = {1.0};
+  v.AddScaledTo(2.0, &dense);
+  ASSERT_EQ(dense.size(), 3u);
+  EXPECT_DOUBLE_EQ(dense[0], 1.0);
+  EXPECT_DOUBLE_EQ(dense[2], 6.0);
+}
+
+TEST(SparseVectorTest, ScaleAndNorms) {
+  SparseVector v = V({{0, 3.0}, {1, 4.0}});
+  EXPECT_DOUBLE_EQ(v.L2Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.L1Norm(), 7.0);
+  v.Scale(2.0);
+  EXPECT_DOUBLE_EQ(v.L2Norm(), 10.0);
+}
+
+TEST(SparseVectorTest, SquaredDistance) {
+  SparseVector a = V({{0, 1.0}, {2, 2.0}});
+  SparseVector b = V({{0, 1.0}, {1, 3.0}});
+  // diff: idx1 -3, idx2 +2 -> 9 + 4
+  EXPECT_DOUBLE_EQ(a.SquaredDistance(b), 13.0);
+  EXPECT_DOUBLE_EQ(a.SquaredDistance(a), 0.0);
+  EXPECT_DOUBLE_EQ(a.SquaredDistance(SparseVector()), 5.0);
+}
+
+TEST(SparseVectorTest, CosineSimilarity) {
+  SparseVector a = V({{0, 1.0}});
+  SparseVector b = V({{0, 5.0}});
+  SparseVector c = V({{1, 1.0}});
+  EXPECT_DOUBLE_EQ(a.CosineSimilarity(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.CosineSimilarity(c), 0.0);
+  EXPECT_DOUBLE_EQ(a.CosineSimilarity(SparseVector()), 0.0);
+}
+
+TEST(SparseVectorTest, ToStringRendersPairs) {
+  SparseVector v = V({{3, 1.0}, {17, 0.5}});
+  EXPECT_EQ(v.ToString(), "{3:1, 17:0.5}");
+  EXPECT_EQ(SparseVector().ToString(), "{}");
+}
+
+// Property-style randomized algebra checks.
+class SparseVectorPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+SparseVector RandomVector(Rng* rng, uint32_t dim, size_t nnz) {
+  std::vector<std::pair<uint32_t, double>> pairs;
+  for (size_t i = 0; i < nnz; ++i) {
+    pairs.emplace_back(static_cast<uint32_t>(rng->NextBelow(dim)),
+                       rng->NextGaussian());
+  }
+  return SparseVector::FromPairs(std::move(pairs));
+}
+
+TEST_P(SparseVectorPropertyTest, DotConsistentWithDense) {
+  Rng rng(GetParam());
+  SparseVector a = RandomVector(&rng, 100, 20);
+  SparseVector b = RandomVector(&rng, 100, 20);
+  std::vector<double> b_dense(100, 0.0);
+  b.AddScaledTo(1.0, &b_dense);
+  EXPECT_NEAR(a.Dot(b), a.Dot(b_dense), 1e-9);
+}
+
+TEST_P(SparseVectorPropertyTest, DistanceExpandsAsNorms) {
+  Rng rng(GetParam() + 1000);
+  SparseVector a = RandomVector(&rng, 50, 10);
+  SparseVector b = RandomVector(&rng, 50, 10);
+  double expansion =
+      a.L2Norm() * a.L2Norm() + b.L2Norm() * b.L2Norm() - 2.0 * a.Dot(b);
+  EXPECT_NEAR(a.SquaredDistance(b), expansion, 1e-9);
+}
+
+TEST_P(SparseVectorPropertyTest, CosineBounded) {
+  Rng rng(GetParam() + 2000);
+  SparseVector a = RandomVector(&rng, 30, 15);
+  SparseVector b = RandomVector(&rng, 30, 15);
+  double cs = a.CosineSimilarity(b);
+  EXPECT_GE(cs, -1.0 - 1e-12);
+  EXPECT_LE(cs, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseVectorPropertyTest,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace zombie

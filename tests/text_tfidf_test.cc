@@ -1,0 +1,89 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace zombie {
+namespace {
+
+TEST(TfIdfTest, RareTermsGetHigherIdf) {
+  TfIdfTransform t;
+  // Term 0 in every doc, term 1 in one of four.
+  t.AddDocument({0, 1});
+  t.AddDocument({0});
+  t.AddDocument({0});
+  t.AddDocument({0});
+  t.Finalize();
+  EXPECT_GT(t.Idf(1), t.Idf(0));
+  EXPECT_EQ(t.num_documents(), 4u);
+}
+
+TEST(TfIdfTest, SmoothedIdfFormula) {
+  TfIdfTransform t;
+  t.AddDocument({0});
+  t.AddDocument({0});
+  t.Finalize();
+  // df=2, N=2: log((1+2)/(1+2)) + 1 = 1.
+  EXPECT_DOUBLE_EQ(t.Idf(0), 1.0);
+}
+
+TEST(TfIdfTest, UnseenTermIdfIsOne) {
+  TfIdfTransform t;
+  t.AddDocument({0});
+  t.Finalize();
+  EXPECT_DOUBLE_EQ(t.Idf(12345), 1.0);
+}
+
+TEST(TfIdfTest, TransformAppliesTfTimesIdf) {
+  TfIdfTransform t;
+  t.AddDocument({0, 1});
+  t.AddDocument({0});
+  t.Finalize();
+  TermCounts c = t.Transform({0, 0, 1}, /*l2_normalize=*/false);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c[0].second, 2.0 * t.Idf(0));
+  EXPECT_DOUBLE_EQ(c[1].second, 1.0 * t.Idf(1));
+}
+
+TEST(TfIdfTest, L2NormalizationUnitLength) {
+  TfIdfTransform t;
+  t.AddDocument({0, 1, 2});
+  t.Finalize();
+  TermCounts c = t.Transform({0, 1, 2, 2});
+  double norm_sq = 0.0;
+  for (const auto& [idx, value] : c) norm_sq += value * value;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, DuplicateTokensCountOncePerDocForDf) {
+  TfIdfTransform t;
+  t.AddDocument({0, 0, 0});
+  t.AddDocument({1});
+  t.Finalize();
+  // Both terms have df = 1 despite term 0 appearing three times.
+  EXPECT_DOUBLE_EQ(t.Idf(0), t.Idf(1));
+}
+
+TEST(TfIdfTest, EmptyDocumentTransformsToEmpty) {
+  TfIdfTransform t;
+  t.AddDocument({0});
+  t.Finalize();
+  EXPECT_TRUE(t.Transform({}).empty());
+}
+
+TEST(TfIdfDeathTest, TransformBeforeFinalizeAborts) {
+  TfIdfTransform t;
+  t.AddDocument({0});
+  EXPECT_DEATH(t.Transform({0}), "Finalize");
+}
+
+TEST(TfIdfDeathTest, AddAfterFinalizeAborts) {
+  TfIdfTransform t;
+  t.AddDocument({0});
+  t.Finalize();
+  EXPECT_DEATH(t.AddDocument({1}), "Finalize");
+}
+
+}  // namespace
+}  // namespace zombie

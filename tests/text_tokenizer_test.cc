@@ -1,0 +1,81 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace zombie {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("Hello, world! 123"),
+            (std::vector<std::string>{"hello", "world", "123"}));
+}
+
+TEST(TokenizerTest, LowercaseToggle) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("Hello World"),
+            (std::vector<std::string>{"Hello", "World"}));
+}
+
+TEST(TokenizerTest, MinLengthFiltersShortTokens) {
+  TokenizerOptions opts;
+  opts.min_token_length = 3;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("a an the quick fox"),
+            (std::vector<std::string>{"the", "quick", "fox"}));
+}
+
+TEST(TokenizerTest, MaxLengthFiltersLongTokens) {
+  TokenizerOptions opts;
+  opts.max_token_length = 4;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("tiny enormous word"),
+            (std::vector<std::string>{"tiny", "word"}));
+}
+
+TEST(TokenizerTest, DigitsCanSplitTokens) {
+  TokenizerOptions opts;
+  opts.keep_digits = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("abc123def"),
+            (std::vector<std::string>{"abc", "def"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("!!! ... ???").empty());
+}
+
+TEST(TokenizerTest, AppendAccumulates) {
+  Tokenizer t;
+  std::vector<std::string> out = {"pre"};
+  size_t n = t.TokenizeAppend("a b", &out);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(out, (std::vector<std::string>{"pre", "a", "b"}));
+}
+
+TEST(NgramTest, Bigrams) {
+  std::vector<std::string> toks = {"a", "b", "c"};
+  EXPECT_EQ(WordNgrams(toks, 2), (std::vector<std::string>{"a_b", "b_c"}));
+}
+
+TEST(NgramTest, UnigramIsIdentity) {
+  std::vector<std::string> toks = {"x", "y"};
+  EXPECT_EQ(WordNgrams(toks, 1), toks);
+}
+
+TEST(NgramTest, TooFewTokensYieldsEmpty) {
+  EXPECT_TRUE(WordNgrams({"only"}, 2).empty());
+  EXPECT_TRUE(WordNgrams({}, 3).empty());
+}
+
+TEST(NgramTest, CustomJoiner) {
+  EXPECT_EQ(WordNgrams({"a", "b"}, 2, '-'),
+            (std::vector<std::string>{"a-b"}));
+}
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,90 @@
+#include "text/hashing_vectorizer.h"
+
+#include <gtest/gtest.h>
+
+#include "text/term_counts.h"
+
+namespace zombie {
+namespace {
+
+bool IsSortedUnique(const TermCounts& counts) {
+  for (size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i - 1].first >= counts[i].first) return false;
+  }
+  return true;
+}
+
+TEST(HashingVectorizerTest, IndicesWithinDimension) {
+  HashingVectorizer v(16);
+  TermCounts c = v.Transform({"a", "b", "c", "d", "e", "f"});
+  for (const auto& [idx, value] : c) EXPECT_LT(idx, 16u);
+  EXPECT_TRUE(IsSortedUnique(c));
+}
+
+TEST(HashingVectorizerTest, RepeatedTokensSum) {
+  HashingVectorizer v(1024);
+  TermCounts c = v.Transform({"dup", "dup", "dup"});
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c[0].second, 3.0);
+}
+
+TEST(HashingVectorizerTest, DeterministicAcrossInstances) {
+  HashingVectorizer a(256);
+  HashingVectorizer b(256);
+  EXPECT_EQ(a.Transform({"x", "y"}), b.Transform({"x", "y"}));
+  EXPECT_EQ(a.IndexOf("zed"), b.IndexOf("zed"));
+}
+
+TEST(HashingVectorizerTest, SaltChangesMapping) {
+  HashingVectorizer a(1 << 20, false, 0);
+  HashingVectorizer b(1 << 20, false, 1);
+  EXPECT_NE(a.IndexOf("token"), b.IndexOf("token"));
+}
+
+TEST(HashingVectorizerTest, TransformIdsMatchesDimension) {
+  HashingVectorizer v(64);
+  TermCounts c = v.TransformIds({1, 2, 3, 1, 2, 1});
+  double total = 0.0;
+  for (const auto& [idx, value] : c) {
+    EXPECT_LT(idx, 64u);
+    total += value;
+  }
+  EXPECT_DOUBLE_EQ(total, 6.0);
+  EXPECT_TRUE(IsSortedUnique(c));
+}
+
+TEST(HashingVectorizerTest, SignedHashCanCancel) {
+  // With sign hashing, values are +/-1 per occurrence; magnitudes bounded.
+  HashingVectorizer v(8, /*signed_hash=*/true);
+  TermCounts c = v.Transform({"a", "b", "c", "d", "e", "f", "g", "h"});
+  double sum_abs = 0.0;
+  for (const auto& [idx, value] : c) sum_abs += std::abs(value);
+  EXPECT_LE(sum_abs, 8.0);
+  EXPECT_GT(sum_abs, 0.0);
+}
+
+TEST(HashingVectorizerTest, EmptyInput) {
+  HashingVectorizer v(32);
+  EXPECT_TRUE(v.Transform({}).empty());
+  EXPECT_TRUE(v.TransformIds({}).empty());
+}
+
+TEST(TermCountsTest, CountTokenIdsAggregates) {
+  TermCounts c = CountTokenIds({5, 3, 5, 5, 3, 9});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[0], (std::pair<uint32_t, double>{3, 2.0}));
+  EXPECT_EQ(c[1], (std::pair<uint32_t, double>{5, 3.0}));
+  EXPECT_EQ(c[2], (std::pair<uint32_t, double>{9, 1.0}));
+}
+
+TEST(TermCountsTest, NormalizeMergesDuplicates) {
+  TermCounts c = {{7, 1.0}, {3, 2.0}, {7, 0.5}};
+  NormalizeTermCounts(&c);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0].first, 3u);
+  EXPECT_EQ(c[1].first, 7u);
+  EXPECT_DOUBLE_EQ(c[1].second, 1.5);
+}
+
+}  // namespace
+}  // namespace zombie

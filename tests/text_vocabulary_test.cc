@@ -1,0 +1,64 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace zombie {
+namespace {
+
+TEST(VocabularyTest, AssignsDenseIdsInInsertionOrder) {
+  Vocabulary v;
+  EXPECT_EQ(v.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(v.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(v.GetOrAdd("alpha"), 0u);  // existing
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VocabularyTest, LookupUnknownReturnsSentinel) {
+  Vocabulary v;
+  v.GetOrAdd("known");
+  EXPECT_EQ(v.Lookup("unknown"), Vocabulary::kUnknownTerm);
+  EXPECT_EQ(v.Lookup("known"), 0u);
+}
+
+TEST(VocabularyTest, TermRoundTrip) {
+  Vocabulary v;
+  v.GetOrAdd("x");
+  v.GetOrAdd("y");
+  EXPECT_EQ(v.Term(0), "x");
+  EXPECT_EQ(v.Term(1), "y");
+}
+
+TEST(VocabularyTest, FreezeRejectsNewTerms) {
+  Vocabulary v;
+  v.GetOrAdd("pre");
+  v.Freeze();
+  EXPECT_TRUE(v.frozen());
+  EXPECT_EQ(v.GetOrAdd("post"), Vocabulary::kUnknownTerm);
+  EXPECT_EQ(v.GetOrAdd("pre"), 0u);  // existing still resolves
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(VocabularyTest, EmptyTermIsValid) {
+  Vocabulary v;
+  EXPECT_EQ(v.GetOrAdd(""), 0u);
+  EXPECT_EQ(v.Lookup(""), 0u);
+}
+
+TEST(VocabularyTest, ManyTermsStayConsistent) {
+  Vocabulary v;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(v.GetOrAdd("term" + std::to_string(i)),
+              static_cast<uint32_t>(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(v.Term(static_cast<uint32_t>(i)), "term" + std::to_string(i));
+  }
+}
+
+TEST(VocabularyDeathTest, TermOutOfRangeAborts) {
+  Vocabulary v;
+  EXPECT_DEATH(v.Term(0), "Check failed");
+}
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,57 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace zombie {
+namespace {
+
+TEST(VirtualClockTest, AccumulatesAdvances) {
+  VirtualClock c;
+  EXPECT_EQ(c.NowMicros(), 0);
+  c.Advance(1500);
+  c.Advance(500);
+  EXPECT_EQ(c.NowMicros(), 2000);
+  EXPECT_DOUBLE_EQ(c.NowSeconds(), 0.002);
+}
+
+TEST(VirtualClockTest, ResetReturnsToZero) {
+  VirtualClock c;
+  c.Advance(1000);
+  c.Reset();
+  EXPECT_EQ(c.NowMicros(), 0);
+}
+
+TEST(VirtualClockTest, ZeroAdvanceAllowed) {
+  VirtualClock c;
+  c.Advance(0);
+  EXPECT_EQ(c.NowMicros(), 0);
+}
+
+TEST(VirtualClockDeathTest, NegativeAdvanceAborts) {
+  VirtualClock c;
+  EXPECT_DEATH(c.Advance(-1), "Check failed");
+}
+
+TEST(StopwatchTest, MeasuresElapsedWallTime) {
+  Stopwatch w;
+  // Elapsed time is non-negative and monotonically increases.
+  int64_t a = w.ElapsedMicros();
+  int64_t b = w.ElapsedMicros();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+  w.Restart();
+  EXPECT_GE(w.ElapsedMicros(), 0);
+}
+
+TEST(FormatDurationTest, AllBands) {
+  EXPECT_EQ(FormatDuration(500), "500us");
+  EXPECT_EQ(FormatDuration(2500), "2ms");
+  EXPECT_EQ(FormatDuration(1500000), "1.5s");
+  EXPECT_EQ(FormatDuration(65L * 1000000), "1m05s");
+  EXPECT_EQ(FormatDuration(3L * 3600 * 1000000LL + 5 * 60 * 1000000LL),
+            "3h05m");
+  EXPECT_EQ(FormatDuration(-5), "0us");
+}
+
+}  // namespace
+}  // namespace zombie

@@ -1,0 +1,72 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace zombie {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, FilteredLogDoesNotEvaluateStream) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return 42;
+  };
+  ZLOG(Debug) << "value " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, EnabledLogEvaluatesStream) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  auto counted = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  ZLOG(Debug) << "value " << counted();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(before);
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  ZCHECK(true) << "never printed";
+  ZCHECK_EQ(1, 1);
+  ZCHECK_NE(1, 2);
+  ZCHECK_LT(1, 2);
+  ZCHECK_LE(2, 2);
+  ZCHECK_GT(2, 1);
+  ZCHECK_GE(2, 2);
+  ZCHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(ZCHECK(false) << "boom", "Check failed: false boom");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosShowValues) {
+  int a = 3;
+  int b = 5;
+  EXPECT_DEATH(ZCHECK_EQ(a, b), "3 vs 5");
+  EXPECT_DEATH(ZCHECK_GT(a, b), "3 vs 5");
+}
+
+TEST(CheckDeathTest, CheckOkShowsStatus) {
+  EXPECT_DEATH(ZCHECK_OK(Status::NotFound("missing thing")),
+               "NotFound: missing thing");
+}
+
+}  // namespace
+}  // namespace zombie

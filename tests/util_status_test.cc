@@ -1,0 +1,77 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace zombie {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Exhausted("x").code(), StatusCode::kExhausted);
+  Status s = Status::InvalidArgument("k must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "k must be positive");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be positive");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kExhausted), "Exhausted");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  ASSERT_TRUE(v.ok());
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StatusOrTest, AccessOnErrorAborts) {
+  StatusOr<int> v(Status::Internal("boom"));
+  EXPECT_DEATH((void)v.value(), "boom");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    ZOMBIE_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIOError);
+
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto wrapper2 = [&]() -> Status {
+    ZOMBIE_RETURN_IF_ERROR(succeeds());
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_EQ(wrapper2().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace zombie

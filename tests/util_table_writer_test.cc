@@ -1,0 +1,87 @@
+#include "util/table_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace zombie {
+namespace {
+
+TEST(TableWriterTest, AsciiAlignsColumns) {
+  TableWriter t({"name", "value"});
+  t.BeginRow();
+  t.Cell("alpha");
+  t.Cell(static_cast<int64_t>(42));
+  t.BeginRow();
+  t.Cell("b");
+  t.Cell(3.14159, 2);
+  std::string ascii = t.ToAscii();
+  EXPECT_NE(ascii.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(ascii.find("| alpha | 42    |"), std::string::npos);
+  EXPECT_NE(ascii.find("| b     | 3.14  |"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvOutput) {
+  TableWriter t({"a", "b"});
+  t.BeginRow();
+  t.Cell("x");
+  t.Cell("has,comma");
+  t.BeginRow();
+  t.Cell("quote\"inside");
+  t.Cell(static_cast<int64_t>(7));
+  EXPECT_EQ(t.ToCsv(),
+            "a,b\nx,\"has,comma\"\n\"quote\"\"inside\",7\n");
+}
+
+TEST(TableWriterTest, DoublePrecision) {
+  TableWriter t({"v"});
+  t.BeginRow();
+  t.Cell(1.23456789, 4);
+  EXPECT_NE(t.ToCsv().find("1.2346"), std::string::npos);
+}
+
+TEST(TableWriterTest, ShortRowsRenderEmptyCells) {
+  TableWriter t({"a", "b", "c"});
+  t.BeginRow();
+  t.Cell("only");
+  std::string ascii = t.ToAscii();
+  EXPECT_NE(ascii.find("| only |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableWriterTest, WriteCsvFileRoundTrips) {
+  TableWriter t({"k", "v"});
+  t.BeginRow();
+  t.Cell("key");
+  t.Cell(static_cast<int64_t>(9));
+  std::string path = testing::TempDir() + "/zombie_table_test.csv";
+  ASSERT_TRUE(t.WriteCsvFile(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256] = {0};
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "k,v\nkey,9\n");
+}
+
+TEST(TableWriterTest, WriteCsvFileFailsOnBadPath) {
+  TableWriter t({"a"});
+  EXPECT_FALSE(t.WriteCsvFile("/nonexistent_dir_zzz/file.csv"));
+}
+
+TEST(TableWriterDeathTest, CellBeforeBeginRowAborts) {
+  TableWriter t({"a"});
+  EXPECT_DEATH(t.Cell("x"), "BeginRow");
+}
+
+TEST(TableWriterDeathTest, TooManyCellsAborts) {
+  TableWriter t({"a"});
+  t.BeginRow();
+  t.Cell("1");
+  EXPECT_DEATH(t.Cell("2"), "Check failed");
+}
+
+}  // namespace
+}  // namespace zombie

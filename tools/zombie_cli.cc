@@ -1,0 +1,361 @@
+// zombie_cli — command-line front end for the library.
+//
+//   zombie_cli generate --task=webcat --docs=20000 --seed=42 --out=crawl.zmbc
+//   zombie_cli inspect  --corpus=crawl.zmbc
+//   zombie_cli run      --corpus=crawl.zmbc [--task=webcat --docs=...]
+//                       --grouper=kmeans --groups=32 --policy=egreedy
+//                       --reward=label --learner=nb [--baseline] [--csv=out.csv]
+//   zombie_cli session  --task=webcat --docs=12000 [--warm]
+//
+// Flags are --key=value; unknown flags fail loudly. When --corpus is given
+// it is loaded from disk, otherwise --task/--docs/--seed generate one.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bandit/policy.h"
+#include "core/analysis.h"
+#include "core/baselines.h"
+#include "core/engine.h"
+#include "core/reward.h"
+#include "core/session.h"
+#include "core/task_factory.h"
+#include "data/serialization.h"
+#include "featureeng/revision_script.h"
+#include "index/kmeans_grouper.h"
+#include "index/metadata_grouper.h"
+#include "index/oracle_grouper.h"
+#include "index/random_grouper.h"
+#include "index/token_grouper.h"
+#include "ml/adagrad_lr.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/pegasos_svm.h"
+#include "ml/perceptron.h"
+#include "util/clock.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace zombie {
+namespace cli {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Flag parsing
+// ---------------------------------------------------------------------------
+
+class Flags {
+ public:
+  Status Parse(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("expected --key=value, got " + arg);
+      }
+      size_t eq = arg.find('=');
+      std::string key = arg.substr(2, eq == std::string::npos
+                                          ? std::string::npos
+                                          : eq - 2);
+      std::string value = eq == std::string::npos ? "true" : arg.substr(eq + 1);
+      values_[key] = value;
+    }
+    return Status::OK();
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    consumed_.insert(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    consumed_.insert(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& key) const {
+    auto it = values_.find(key);
+    consumed_.insert(key);
+    return it != values_.end() && it->second != "false" && it->second != "0";
+  }
+
+  /// Errors out on flags nobody consumed (typo protection).
+  Status CheckAllConsumed() const {
+    for (const auto& [key, value] : values_) {
+      if (consumed_.find(key) == consumed_.end()) {
+        return Status::InvalidArgument("unknown flag --" + key);
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;
+};
+
+// ---------------------------------------------------------------------------
+// Component construction from flag values
+// ---------------------------------------------------------------------------
+
+StatusOr<TaskKind> ParseTaskKind(const std::string& name) {
+  if (name == "webcat") return TaskKind::kWebCat;
+  if (name == "entity") return TaskKind::kEntity;
+  if (name == "balanced") return TaskKind::kBalanced;
+  return Status::InvalidArgument("unknown task: " + name);
+}
+
+StatusOr<Corpus> ObtainCorpus(const Flags& flags) {
+  std::string path = flags.GetString("corpus", "");
+  if (!path.empty()) return LoadCorpus(path);
+  StatusOr<TaskKind> kind = ParseTaskKind(flags.GetString("task", "webcat"));
+  if (!kind.ok()) return kind.status();
+  Task task = MakeTask(kind.value(),
+                       static_cast<size_t>(flags.GetInt("docs", 12000)),
+                       static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  return std::move(task.corpus);
+}
+
+std::unique_ptr<Grouper> MakeGrouperFromFlags(const Flags& flags) {
+  std::string name = flags.GetString("grouper", "kmeans");
+  size_t groups = static_cast<size_t>(flags.GetInt("groups", 32));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("grouper_seed", 7));
+  if (name == "kmeans") return std::make_unique<KMeansGrouper>(groups, seed);
+  if (name == "random") return std::make_unique<RandomGrouper>(groups, seed);
+  if (name == "metadata") return std::make_unique<MetadataGrouper>(groups);
+  if (name == "token") {
+    TokenGrouperOptions opts;
+    for (const std::string& term :
+         Split(flags.GetString("seed_terms", ""), ',')) {
+      if (!term.empty()) opts.seed_terms.push_back(term);
+    }
+    return std::make_unique<TokenGrouper>(opts);
+  }
+  if (name == "oracle") {
+    return std::make_unique<OracleGrouper>(OracleMode::kLabel);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<BanditPolicy> MakePolicyFromFlags(const Flags& flags) {
+  std::string name = flags.GetString("policy", "egreedy");
+  for (PolicyKind kind :
+       {PolicyKind::kRoundRobin, PolicyKind::kUniformRandom,
+        PolicyKind::kEpsilonGreedy, PolicyKind::kUcb1,
+        PolicyKind::kSlidingUcb, PolicyKind::kThompson, PolicyKind::kExp3,
+        PolicyKind::kSoftmax}) {
+    if (name == PolicyKindName(kind)) return MakePolicy(kind);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<RewardFunction> MakeRewardFromFlags(const Flags& flags) {
+  std::string name = flags.GetString("reward", "label");
+  for (RewardKind kind :
+       {RewardKind::kLabel, RewardKind::kUncertainty,
+        RewardKind::kMisclassification, RewardKind::kImprovement,
+        RewardKind::kBlend, RewardKind::kBalance, RewardKind::kZero}) {
+    if (name == RewardKindName(kind)) return MakeReward(kind);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Learner> MakeLearnerFromFlags(const Flags& flags) {
+  std::string name = flags.GetString("learner", "nb");
+  if (name == "nb") return std::make_unique<NaiveBayesLearner>();
+  if (name == "logreg") return std::make_unique<LogisticRegressionLearner>();
+  if (name == "adagrad") return std::make_unique<AdaGradLogisticLearner>();
+  if (name == "perceptron") {
+    return std::make_unique<AveragedPerceptronLearner>();
+  }
+  if (name == "svm") return std::make_unique<PegasosSvmLearner>();
+  return nullptr;
+}
+
+EngineOptions MakeEngineOptionsFromFlags(const Flags& flags) {
+  EngineOptions opts;
+  opts.seed = static_cast<uint64_t>(flags.GetInt("run_seed", 1));
+  opts.holdout_size = static_cast<size_t>(flags.GetInt("holdout", 400));
+  opts.eval_every = static_cast<size_t>(flags.GetInt("eval_every", 25));
+  opts.tune_threshold = flags.GetBool("tune_threshold");
+  int64_t budget = flags.GetInt("max_items", -1);
+  if (budget > 0) opts.stop.max_items = static_cast<size_t>(budget);
+  return opts;
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+int CmdGenerate(const Flags& flags) {
+  StatusOr<TaskKind> kind = ParseTaskKind(flags.GetString("task", "webcat"));
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 1;
+  }
+  std::string out = flags.GetString("out", "corpus.zmbc");
+  Task task = MakeTask(kind.value(),
+                       static_cast<size_t>(flags.GetInt("docs", 12000)),
+                       static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  ZCHECK_OK(flags.CheckAllConsumed());
+  Status st = SaveCorpus(task.corpus, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  CorpusStats stats = task.corpus.ComputeStats();
+  std::printf("wrote %s: %zu docs, %.1f%% positive\n", out.c_str(),
+              stats.num_documents, 100.0 * stats.positive_fraction);
+  return 0;
+}
+
+int CmdInspect(const Flags& flags) {
+  StatusOr<Corpus> corpus = ObtainCorpus(flags);
+  ZCHECK_OK(flags.CheckAllConsumed());
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+  CorpusStats s = corpus.value().ComputeStats();
+  std::printf("name:               %s\n", corpus.value().name().c_str());
+  std::printf("documents:          %zu\n", s.num_documents);
+  std::printf("positive fraction:  %.3f\n", s.positive_fraction);
+  std::printf("mean length:        %.1f tokens\n", s.mean_length);
+  std::printf("mean extract cost:  %.2f ms\n", s.mean_extraction_cost_ms);
+  std::printf("domains:            %zu\n", s.num_domains);
+  std::printf("vocabulary:         %zu terms\n", s.vocabulary_size);
+  return 0;
+}
+
+int CmdRun(const Flags& flags) {
+  StatusOr<Corpus> corpus_or = ObtainCorpus(flags);
+  if (!corpus_or.ok()) {
+    std::fprintf(stderr, "%s\n", corpus_or.status().ToString().c_str());
+    return 1;
+  }
+  Corpus corpus = std::move(corpus_or).value();
+  StatusOr<TaskKind> kind = ParseTaskKind(flags.GetString("task", "webcat"));
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 1;
+  }
+  FeaturePipeline pipeline = MakeDefaultPipeline(kind.value(), corpus);
+
+  auto grouper = MakeGrouperFromFlags(flags);
+  auto policy = MakePolicyFromFlags(flags);
+  auto reward = MakeRewardFromFlags(flags);
+  auto learner = MakeLearnerFromFlags(flags);
+  if (!grouper || !policy || !reward || !learner) {
+    std::fprintf(stderr, "unknown grouper/policy/reward/learner\n");
+    return 1;
+  }
+  EngineOptions opts = MakeEngineOptionsFromFlags(flags);
+  bool with_baseline = flags.GetBool("baseline");
+  std::string csv = flags.GetString("csv", "");
+  Status st = flags.CheckAllConsumed();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  GroupingResult grouping = grouper->Group(corpus);
+  std::printf("index: %zu groups via %s (%s wall)\n", grouping.num_groups(),
+              grouping.method.c_str(),
+              FormatDuration(grouping.build_wall_micros).c_str());
+
+  ZombieEngine engine(&corpus, &pipeline, opts);
+  RunResult zombie = engine.Run(grouping, *policy, *learner, *reward);
+  std::printf("zombie:   %s\n", zombie.ToString().c_str());
+
+  if (with_baseline) {
+    ZombieEngine baseline_engine(&corpus, &pipeline, FullScanOptions(opts));
+    RunResult baseline = RunRandomBaseline(baseline_engine, *learner);
+    std::printf("baseline: %s\n", baseline.ToString().c_str());
+    SpeedupReport report = ComputeSpeedup(baseline, zombie, 0.95);
+    std::printf("%s\n", report.ToString().c_str());
+  }
+
+  if (!csv.empty()) {
+    std::FILE* f = std::fopen(csv.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+      return 1;
+    }
+    std::string data = zombie.curve.ToCsv();
+    std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    std::printf("curve written to %s\n", csv.c_str());
+  }
+  return 0;
+}
+
+int CmdSession(const Flags& flags) {
+  StatusOr<Corpus> corpus_or = ObtainCorpus(flags);
+  if (!corpus_or.ok()) {
+    std::fprintf(stderr, "%s\n", corpus_or.status().ToString().c_str());
+    return 1;
+  }
+  Corpus corpus = std::move(corpus_or).value();
+  bool warm = flags.GetBool("warm");
+  EngineOptions opts = MakeEngineOptionsFromFlags(flags);
+  size_t groups = static_cast<size_t>(flags.GetInt("groups", 32));
+  Status st = flags.CheckAllConsumed();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  RevisionScript script = MakeWebCatRevisionScript();
+  NaiveBayesLearner learner;
+  LabelReward reward;
+  SessionResult full = RunSession(corpus, script, SessionMode::kFullScan,
+                                  nullptr, learner, reward, opts);
+  KMeansGrouper grouper(groups, 7);
+  SessionResult fast = RunSession(corpus, script, SessionMode::kZombie,
+                                  &grouper, learner, reward, opts, warm);
+  std::printf("%s\n%s\n", full.ToString().c_str(), fast.ToString().c_str());
+  double ratio = fast.total_virtual_micros > 0
+                     ? static_cast<double>(full.total_virtual_micros) /
+                           static_cast<double>(fast.total_virtual_micros)
+                     : 0.0;
+  std::printf("session speedup: %.2fx\n", ratio);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: zombie_cli <generate|inspect|run|session> "
+               "[--key=value ...]\n"
+               "see the header comment of tools/zombie_cli.cc for flags\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  if (argc < 2) return Usage();
+  Flags flags;
+  Status st = flags.Parse(argc, argv, 2);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "inspect") return CmdInspect(flags);
+  if (cmd == "run") return CmdRun(flags);
+  if (cmd == "session") return CmdSession(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace zombie
+
+int main(int argc, char** argv) { return zombie::cli::Main(argc, argv); }
