@@ -73,7 +73,7 @@ struct EngineOptions {
   bool cost_aware_rewards = false;
 
   /// Validates knob ranges.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 }  // namespace zombie

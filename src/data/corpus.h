@@ -57,7 +57,7 @@ class Corpus {
 
   /// Validates internal consistency: token ids within vocabulary, domain
   /// ids within the domain table, non-negative costs.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
  private:
   std::string name_;

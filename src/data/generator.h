@@ -74,7 +74,7 @@ struct SyntheticCorpusConfig {
   double labeling_cost_ms = 0.2;
 
   /// Validates knob ranges.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Deterministically generates a corpus from the config (same config + seed

@@ -11,11 +11,11 @@ namespace zombie {
 /// Writes a corpus to a little-endian binary file (magic "ZMBC", version 1).
 /// The format round-trips everything: documents (tokens, label, domain,
 /// topic, costs, url), the vocabulary, domain names, and the corpus name.
-Status SaveCorpus(const Corpus& corpus, const std::string& path);
+[[nodiscard]] Status SaveCorpus(const Corpus& corpus, const std::string& path);
 
 /// Loads a corpus previously written by SaveCorpus. Fails with IOError on
 /// filesystem problems and Internal on format corruption.
-StatusOr<Corpus> LoadCorpus(const std::string& path);
+[[nodiscard]] StatusOr<Corpus> LoadCorpus(const std::string& path);
 
 }  // namespace zombie
 

@@ -32,7 +32,7 @@ struct GroupingResult {
 
   /// Checks the coverage/duplicate invariants against a corpus of
   /// `corpus_size` documents.
-  Status Validate(size_t corpus_size) const;
+  [[nodiscard]] Status Validate(size_t corpus_size) const;
 };
 
 /// Offline index construction strategy (the "index groups" of the paper).

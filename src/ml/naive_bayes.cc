@@ -35,7 +35,7 @@ double NaiveBayesLearner::LogOdds(const SparseVector& x) const {
                   (class_count_[0] + class_count_[1] + 2.0);
   double log_odds = std::log(prior1 / (1.0 - prior1));
 
-  double v_dim = static_cast<double>(std::max<uint32_t>(dimension_, 1));
+  double v_dim = static_cast<double>(std::max<size_t>(dimension_, 1));
   double denom0 = token_total_[0] + alpha_ * v_dim;
   double denom1 = token_total_[1] + alpha_ * v_dim;
   for (size_t i = 0; i < x.num_nonzero(); ++i) {

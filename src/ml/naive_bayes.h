@@ -47,7 +47,7 @@ class NaiveBayesLearner : public Learner {
   double token_total_[2] = {0.0, 0.0};
   // Per-class per-feature token mass; grown on demand.
   std::vector<double> token_count_[2];
-  uint32_t dimension_ = 0;
+  size_t dimension_ = 0;
 };
 
 }  // namespace zombie

@@ -33,9 +33,11 @@ class SparseVector {
   uint32_t index_at(size_t i) const { return indices_[i]; }
   double value_at(size_t i) const { return values_[i]; }
 
-  /// Largest index + 1, or 0 when empty.
-  uint32_t dimension() const {
-    return indices_.empty() ? 0 : indices_.back() + 1;
+  /// Largest index + 1, or 0 when empty. Returns size_t: an entry at index
+  /// UINT32_MAX has dimension 2^32, which would wrap to 0 in uint32_t and
+  /// make AddScaledTo skip its resize and write out of bounds.
+  size_t dimension() const {
+    return indices_.empty() ? 0 : static_cast<size_t>(indices_.back()) + 1;
   }
 
   /// Value at a feature index (0.0 if absent); binary search.

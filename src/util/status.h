@@ -1,6 +1,7 @@
 #ifndef ZOMBIE_UTIL_STATUS_H_
 #define ZOMBIE_UTIL_STATUS_H_
 
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -23,8 +24,10 @@ enum class StatusCode {
 /// A lightweight success/error result carrying a code and a message.
 ///
 /// The OK status is cheap (no allocation). Construction helpers mirror the
-/// code names: `Status::InvalidArgument("...")` etc.
-class Status {
+/// code names: `Status::InvalidArgument("...")` etc. Marked [[nodiscard]]:
+/// silently dropping an error Status is a bug, so every producer must be
+/// checked, propagated (ZOMBIE_RETURN_IF_ERROR), or asserted (ZCHECK_OK).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -77,8 +80,11 @@ const char* StatusCodeName(StatusCode code);
 /// Either a value of type T or an error Status. Minimal StatusOr: access to
 /// value() on an error status aborts via CHECK, so callers must test ok()
 /// first (enforced in debug and release alike).
+///
+/// The payload lives in a std::optional so T need not be
+/// default-constructible; an error-state StatusOr holds no T at all.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value or from an error status keeps call
   /// sites terse: `return 42;` / `return Status::InvalidArgument(...)`.
@@ -90,22 +96,22 @@ class StatusOr {
 
   const T& value() const& {
     AbortIfError();
-    return value_;
+    return *value_;
   }
   T& value() & {
     AbortIfError();
-    return value_;
+    return *value_;
   }
   T&& value() && {
     AbortIfError();
-    return std::move(value_);
+    return *std::move(value_);
   }
 
  private:
   void AbortIfError() const;
 
   Status status_;
-  T value_{};
+  std::optional<T> value_;
 };
 
 namespace internal_status {
@@ -123,6 +129,25 @@ void StatusOr<T>::AbortIfError() const {
     ::zombie::Status _st = (expr);                    \
     if (!_st.ok()) return _st;                        \
   } while (0)
+
+#define ZOMBIE_STATUS_CONCAT_INNER_(a, b) a##b
+#define ZOMBIE_STATUS_CONCAT_(a, b) ZOMBIE_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates `expr` (a StatusOr<T>), returns its status on error, otherwise
+/// moves the value into `lhs`:
+///
+///   ZOMBIE_ASSIGN_OR_RETURN(Corpus corpus, LoadCorpus(path));
+///
+/// `lhs` may declare a new variable or assign to an existing one. Not usable
+/// twice on one line (the temporary is named after __LINE__).
+#define ZOMBIE_ASSIGN_OR_RETURN(lhs, expr)                            \
+  ZOMBIE_ASSIGN_OR_RETURN_IMPL_(                                      \
+      ZOMBIE_STATUS_CONCAT_(_zombie_statusor_, __LINE__), lhs, expr)
+
+#define ZOMBIE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
 
 }  // namespace zombie
 

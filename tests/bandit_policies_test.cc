@@ -115,8 +115,8 @@ TEST_P(EveryPolicyTest, AdaptivePoliciesBeatUniformOnEasyBandit) {
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, EveryPolicyTest,
                          testing::ValuesIn(kAllKinds),
-                         [](const testing::TestParamInfo<PolicyKind>& info) {
-                           std::string name = PolicyKindName(info.param);
+                         [](const testing::TestParamInfo<PolicyKind>& param_info) {
+                           std::string name = PolicyKindName(param_info.param);
                            for (char& c : name) {
                              if (!isalnum(static_cast<unsigned char>(c))) {
                                c = '_';

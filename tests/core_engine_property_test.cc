@@ -87,9 +87,9 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Combine(testing::Values(TaskKind::kWebCat, TaskKind::kEntity,
                                      TaskKind::kBalanced),
                      testing::Values(1, 2, 3, 4)),
-    [](const testing::TestParamInfo<std::tuple<TaskKind, uint64_t>>& info) {
-      return std::string(TaskKindName(std::get<0>(info.param))) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const testing::TestParamInfo<std::tuple<TaskKind, uint64_t>>& param_info) {
+      return std::string(TaskKindName(std::get<0>(param_info.param))) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/random.h"
 
@@ -103,6 +104,16 @@ TEST(SparseVectorTest, CosineSimilarity) {
   EXPECT_DOUBLE_EQ(a.CosineSimilarity(b), 1.0);
   EXPECT_DOUBLE_EQ(a.CosineSimilarity(c), 0.0);
   EXPECT_DOUBLE_EQ(a.CosineSimilarity(SparseVector()), 0.0);
+}
+
+// Regression: dimension() used to return uint32_t, so an entry at index
+// UINT32_MAX wrapped it to 0 — and AddScaledTo would then skip its resize
+// and write past the end of the dense vector.
+TEST(SparseVectorTest, DimensionDoesNotWrapAtUint32Max) {
+  SparseVector v;
+  v.PushBack(std::numeric_limits<uint32_t>::max(), 1.0);
+  EXPECT_EQ(v.dimension(), (1ULL << 32));
+  EXPECT_EQ(SparseVector().dimension(), 0u);
 }
 
 TEST(SparseVectorTest, ToStringRendersPairs) {

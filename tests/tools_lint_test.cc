@@ -1,0 +1,184 @@
+// End-to-end fixture tests for tools/zombie_lint.cc: write snippets into a
+// temporary tree, run the real linter binary over it, and assert on the exit
+// code and the reported rules. The binary path is injected by CMake via
+// ZOMBIE_LINT_BINARY.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace zombie {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef ZOMBIE_LINT_BINARY
+#error "ZOMBIE_LINT_BINARY must be defined by the build"
+#endif
+
+struct LintRun {
+  int exit_code;
+  std::string output;
+};
+
+// Runs the linter on `root` and captures combined stdout+stderr.
+LintRun RunLint(const fs::path& root) {
+  std::string cmd = std::string(ZOMBIE_LINT_BINARY) + " " + root.string() +
+                    " 2>&1";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 512> buf;
+  while (pipe != nullptr &&
+         std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    output += buf.data();
+  }
+  int raw = pipe != nullptr ? pclose(pipe) : -1;
+  int code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  return {code, output};
+}
+
+class ZombieLintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("zombie_lint_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "src");
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WriteFile(const std::string& rel, const std::string& content) {
+    fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << content;
+  }
+
+  fs::path src() const { return root_ / "src"; }
+
+  fs::path root_;
+};
+
+TEST_F(ZombieLintTest, CleanFilePasses) {
+  WriteFile("src/good.cc",
+            "#include <string>\n"
+            "namespace zombie {\n"
+            "int Add(int a, int b) { return a + b; }\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, RejectsThrowRandAndCout) {
+  WriteFile("src/bad.cc",
+            "#include <cstdlib>\n"
+            "#include <iostream>\n"
+            "namespace zombie {\n"
+            "int Roll() {\n"
+            "  if (rand() > 100) throw 1;\n"
+            "  std::cout << \"rolled\\n\";\n"
+            "  return 0;\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-throw"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("no-raw-random"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("no-stdout"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, AllowCommentSuppressesFinding) {
+  WriteFile("src/suppressed.cc",
+            "namespace zombie {\n"
+            "int Roll(int (*rand)());  // zombie-lint: allow(no-raw-random)\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, SuppressionIsPerRule) {
+  // The allow() names a different rule, so the finding must still fire.
+  WriteFile("src/wrong_rule.cc",
+            "namespace zombie {\n"
+            "int Roll(int (*rand)());  // zombie-lint: allow(no-stdout)\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-raw-random"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, TokensInCommentsAndStringsDoNotTrigger) {
+  WriteFile("src/commented.cc",
+            "// This comment mentions throw, rand(), and std::cout freely.\n"
+            "/* block comment: srand random_device printf */\n"
+            "namespace zombie {\n"
+            "const char* Help() { return \"try rand() or std::cout\"; }\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, SubstringIdentifiersDoNotTrigger) {
+  // "operand", "entry", "catchup" contain banned tokens as substrings only.
+  WriteFile("src/substrings.cc",
+            "namespace zombie {\n"
+            "int operand = 0;\n"
+            "int entry = 1;\n"
+            "int catchup = 2;\n"
+            "int sprintf_like = 3;\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, RandomImplFileIsExempt) {
+  WriteFile("src/util/random.cc",
+            "namespace zombie {\n"
+            "unsigned Seed() { return 42; /* may mention rand_r */ }\n"
+            "int Entropy() { return srand(1), 0; }\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, HeaderGuardMustMatchPath) {
+  WriteFile("src/util/widget.h",
+            "#ifndef WRONG_GUARD_H\n"
+            "#define WRONG_GUARD_H\n"
+            "#endif  // WRONG_GUARD_H\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("header-guard"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("ZOMBIE_UTIL_WIDGET_H_"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(ZombieLintTest, CorrectHeaderGuardPasses) {
+  WriteFile("src/util/widget.h",
+            "#ifndef ZOMBIE_UTIL_WIDGET_H_\n"
+            "#define ZOMBIE_UTIL_WIDGET_H_\n"
+            "#endif  // ZOMBIE_UTIL_WIDGET_H_\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, MissingHeaderGuardIsReported) {
+  WriteFile("src/util/bare.h", "namespace zombie {}\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("missing #ifndef"), std::string::npos)
+      << run.output;
+}
+
+}  // namespace
+}  // namespace zombie

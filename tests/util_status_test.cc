@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 namespace zombie {
 namespace {
 
@@ -71,6 +74,85 @@ TEST(StatusTest, ReturnIfErrorPropagates) {
     return Status::InvalidArgument("reached end");
   };
   EXPECT_EQ(wrapper2().code(), StatusCode::kInvalidArgument);
+}
+
+// StatusOr stores its payload in a std::optional, so T does not need a
+// default constructor (regression test for the old `T value_{};` storage).
+struct NoDefault {
+  explicit NoDefault(int v) : value(v) {}
+  int value;
+};
+
+TEST(StatusOrTest, NonDefaultConstructiblePayload) {
+  StatusOr<NoDefault> ok_or(NoDefault(7));
+  ASSERT_TRUE(ok_or.ok());
+  EXPECT_EQ(ok_or.value().value, 7);
+
+  StatusOr<NoDefault> err_or(Status::NotFound("missing"));
+  ASSERT_FALSE(err_or.ok());
+  EXPECT_EQ(err_or.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyPayload) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(5));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(StatusTest, AssignOrReturnUnwrapsValue) {
+  auto produce = []() -> StatusOr<int> { return 41; };
+  auto consume = [&]() -> StatusOr<int> {
+    ZOMBIE_ASSIGN_OR_RETURN(int x, produce());
+    return x + 1;
+  };
+  StatusOr<int> result = consume();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusTest, AssignOrReturnPropagatesError) {
+  bool reached_end = false;
+  auto produce = []() -> StatusOr<int> {
+    return Status::Exhausted("drained");
+  };
+  auto consume = [&]() -> Status {
+    ZOMBIE_ASSIGN_OR_RETURN(int x, produce());
+    (void)x;
+    reached_end = true;
+    return Status::OK();
+  };
+  Status st = consume();
+  EXPECT_EQ(st.code(), StatusCode::kExhausted);
+  EXPECT_EQ(st.message(), "drained");
+  EXPECT_FALSE(reached_end);
+}
+
+TEST(StatusTest, AssignOrReturnAssignsToExistingVariable) {
+  auto produce = []() -> StatusOr<std::string> {
+    return std::string("fresh");
+  };
+  std::string target = "stale";
+  auto consume = [&]() -> Status {
+    ZOMBIE_ASSIGN_OR_RETURN(target, produce());
+    return Status::OK();
+  };
+  ASSERT_TRUE(consume().ok());
+  EXPECT_EQ(target, "fresh");
+}
+
+TEST(StatusTest, AssignOrReturnMovesTheValue) {
+  auto produce = []() -> StatusOr<std::unique_ptr<int>> {
+    return std::make_unique<int>(9);
+  };
+  auto consume = [&]() -> StatusOr<int> {
+    ZOMBIE_ASSIGN_OR_RETURN(std::unique_ptr<int> p, produce());
+    return *p;
+  };
+  StatusOr<int> result = consume();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 9);
 }
 
 }  // namespace

@@ -71,5 +71,49 @@ TEST(ThreadPoolTest, DestructionJoinsCleanly) {
   EXPECT_EQ(counter.load(), 30);
 }
 
+// Race stress: many roots each fan out children (and grandchildren) while
+// the main thread is already blocked in Wait(). Run under
+// -DZOMBIE_SANITIZE=thread this doubles as the TSan regression test for the
+// Submit-during-Wait protocol.
+TEST(ThreadPoolTest, StressSubmitFromTasksDuringWait) {
+  ThreadPool pool(4);
+  constexpr int kRounds = 20;
+  constexpr int kRoots = 32;
+  constexpr int kChildren = 8;
+  constexpr int kGrandchildren = 2;
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> counter{0};
+    for (int i = 0; i < kRoots; ++i) {
+      pool.Submit([&] {
+        counter.fetch_add(1);
+        for (int c = 0; c < kChildren; ++c) {
+          pool.Submit([&] {
+            counter.fetch_add(1);
+            for (int g = 0; g < kGrandchildren; ++g) {
+              pool.Submit([&] { counter.fetch_add(1); });
+            }
+          });
+        }
+      });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(),
+              kRoots * (1 + kChildren * (1 + kGrandchildren)));
+  }
+}
+
+// ParallelFor bodies that feed a shared accumulator via atomic ops must not
+// tear or drop updates regardless of pool size.
+TEST(ThreadPoolTest, StressParallelForRepeated) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    ParallelFor(&pool, 200, [&sum](size_t i) {
+      sum.fetch_add(static_cast<int64_t>(i));
+    });
+    EXPECT_EQ(sum.load(), 199 * 200 / 2);
+  }
+}
+
 }  // namespace
 }  // namespace zombie

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the library sources using the compile database that
+# CMake exports (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+#
+#   tools/run_clang_tidy.sh [-p BUILD_DIR] [--diff [BASE_REF]] [paths...]
+#
+#   -p BUILD_DIR   build tree containing compile_commands.json (default: build)
+#   --diff [REF]   only lint .cc files changed relative to REF (default: HEAD)
+#   paths...       explicit files to lint; default is all of src/ and tools/
+#
+# Exits 0 when clean, 1 on findings, and 77 ("skip" to ctest) when no
+# clang-tidy binary is installed, so the lint ctest degrades gracefully on
+# machines without LLVM.
+
+set -u -o pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$REPO_ROOT/build"
+DIFF_MODE=0
+DIFF_BASE="HEAD"
+declare -a PATHS=()
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -p)
+      BUILD_DIR="$2"
+      shift 2
+      ;;
+    --diff)
+      DIFF_MODE=1
+      if [ $# -gt 1 ] && [ "${2#-}" = "$2" ]; then
+        DIFF_BASE="$2"
+        shift
+      fi
+      shift
+      ;;
+    *)
+      PATHS+=("$1")
+      shift
+      ;;
+  esac
+done
+
+TIDY_BIN="${CLANG_TIDY:-}"
+if [ -z "$TIDY_BIN" ]; then
+  for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+              clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" > /dev/null 2>&1; then
+      TIDY_BIN="$cand"
+      break
+    fi
+  done
+fi
+if [ -z "$TIDY_BIN" ]; then
+  echo "run_clang_tidy: no clang-tidy binary found; skipping" >&2
+  exit 77
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json not found;" \
+       "configure first: cmake -B $BUILD_DIR -S $REPO_ROOT" >&2
+  exit 2
+fi
+
+cd "$REPO_ROOT"
+
+declare -a FILES=()
+if [ "$DIFF_MODE" = 1 ]; then
+  while IFS= read -r f; do
+    case "$f" in
+      src/*.cc | tools/*.cc) FILES+=("$f") ;;
+    esac
+  done < <(git diff --name-only --diff-filter=ACMR "$DIFF_BASE" -- '*.cc')
+elif [ "${#PATHS[@]}" -gt 0 ]; then
+  FILES=("${PATHS[@]}")
+else
+  while IFS= read -r f; do
+    FILES+=("$f")
+  done < <(find src tools -name '*.cc' | sort)
+fi
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: nothing to lint"
+  exit 0
+fi
+
+echo "run_clang_tidy: $TIDY_BIN over ${#FILES[@]} file(s)"
+"$TIDY_BIN" -p "$BUILD_DIR" --quiet "${FILES[@]}"
+STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+  echo "run_clang_tidy: findings reported (exit $STATUS)" >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean"
+exit 0

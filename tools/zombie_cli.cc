@@ -51,7 +51,7 @@ namespace {
 
 class Flags {
  public:
-  Status Parse(int argc, char** argv, int first) {
+  [[nodiscard]] Status Parse(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) != 0) {
@@ -87,7 +87,7 @@ class Flags {
   }
 
   /// Errors out on flags nobody consumed (typo protection).
-  Status CheckAllConsumed() const {
+  [[nodiscard]] Status CheckAllConsumed() const {
     for (const auto& [key, value] : values_) {
       if (consumed_.find(key) == consumed_.end()) {
         return Status::InvalidArgument("unknown flag --" + key);
@@ -115,9 +115,9 @@ StatusOr<TaskKind> ParseTaskKind(const std::string& name) {
 StatusOr<Corpus> ObtainCorpus(const Flags& flags) {
   std::string path = flags.GetString("corpus", "");
   if (!path.empty()) return LoadCorpus(path);
-  StatusOr<TaskKind> kind = ParseTaskKind(flags.GetString("task", "webcat"));
-  if (!kind.ok()) return kind.status();
-  Task task = MakeTask(kind.value(),
+  ZOMBIE_ASSIGN_OR_RETURN(TaskKind kind,
+                          ParseTaskKind(flags.GetString("task", "webcat")));
+  Task task = MakeTask(kind,
                        static_cast<size_t>(flags.GetInt("docs", 12000)),
                        static_cast<uint64_t>(flags.GetInt("seed", 42)));
   return std::move(task.corpus);

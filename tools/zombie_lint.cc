@@ -1,0 +1,315 @@
+// zombie_lint — repo-specific invariant linter for the zombie library.
+//
+// Generic tools (compiler warnings, clang-tidy) cannot enforce contracts that
+// are conventions of *this* codebase. This linter walks the given source
+// roots and checks the rules the library's design docs promise:
+//
+//   no-throw        Library code never throws; fallible operations return a
+//                   Status (src/util/status.h). `throw`, `try`, and `catch`
+//                   are banned in src/.
+//   no-raw-random   All randomness flows through zombie::Rng (determinism
+//                   contract: identical seeds give bit-identical traces).
+//                   `rand`, `srand`, `rand_r`, `drand48`, `random_device`,
+//                   and `mt19937` are banned outside src/util/random.cc.
+//   no-stdout       Library code is silent unless asked: user-facing output
+//                   goes through util/logging.h. `std::cout` and bare
+//                   `printf` are banned in src/ (snprintf/fprintf stderr are
+//                   fine and are distinct identifiers).
+//   header-guard    Include guards must be derived from the file path:
+//                   src/util/status.h -> ZOMBIE_UTIL_STATUS_H_.
+//
+// A finding on a line can be suppressed in place with a trailing comment:
+//
+//   int x = rand();  // zombie-lint: allow(no-raw-random)
+//
+// Usage: zombie_lint <root-dir>...
+// Exits 0 when clean, 1 with findings (one "path:line: [rule] msg" per line),
+// 2 on usage/IO errors.
+//
+// This is a tool, not library code, so stdio output here is intentional.
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  size_t line;
+  std::string rule;
+  std::string message;
+};
+
+// One source line split into its code and comment parts (strings/chars are
+// blanked out of `code` so tokens inside literals never match).
+struct LineView {
+  std::string code;
+  std::string comment;
+};
+
+// Strips comments, string literals, and char literals, preserving line
+// structure. The comment text is kept per line so suppression directives
+// remain visible.
+std::vector<LineView> SplitCodeAndComments(const std::string& text) {
+  enum class State { kCode, kString, kChar, kLineComment, kBlockComment, kRawString };
+  std::vector<LineView> lines(1);
+  State state = State::kCode;
+  std::string raw_delim;  // delimiter of an active raw string, e.g. `)foo"`
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated ordinary literals cannot span lines; reset defensively.
+      if (state == State::kString || state == State::kChar) state = State::kCode;
+      lines.emplace_back();
+      continue;
+    }
+    LineView& cur = lines.back();
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          cur.comment += "//";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          // Raw string literal R"delim( ... )delim".
+          size_t open = text.find('(', i + 2);
+          if (open == std::string::npos) { cur.code += c; break; }
+          raw_delim.assign(1, ')');
+          raw_delim.append(text, i + 2, open - i - 2);
+          raw_delim.push_back('"');
+          state = State::kRawString;
+          cur.code += ' ';
+          i = open;
+        } else if (c == '"') {
+          state = State::kString;
+          cur.code += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          cur.code += ' ';
+        } else {
+          cur.code += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kLineComment:
+        cur.comment += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when `code` contains `ident` as a whole token.
+bool HasToken(const std::string& code, const std::string& ident) {
+  size_t pos = 0;
+  while ((pos = code.find(ident, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    size_t end = pos + ident.size();
+    bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool IsSuppressed(const LineView& line, const std::string& rule) {
+  return line.comment.find("zombie-lint: allow(" + rule + ")") !=
+         std::string::npos;
+}
+
+// Expected include guard for `path` relative to the repo root, e.g.
+// src/util/status.h -> ZOMBIE_UTIL_STATUS_H_ (the "src/" prefix is dropped;
+// other roots such as bench/ keep theirs).
+std::string ExpectedGuard(const fs::path& rel) {
+  std::string s = rel.generic_string();
+  const std::string kSrcPrefix = "src/";
+  if (s.rfind(kSrcPrefix, 0) == 0) s = s.substr(kSrcPrefix.size());
+  std::string guard = "ZOMBIE_";
+  for (char c : s) {
+    if (c == '/' || c == '.') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+// File-scope exemptions for no-raw-random: the one place allowed to touch
+// the underlying generator machinery.
+bool IsRandomImplFile(const fs::path& rel) {
+  std::string s = rel.generic_string();
+  return s == "src/util/random.cc" || s == "src/util/random.h";
+}
+
+void LintFile(const fs::path& path, const fs::path& rel,
+              std::vector<Finding>* findings) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    findings->push_back({rel.generic_string(), 0, "io", "cannot read file"});
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  std::vector<LineView> lines = SplitCodeAndComments(text);
+
+  auto report = [&](size_t line_no, const std::string& rule,
+                    const std::string& msg) {
+    if (IsSuppressed(lines[line_no - 1], rule)) return;
+    findings->push_back({rel.generic_string(), line_no, rule, msg});
+  };
+
+  static const char* kThrowTokens[] = {"throw", "try", "catch"};
+  static const char* kRandomTokens[] = {"rand",   "srand",         "rand_r",
+                                        "drand48", "random_device", "mt19937"};
+  static const char* kStdoutTokens[] = {"cout", "printf"};
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    if (code.empty()) continue;
+    size_t line_no = i + 1;
+    for (const char* tok : kThrowTokens) {
+      if (HasToken(code, tok)) {
+        report(line_no, "no-throw",
+               std::string("'") + tok +
+                   "' in library code; return a Status instead "
+                   "(src/util/status.h contract)");
+      }
+    }
+    if (!IsRandomImplFile(rel)) {
+      for (const char* tok : kRandomTokens) {
+        if (HasToken(code, tok)) {
+          report(line_no, "no-raw-random",
+                 std::string("'") + tok +
+                     "' breaks the determinism contract; use zombie::Rng "
+                     "(src/util/random.h)");
+        }
+      }
+    }
+    for (const char* tok : kStdoutTokens) {
+      if (HasToken(code, tok)) {
+        report(line_no, "no-stdout",
+               std::string("'") + tok +
+                   "' in library code; use ZLOG (src/util/logging.h)");
+      }
+    }
+  }
+
+  if (rel.extension() == ".h") {
+    std::string expected = ExpectedGuard(rel);
+    std::string actual;
+    size_t guard_line = 0;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const std::string& code = lines[i].code;
+      size_t pos = code.find("#ifndef");
+      if (pos != std::string::npos) {
+        size_t start = pos + 7;
+        while (start < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[start]))) {
+          ++start;
+        }
+        size_t end = start;
+        while (end < code.size() && IsIdentChar(code[end])) ++end;
+        actual = code.substr(start, end - start);
+        guard_line = i + 1;
+        break;
+      }
+    }
+    if (actual.empty()) {
+      report(1, "header-guard", "missing #ifndef include guard");
+    } else if (actual != expected) {
+      report(guard_line, "header-guard",
+             "include guard '" + actual + "' should be '" + expected + "'");
+    }
+  }
+}
+
+bool IsSourceFile(const fs::path& p) {
+  auto ext = p.extension();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: zombie_lint <root-dir>...\n");
+    return 2;
+  }
+  std::vector<Finding> findings;
+  size_t files_scanned = 0;
+  for (int a = 1; a < argc; ++a) {
+    fs::path root(argv[a]);
+    std::error_code ec;
+    if (!fs::is_directory(root, ec)) {
+      std::fprintf(stderr, "zombie_lint: not a directory: %s\n", argv[a]);
+      return 2;
+    }
+    // Findings are reported relative to the root's parent so the expected
+    // header guard can be derived ("src/util/status.h", "bench/foo.h").
+    fs::path base = root.has_parent_path() ? root.parent_path() : fs::path(".");
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
+      ++files_scanned;
+      LintFile(entry.path(), fs::relative(entry.path(), base), &findings);
+    }
+  }
+  for (const Finding& f : findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (findings.empty()) {
+    std::printf("zombie_lint: %zu files clean\n", files_scanned);
+    return 0;
+  }
+  std::fprintf(stderr, "zombie_lint: %zu finding(s) in %zu files\n",
+               findings.size(), files_scanned);
+  return 1;
+}
