@@ -4,12 +4,12 @@
 
 #include <cstdio>
 
-#include "bandit/epsilon_greedy.h"
 #include "bench_common.h"
 #include "index/kmeans_grouper.h"
 #include "ml/naive_bayes.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace zombie {
 namespace bench {
@@ -29,9 +29,9 @@ void Run() {
 
   TableWriter table(
       {"method", "items(mean)", "vtime(mean)", "final_q", "positives(mean)"});
+  BenchReporter reporter("a1_sample_sizes");
 
-  auto add_row = [&table](const char* name,
-                          const std::vector<RunResult>& runs) {
+  auto add_row = [&](const char* name, const std::vector<RunResult>& runs) {
     double positives = 0.0;
     for (const auto& r : runs) {
       positives += static_cast<double>(r.positives_processed);
@@ -43,31 +43,33 @@ void Run() {
     table.Cell(StrFormat("%.1fs", MeanVirtualSeconds(runs)));
     table.Cell(MeanFinalQuality(runs), 3);
     table.Cell(static_cast<int64_t>(positives));
+    reporter.AddRuns(name, runs);
   };
 
+  std::vector<uint64_t> seeds = BenchSeeds();
   for (size_t sample : {250, 500, 1000, 2000, 4000, 8000}) {
-    std::vector<RunResult> runs;
-    for (uint64_t seed : BenchSeeds()) {
+    // Fixed-sample trials are independent: run the seeds on the pool.
+    std::vector<RunResult> runs(seeds.size());
+    ThreadPool pool(std::min<size_t>(
+        BenchThreads() == 0 ? seeds.size() : BenchThreads(), seeds.size()));
+    ParallelFor(&pool, seeds.size(), [&](size_t i) {
       ZombieEngine engine(&task.corpus, &task.pipeline,
-                          BenchEngineOptions(seed));
+                          BenchEngineOptions(seeds[i]));
       NaiveBayesLearner nb;
-      runs.push_back(RunFixedSampleBaseline(engine, nb, sample));
-    }
+      runs[i] = RunFixedSampleBaseline(engine, nb, sample);
+    });
     add_row(StrFormat("sample-%zu", sample).c_str(), runs);
   }
 
-  std::vector<RunResult> zombies;
-  for (uint64_t seed : BenchSeeds()) {
-    EngineOptions opts = BenchEngineOptions(seed);
-    EpsilonGreedyPolicy policy;
-    NaiveBayesLearner nb;
-    LabelReward reward;
-    zombies.push_back(
-        RunZombieTrial(task, grouping, policy, reward, nb, opts));
-  }
+  NaiveBayesLearner nb;
+  LabelReward reward;
+  std::vector<RunResult> zombies =
+      RunZombieTrials(task, grouping, PolicyKind::kEpsilonGreedy, reward, nb,
+                      BenchEngineOptions(1));
   add_row("zombie", zombies);
 
   FinishTable(table, "a1_sample_sizes");
+  reporter.Finish();
 }
 
 }  // namespace

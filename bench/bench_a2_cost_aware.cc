@@ -4,7 +4,6 @@
 
 #include <cstdio>
 
-#include "bandit/epsilon_greedy.h"
 #include "bench_common.h"
 #include "core/task_factory.h"
 #include "data/webcat_generator.h"
@@ -27,6 +26,7 @@ void Run() {
 
   TableWriter table({"cost_sigma", "cost_aware", "items(mean)",
                      "vtime(mean)", "final_q", "pos_share"});
+  BenchReporter reporter("a2_cost_aware");
 
   for (double sigma : {0.2, 1.2}) {
     WebCatOptions wopts;
@@ -40,21 +40,18 @@ void Run() {
     GroupingResult grouping = grouper.Group(task.corpus);
 
     for (bool aware : {false, true}) {
-      std::vector<RunResult> runs;
+      EngineOptions opts = BenchEngineOptions(1);
+      opts.cost_aware_rewards = aware;
+      NaiveBayesLearner nb;
+      LabelReward reward;
+      std::vector<RunResult> runs = RunZombieTrials(
+          task, grouping, PolicyKind::kEpsilonGreedy, reward, nb, opts);
       double pos_share = 0.0;
-      for (uint64_t seed : BenchSeeds()) {
-        EngineOptions opts = BenchEngineOptions(seed);
-        opts.cost_aware_rewards = aware;
-        EpsilonGreedyPolicy policy;
-        NaiveBayesLearner nb;
-        LabelReward reward;
-        RunResult r =
-            RunZombieTrial(task, grouping, policy, reward, nb, opts);
+      for (const RunResult& r : runs) {
         pos_share += r.items_processed
                          ? static_cast<double>(r.positives_processed) /
                                static_cast<double>(r.items_processed)
                          : 0.0;
-        runs.push_back(std::move(r));
       }
       pos_share /= static_cast<double>(runs.size());
       table.BeginRow();
@@ -64,9 +61,12 @@ void Run() {
       table.Cell(StrFormat("%.1fs", MeanVirtualSeconds(runs)));
       table.Cell(MeanFinalQuality(runs), 3);
       table.Cell(pos_share, 3);
+      reporter.AddRuns(
+          StrFormat("sigma%.1f/%s", sigma, aware ? "aware" : "naive"), runs);
     }
   }
   FinishTable(table, "a2_cost_aware");
+  reporter.Finish();
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bandit/policy.h"
@@ -10,11 +11,15 @@
 #include "core/baselines.h"
 #include "core/config.h"
 #include "core/engine.h"
+#include "core/experiment_driver.h"
 #include "core/reward.h"
 #include "core/run_result.h"
 #include "core/task_factory.h"
+#include "featureeng/feature_cache.h"
 #include "index/grouper.h"
 #include "ml/learner.h"
+#include "util/clock.h"
+#include "util/status.h"
 #include "util/table_writer.h"
 
 namespace zombie {
@@ -29,19 +34,41 @@ size_t BenchCorpusSize();
 /// override the count with ZOMBIE_BENCH_TRIALS.
 std::vector<uint64_t> BenchSeeds();
 
+/// Worker threads for the experiment driver. Defaults to hardware
+/// concurrency; override with ZOMBIE_BENCH_THREADS (results are
+/// bit-identical at any value — see ExperimentDriver).
+size_t BenchThreads();
+
 /// The engine configuration shared by every experiment (DESIGN.md):
 /// 400-item stratified holdout, evaluate every 25 items, plateau stop.
 EngineOptions BenchEngineOptions(uint64_t seed);
 
-/// One Zombie run with the given components.
+/// One Zombie run with the given components (serial; trial loops should
+/// prefer RunZombieTrials).
 RunResult RunZombieTrial(const Task& task, const GroupingResult& grouping,
                          const BanditPolicy& policy,
                          const RewardFunction& reward,
                          const Learner& learner, const EngineOptions& opts);
 
-/// One full-scan baseline run (random order unless `sequential`).
-RunResult RunScanTrial(const Task& task, const EngineOptions& opts,
-                       bool sequential = false);
+/// Runs one (policy, grouping, reward, learner) grid cell for every
+/// BenchSeeds() seed in parallel on the experiment driver. `base` supplies
+/// every engine knob except the per-trial seed. Results are in seed order
+/// and bit-identical at any thread count.
+std::vector<RunResult> RunZombieTrials(const Task& task,
+                                       const GroupingResult& grouping,
+                                       PolicyKind policy,
+                                       const RewardFunction& reward,
+                                       const Learner& learner,
+                                       const EngineOptions& base,
+                                       FeatureCache* cache = nullptr);
+
+/// Full-scan baseline runs (random order unless `sequential`), one per
+/// BenchSeeds() seed, in parallel. `learner` defaults to naive Bayes, the
+/// learner the Zombie side uses in every experiment that calls this.
+std::vector<RunResult> RunScanTrials(const Task& task,
+                                     const EngineOptions& base,
+                                     bool sequential = false,
+                                     const Learner* learner = nullptr);
 
 /// Mean speedup report across paired (baseline, zombie) trials at the
 /// given quality fraction; invalid trials are skipped (count reported).
@@ -62,6 +89,44 @@ void PrintPreamble(const char* experiment_id, const char* reproduces,
 /// Prints the table; when ZOMBIE_BENCH_CSV_DIR is set, also writes
 /// `<dir>/<name>.csv` for plotting the figure analogues.
 void FinishTable(const TableWriter& table, const char* name);
+
+/// Machine-readable benchmark results: every bench serializes its rows to
+/// a versioned BENCH_<name>.json when ZOMBIE_BENCH_JSON_DIR is set (see
+/// EXPERIMENTS.md for the schema; tools/check_bench_regression.py consumes
+/// the files in CI). Wall-clock fields are real measured time; virtual
+/// fields are the paper's simulated data-processing time.
+class BenchReporter {
+ public:
+  struct Entry {
+    std::string name;             // stable row id, e.g. "webcat/egreedy/s1"
+    double wall_micros = 0.0;     // measured wall time for this row
+    double virtual_micros = 0.0;  // virtual (simulated) time, 0 if n/a
+    double items = 0.0;           // items processed, 0 if n/a
+    double quality = 0.0;         // final quality, 0 if n/a
+    double cache_hit_rate = -1.0;  // feature-cache hit rate, -1 if n/a
+  };
+
+  explicit BenchReporter(std::string bench_name);
+
+  void Add(Entry entry);
+
+  /// Convenience: one entry summarizing a set of runs (means across runs).
+  void AddRuns(const std::string& name, const std::vector<RunResult>& runs,
+               double cache_hit_rate = -1.0);
+
+  /// Named scalar metric (speedups, ratios) for the top-level JSON map.
+  void AddMetric(const std::string& name, double value);
+
+  /// Writes BENCH_<name>.json into ZOMBIE_BENCH_JSON_DIR and prints the
+  /// path; silent no-op when the variable is unset. Call once, last.
+  void Finish();
+
+ private:
+  std::string name_;
+  Stopwatch total_;
+  std::vector<Entry> entries_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 }  // namespace bench
 }  // namespace zombie

@@ -5,7 +5,6 @@
 #include <cstdio>
 #include <memory>
 
-#include "bandit/epsilon_greedy.h"
 #include "bench_common.h"
 #include "index/kmeans_grouper.h"
 #include "ml/logistic_regression.h"
@@ -43,21 +42,16 @@ void Run() {
   TableWriter table({"learner", "items(mean)", "vtime(mean)", "peak_q",
                      "final_q", "baseline_q", "speedup95_t",
                      "speedup95_items"});
+  BenchReporter reporter("e10_learners");
 
   for (const auto& learner : learners) {
-    std::vector<RunResult> zombies;
-    std::vector<RunResult> baselines;
-    for (uint64_t seed : BenchSeeds()) {
-      EngineOptions opts = BenchEngineOptions(seed);
-      EpsilonGreedyPolicy policy;
-      BalanceReward reward;
-      zombies.push_back(
-          RunZombieTrial(task, grouping, policy, reward, *learner, opts));
-      // Baseline with the same learner (RunScanTrial is NB-only).
-      ZombieEngine engine(&task.corpus, &task.pipeline,
-                          FullScanOptions(opts));
-      baselines.push_back(RunRandomBaseline(engine, *learner));
-    }
+    BalanceReward reward;
+    std::vector<RunResult> zombies =
+        RunZombieTrials(task, grouping, PolicyKind::kEpsilonGreedy, reward,
+                        *learner, BenchEngineOptions(1));
+    // Baseline with the same learner.
+    std::vector<RunResult> baselines = RunScanTrials(
+        task, BenchEngineOptions(1), /*sequential=*/false, learner.get());
     MeanSpeedup m = AverageSpeedup(baselines, zombies, 0.95);
     table.BeginRow();
     table.Cell(learner->name());
@@ -70,8 +64,11 @@ void Run() {
     table.Cell(MeanFinalQuality(baselines), 3);
     table.Cell(m.time_speedup, 2);
     table.Cell(m.items_speedup, 2);
+    reporter.AddRuns(learner->name() + std::string("/zombie"), zombies);
+    reporter.AddRuns(learner->name() + std::string("/randomscan"), baselines);
   }
   FinishTable(table, "e10_learners");
+  reporter.Finish();
   std::printf("\nnote: the majority learner ignores features; its row is "
               "the floor any real learner must beat.\n");
 }

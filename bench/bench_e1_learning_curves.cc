@@ -4,7 +4,6 @@
 
 #include <cstdio>
 
-#include "bandit/epsilon_greedy.h"
 #include "bench_common.h"
 #include "index/kmeans_grouper.h"
 #include "ml/naive_bayes.h"
@@ -37,6 +36,7 @@ void Run() {
   TableWriter table({"task", "method", "q@100", "q@200", "q@400", "q@800",
                      "q@1600", "q@3200", "q@6400", "final_q",
                      "items_run"});
+  BenchReporter reporter("e1_learning_curves");
 
   for (TaskKind kind :
        {TaskKind::kWebCat, TaskKind::kEntity, TaskKind::kBalanced}) {
@@ -44,23 +44,19 @@ void Run() {
     KMeansGrouper grouper(32, 7);
     GroupingResult grouping = grouper.Group(task.corpus);
 
-    std::vector<RunResult> zombie_runs;
-    std::vector<RunResult> random_runs;
-    std::vector<RunResult> seq_runs;
-    for (uint64_t seed : BenchSeeds()) {
-      EngineOptions opts = BenchEngineOptions(seed);
-      // Curves are comparable only when runs last equally long: disable
-      // early stop for the curve figure (E2 measures stopping).
-      opts.stop.plateau_enabled = false;
-      opts.stop.decline_enabled = false;
-      EpsilonGreedyPolicy policy;
-      NaiveBayesLearner nb;
-      LabelReward reward;
-      zombie_runs.push_back(
-          RunZombieTrial(task, grouping, policy, reward, nb, opts));
-      random_runs.push_back(RunScanTrial(task, opts, /*sequential=*/false));
-      seq_runs.push_back(RunScanTrial(task, opts, /*sequential=*/true));
-    }
+    EngineOptions opts = BenchEngineOptions(1);
+    // Curves are comparable only when runs last equally long: disable
+    // early stop for the curve figure (E2 measures stopping).
+    opts.stop.plateau_enabled = false;
+    opts.stop.decline_enabled = false;
+    NaiveBayesLearner nb;
+    LabelReward reward;
+    std::vector<RunResult> zombie_runs = RunZombieTrials(
+        task, grouping, PolicyKind::kEpsilonGreedy, reward, nb, opts);
+    std::vector<RunResult> random_runs =
+        RunScanTrials(task, opts, /*sequential=*/false);
+    std::vector<RunResult> seq_runs =
+        RunScanTrials(task, opts, /*sequential=*/true);
 
     struct Row {
       const char* method;
@@ -78,9 +74,11 @@ void Run() {
       }
       table.Cell(MeanFinalQuality(*row.runs), 3);
       table.Cell(static_cast<int64_t>(MeanItemsProcessed(*row.runs)));
+      reporter.AddRuns(std::string(task.name) + "/" + row.method, *row.runs);
     }
   }
   FinishTable(table, "e1_learning_curves");
+  reporter.Finish();
 }
 
 }  // namespace

@@ -4,7 +4,6 @@
 
 #include <cstdio>
 
-#include "bandit/epsilon_greedy.h"
 #include "bench_common.h"
 #include "index/kmeans_grouper.h"
 #include "index/token_grouper.h"
@@ -27,6 +26,7 @@ void Run() {
 
   TableWriter table({"task", "grouper", "target", "baseline_t", "zombie_t",
                      "time_speedup", "items_speedup", "valid_trials"});
+  BenchReporter reporter("e2_speedup");
 
   for (TaskKind kind :
        {TaskKind::kWebCat, TaskKind::kEntity, TaskKind::kBalanced}) {
@@ -47,17 +47,14 @@ void Run() {
       grouping = grouper.Group(task.corpus);
     }
 
-    std::vector<RunResult> zombies;
-    std::vector<RunResult> baselines;
-    for (uint64_t seed : BenchSeeds()) {
-      EngineOptions opts = BenchEngineOptions(seed);
-      EpsilonGreedyPolicy policy;
-      NaiveBayesLearner nb;
-      LabelReward reward;
-      zombies.push_back(
-          RunZombieTrial(task, grouping, policy, reward, nb, opts));
-      baselines.push_back(RunScanTrial(task, opts));
-    }
+    EngineOptions opts = BenchEngineOptions(1);
+    NaiveBayesLearner nb;
+    LabelReward reward;
+    std::vector<RunResult> zombies = RunZombieTrials(
+        task, grouping, PolicyKind::kEpsilonGreedy, reward, nb, opts);
+    std::vector<RunResult> baselines = RunScanTrials(task, opts);
+    reporter.AddRuns(std::string(task.name) + "/zombie", zombies);
+    reporter.AddRuns(std::string(task.name) + "/randomscan", baselines);
 
     for (double fraction : {0.90, 0.95, 0.99}) {
       MeanSpeedup m = AverageSpeedup(baselines, zombies, fraction);
@@ -76,9 +73,13 @@ void Run() {
       table.Cell(m.time_speedup, 2);
       table.Cell(m.items_speedup, 2);
       table.Cell(StrFormat("%zu/%zu", m.valid_trials, m.total_trials));
+      reporter.AddMetric(StrFormat("%s_speedup_%.0f", task.name.c_str(),
+                                   fraction * 100.0),
+                         m.time_speedup);
     }
   }
   FinishTable(table, "e2_speedup");
+  reporter.Finish();
   std::printf(
       "\nnote: *_t columns are virtual data-processing time of trial 1 "
       "(holdout featurization included on both sides); speedups are means "

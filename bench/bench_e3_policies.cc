@@ -1,5 +1,6 @@
 // E3 — bandit-policy comparison figure analogue: every selection policy on
-// the WebCat task against the same full-scan baseline.
+// the WebCat task against the same full-scan baseline. The whole policy x
+// seed grid runs as one ExperimentDriver batch.
 
 #include <cstdio>
 
@@ -12,6 +13,18 @@
 namespace zombie {
 namespace bench {
 namespace {
+
+double PositiveShare(const std::vector<RunResult>& runs) {
+  if (runs.empty()) return 0.0;
+  double share = 0.0;
+  for (const RunResult& r : runs) {
+    share += r.items_processed
+                 ? static_cast<double>(r.positives_processed) /
+                       static_cast<double>(r.items_processed)
+                 : 0.0;
+  }
+  return share / static_cast<double>(runs.size());
+}
 
 void Run() {
   PrintPreamble(
@@ -26,45 +39,55 @@ void Run() {
   GroupingResult grouping = grouper.Group(task.corpus);
 
   // A shared baseline per seed.
-  std::vector<RunResult> baselines;
-  for (uint64_t seed : BenchSeeds()) {
-    baselines.push_back(RunScanTrial(task, BenchEngineOptions(seed)));
-  }
+  std::vector<RunResult> baselines = RunScanTrials(task, BenchEngineOptions(1));
+
+  // One grid over every policy: the driver expands policies x seeds
+  // row-major, so results chunk per policy in seed order.
+  NaiveBayesLearner nb;
+  LabelReward reward;
+  ExperimentDriverOptions dopts;
+  dopts.num_threads = BenchThreads();
+  dopts.engine = BenchEngineOptions(1);
+  ExperimentDriver driver(&task.corpus, &task.pipeline, dopts);
+  ExperimentGrid grid;
+  grid.policies = {PolicyKind::kEpsilonGreedy, PolicyKind::kUcb1,
+                   PolicyKind::kSlidingUcb,    PolicyKind::kThompson,
+                   PolicyKind::kExp3,          PolicyKind::kSoftmax,
+                   PolicyKind::kRoundRobin,    PolicyKind::kUniformRandom};
+  grid.groupings = {&grouping};
+  grid.rewards = {&reward};
+  grid.learners = {&nb};
+  grid.seeds = BenchSeeds();
+  StatusOr<std::vector<TrialResult>> trials = driver.RunGrid(grid);
+  ZCHECK_OK(trials.status());
 
   TableWriter table({"policy", "items(mean)", "vtime(mean)", "final_q",
                      "pos_share", "speedup95_t", "speedup95_items"});
+  BenchReporter reporter("e3_policies");
+  reporter.AddRuns("randomscan", baselines);
 
-  for (PolicyKind kind :
-       {PolicyKind::kEpsilonGreedy, PolicyKind::kUcb1,
-        PolicyKind::kSlidingUcb, PolicyKind::kThompson, PolicyKind::kExp3,
-        PolicyKind::kSoftmax, PolicyKind::kRoundRobin,
-        PolicyKind::kUniformRandom}) {
+  size_t seeds_per_policy = grid.seeds.size();
+  for (size_t p = 0; p < grid.policies.size(); ++p) {
     std::vector<RunResult> runs;
-    double pos_share = 0.0;
-    for (uint64_t seed : BenchSeeds()) {
-      EngineOptions opts = BenchEngineOptions(seed);
-      auto policy = MakePolicy(kind);
-      NaiveBayesLearner nb;
-      LabelReward reward;
-      RunResult r = RunZombieTrial(task, grouping, *policy, reward, nb, opts);
-      pos_share += r.items_processed
-                       ? static_cast<double>(r.positives_processed) /
-                             static_cast<double>(r.items_processed)
-                       : 0.0;
-      runs.push_back(std::move(r));
+    for (size_t s = 0; s < seeds_per_policy; ++s) {
+      runs.push_back(std::move(trials.value()[p * seeds_per_policy + s].run));
     }
-    pos_share /= static_cast<double>(runs.size());
     MeanSpeedup m = AverageSpeedup(baselines, runs, 0.95);
     table.BeginRow();
-    table.Cell(PolicyKindName(kind));
+    table.Cell(PolicyKindName(grid.policies[p]));
     table.Cell(static_cast<int64_t>(MeanItemsProcessed(runs)));
     table.Cell(StrFormat("%.1fs", MeanVirtualSeconds(runs)));
     table.Cell(MeanFinalQuality(runs), 3);
-    table.Cell(pos_share, 3);
+    table.Cell(PositiveShare(runs), 3);
     table.Cell(m.time_speedup, 2);
     table.Cell(m.items_speedup, 2);
+    reporter.AddRuns(PolicyKindName(grid.policies[p]), runs);
+    reporter.AddMetric(StrFormat("%s_speedup95",
+                                 PolicyKindName(grid.policies[p])),
+                       m.time_speedup);
   }
   FinishTable(table, "e3_policies");
+  reporter.Finish();
 }
 
 }  // namespace

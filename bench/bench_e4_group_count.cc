@@ -3,12 +3,12 @@
 
 #include <cstdio>
 
-#include "bandit/epsilon_greedy.h"
 #include "bench_common.h"
 #include "index/kmeans_grouper.h"
 #include "ml/naive_bayes.h"
 #include "util/clock.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace zombie {
 namespace bench {
@@ -24,30 +24,27 @@ void Run() {
 
   Task task = MakeTask(TaskKind::kWebCat, BenchCorpusSize(), 42);
 
-  std::vector<RunResult> baselines;
-  for (uint64_t seed : BenchSeeds()) {
-    baselines.push_back(RunScanTrial(task, BenchEngineOptions(seed)));
-  }
+  std::vector<RunResult> baselines = RunScanTrials(task, BenchEngineOptions(1));
 
   TableWriter table({"K", "build_wall", "items(mean)", "final_q",
                      "pos_share", "speedup95_t", "speedup95_items"});
+  BenchReporter reporter("e4_group_count");
+  reporter.AddRuns("randomscan", baselines);
 
   for (size_t k : {1, 4, 16, 64, 256}) {
     KMeansGrouper grouper(k, 7);
     GroupingResult grouping = grouper.Group(task.corpus);
-    std::vector<RunResult> runs;
+    NaiveBayesLearner nb;
+    LabelReward reward;
+    std::vector<RunResult> runs =
+        RunZombieTrials(task, grouping, PolicyKind::kEpsilonGreedy, reward,
+                        nb, BenchEngineOptions(1));
     double pos_share = 0.0;
-    for (uint64_t seed : BenchSeeds()) {
-      EngineOptions opts = BenchEngineOptions(seed);
-      EpsilonGreedyPolicy policy;
-      NaiveBayesLearner nb;
-      LabelReward reward;
-      RunResult r = RunZombieTrial(task, grouping, policy, reward, nb, opts);
+    for (const RunResult& r : runs) {
       pos_share += r.items_processed
                        ? static_cast<double>(r.positives_processed) /
                              static_cast<double>(r.items_processed)
                        : 0.0;
-      runs.push_back(std::move(r));
     }
     pos_share /= static_cast<double>(runs.size());
     MeanSpeedup m = AverageSpeedup(baselines, runs, 0.95);
@@ -59,8 +56,11 @@ void Run() {
     table.Cell(pos_share, 3);
     table.Cell(m.time_speedup, 2);
     table.Cell(m.items_speedup, 2);
+    reporter.AddRuns(StrFormat("K%zu", k), runs);
+    reporter.AddMetric(StrFormat("K%zu_speedup95", k), m.time_speedup);
   }
   FinishTable(table, "e4_group_count");
+  reporter.Finish();
 }
 
 }  // namespace

@@ -5,7 +5,6 @@
 #include <cstdio>
 #include <memory>
 
-#include "bandit/epsilon_greedy.h"
 #include "bench_common.h"
 #include "index/kmeans_grouper.h"
 #include "index/metadata_grouper.h"
@@ -49,29 +48,26 @@ void Run() {
 
   TableWriter table({"task", "grouper", "groups", "items(mean)", "final_q",
                      "pos_share", "speedup95_t", "speedup95_items"});
+  BenchReporter reporter("e5_groupers");
 
   for (TaskKind kind : {TaskKind::kWebCat, TaskKind::kEntity}) {
     Task task = MakeTask(kind, BenchCorpusSize(), 42);
-    std::vector<RunResult> baselines;
-    for (uint64_t seed : BenchSeeds()) {
-      baselines.push_back(RunScanTrial(task, BenchEngineOptions(seed)));
-    }
+    std::vector<RunResult> baselines =
+        RunScanTrials(task, BenchEngineOptions(1));
+    reporter.AddRuns(task.name + "/randomscan", baselines);
     for (auto& grouper : GroupersFor(kind)) {
       GroupingResult grouping = grouper->Group(task.corpus);
-      std::vector<RunResult> runs;
+      NaiveBayesLearner nb;
+      BalanceReward reward;
+      std::vector<RunResult> runs =
+          RunZombieTrials(task, grouping, PolicyKind::kEpsilonGreedy, reward,
+                          nb, BenchEngineOptions(1));
       double pos_share = 0.0;
-      for (uint64_t seed : BenchSeeds()) {
-        EngineOptions opts = BenchEngineOptions(seed);
-        EpsilonGreedyPolicy policy;
-        NaiveBayesLearner nb;
-        BalanceReward reward;
-        RunResult r =
-            RunZombieTrial(task, grouping, policy, reward, nb, opts);
+      for (const RunResult& r : runs) {
         pos_share += r.items_processed
                          ? static_cast<double>(r.positives_processed) /
                                static_cast<double>(r.items_processed)
                          : 0.0;
-        runs.push_back(std::move(r));
       }
       pos_share /= static_cast<double>(runs.size());
       MeanSpeedup m = AverageSpeedup(baselines, runs, 0.95);
@@ -84,9 +80,11 @@ void Run() {
       table.Cell(pos_share, 3);
       table.Cell(m.time_speedup, 2);
       table.Cell(m.items_speedup, 2);
+      reporter.AddRuns(task.name + "/" + grouper->name(), runs);
     }
   }
   FinishTable(table, "e5_groupers");
+  reporter.Finish();
   std::printf("\nnote: oracle groupers read hidden ground truth and exist "
               "only to bound the attainable speedup.\n");
 }

@@ -4,13 +4,13 @@
 
 #include <cstdio>
 
-#include "bandit/epsilon_greedy.h"
 #include "bench_common.h"
 #include "core/task_factory.h"
 #include "data/webcat_generator.h"
 #include "index/kmeans_grouper.h"
 #include "ml/naive_bayes.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace zombie {
 namespace bench {
@@ -27,6 +27,7 @@ void Run() {
   TableWriter table({"nominal_pos", "measured_pos", "base_items(mean)",
                      "zombie_items(mean)", "final_q", "speedup95_t",
                      "speedup95_items"});
+  BenchReporter reporter("e7_skew");
 
   for (double pos : {0.01, 0.02, 0.05, 0.10, 0.25, 0.50}) {
     WebCatOptions wopts;
@@ -42,17 +43,13 @@ void Run() {
     KMeansGrouper grouper(32, 7);
     GroupingResult grouping = grouper.Group(task.corpus);
 
-    std::vector<RunResult> zombies;
-    std::vector<RunResult> baselines;
-    for (uint64_t seed : BenchSeeds()) {
-      EngineOptions opts = BenchEngineOptions(seed);
-      EpsilonGreedyPolicy policy;
-      NaiveBayesLearner nb;
-      BalanceReward reward;
-      zombies.push_back(
-          RunZombieTrial(task, grouping, policy, reward, nb, opts));
-      baselines.push_back(RunScanTrial(task, opts));
-    }
+    NaiveBayesLearner nb;
+    BalanceReward reward;
+    std::vector<RunResult> zombies =
+        RunZombieTrials(task, grouping, PolicyKind::kEpsilonGreedy, reward,
+                        nb, BenchEngineOptions(1));
+    std::vector<RunResult> baselines =
+        RunScanTrials(task, BenchEngineOptions(1));
     MeanSpeedup m = AverageSpeedup(baselines, zombies, 0.95);
     table.BeginRow();
     table.Cell(pos, 2);
@@ -62,8 +59,12 @@ void Run() {
     table.Cell(MeanFinalQuality(zombies), 3);
     table.Cell(m.time_speedup, 2);
     table.Cell(m.items_speedup, 2);
+    reporter.AddRuns(StrFormat("pos%.2f/zombie", pos), zombies);
+    reporter.AddRuns(StrFormat("pos%.2f/randomscan", pos), baselines);
+    reporter.AddMetric(StrFormat("pos%.2f_speedup95", pos), m.time_speedup);
   }
   FinishTable(table, "e7_skew");
+  reporter.Finish();
 }
 
 }  // namespace

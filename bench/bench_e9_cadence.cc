@@ -4,7 +4,6 @@
 
 #include <cstdio>
 
-#include "bandit/epsilon_greedy.h"
 #include "bench_common.h"
 #include "index/kmeans_grouper.h"
 #include "ml/naive_bayes.h"
@@ -28,21 +27,20 @@ void Run() {
 
   TableWriter table({"eval_every", "items(mean)", "vtime(mean)", "final_q",
                      "evals(mean)", "wall_ms(mean)"});
+  BenchReporter reporter("e9_cadence");
 
   for (size_t cadence : {5, 25, 100, 400}) {
-    std::vector<RunResult> runs;
+    EngineOptions opts = BenchEngineOptions(1);
+    opts.eval_every = cadence;
+    NaiveBayesLearner nb;
+    LabelReward reward;
+    std::vector<RunResult> runs = RunZombieTrials(
+        task, grouping, PolicyKind::kEpsilonGreedy, reward, nb, opts);
     double wall_ms = 0.0;
     double evals = 0.0;
-    for (uint64_t seed : BenchSeeds()) {
-      EngineOptions opts = BenchEngineOptions(seed);
-      opts.eval_every = cadence;
-      EpsilonGreedyPolicy policy;
-      NaiveBayesLearner nb;
-      LabelReward reward;
-      RunResult r = RunZombieTrial(task, grouping, policy, reward, nb, opts);
+    for (const RunResult& r : runs) {
       wall_ms += static_cast<double>(r.wall_micros) / 1e3;
       evals += static_cast<double>(r.curve.size());
-      runs.push_back(std::move(r));
     }
     wall_ms /= static_cast<double>(runs.size());
     evals /= static_cast<double>(runs.size());
@@ -53,8 +51,10 @@ void Run() {
     table.Cell(MeanFinalQuality(runs), 3);
     table.Cell(evals, 1);
     table.Cell(wall_ms, 1);
+    reporter.AddRuns(StrFormat("eval_every_%zu", cadence), runs);
   }
   FinishTable(table, "e9_cadence");
+  reporter.Finish();
 }
 
 }  // namespace

@@ -8,8 +8,10 @@
 
 #include "bandit/epsilon_greedy.h"
 #include "bandit/ucb1.h"
+#include "bench_common.h"
 #include "core/task_factory.h"
 #include "data/webcat_generator.h"
+#include "featureeng/feature_cache.h"
 #include "index/kmeans.h"
 #include "index/signature.h"
 #include "ml/logistic_regression.h"
@@ -186,12 +188,76 @@ void BM_CorpusGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_CorpusGeneration)->Arg(1000)->Unit(benchmark::kMillisecond);
 
+void BM_FeatureCacheLookupHit(benchmark::State& state) {
+  Rng rng(11);
+  FeatureCache cache;
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i < n; ++i) {
+    cache.Insert(1, static_cast<uint32_t>(i),
+                 FeatureCache::Entry{RandomVector(&rng, 8192, 64), 1, 1000});
+  }
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Lookup(1, i++ % static_cast<uint32_t>(n)));
+  }
+}
+BENCHMARK(BM_FeatureCacheLookupHit)->Arg(1024)->Arg(65536);
+
+void BM_FeatureCacheInsert(benchmark::State& state) {
+  Rng rng(12);
+  FeatureCacheOptions copts;
+  copts.capacity = 4096;  // exercises the eviction path
+  FeatureCache cache(copts);
+  SparseVector x = RandomVector(&rng, 8192, 64);
+  uint32_t i = 0;
+  for (auto _ : state) {
+    cache.Insert(1, i++, FeatureCache::Entry{x, 1, 1000});
+  }
+}
+BENCHMARK(BM_FeatureCacheInsert);
+
+void BM_PipelineFingerprint(benchmark::State& state) {
+  Task task = MakeTask(TaskKind::kWebCat, 200, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(task.pipeline.Fingerprint());
+  }
+}
+BENCHMARK(BM_PipelineFingerprint);
+
+// Console output plus the repo's machine-readable BENCH_micro.json (per-
+// iteration real time in the wall_micros field) when ZOMBIE_BENCH_JSON_DIR
+// is set.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonExportReporter(bench::BenchReporter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      bench::BenchReporter::Entry e;
+      e.name = run.benchmark_name();
+      e.wall_micros = run.real_accumulated_time /
+                      static_cast<double>(run.iterations) * 1e6;
+      e.items = static_cast<double>(run.iterations);
+      out_->Add(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReporter* out_;
+};
+
 }  // namespace
 }  // namespace zombie
 
 int main(int argc, char** argv) {
   zombie::SetLogLevel(zombie::LogLevel::kWarning);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  zombie::bench::BenchReporter reporter("micro");
+  zombie::JsonExportReporter console(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&console);
+  reporter.Finish();
   return 0;
 }

@@ -12,6 +12,8 @@
 
 namespace zombie {
 
+class FeatureCache;
+
 /// When the inner loop ends. Rules combine with OR: the first satisfied
 /// rule stops the run. Exhausting the corpus always stops it.
 struct StopRule {
@@ -71,6 +73,13 @@ struct EngineOptions {
   /// bandit then maximizes usefulness per unit *time* instead of per
   /// item — with heterogeneous item costs, cheap useful groups win.
   bool cost_aware_rewards = false;
+  /// Optional feature-extraction memo (borrowed, thread-safe, may be
+  /// shared across concurrent runs). When set, the engine consults it
+  /// before every pipeline extraction, keyed on the pipeline fingerprint;
+  /// the virtual clock is still charged full extraction cost on a hit, so
+  /// results are byte-identical with the cache on or off — only wall-clock
+  /// time changes (featureeng/feature_cache.h).
+  FeatureCache* feature_cache = nullptr;
 
   /// Validates knob ranges.
   [[nodiscard]] Status Validate() const;

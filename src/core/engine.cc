@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/convergence.h"
+#include "featureeng/feature_cache.h"
 #include "index/grouped_corpus.h"
 #include "ml/dataset.h"
 #include "ml/evaluator.h"
@@ -52,6 +53,26 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
 
   RunResult result;
   result.grouper_name = grouping.method;
+
+  // Memoized featurization: identical output to pipeline_->Extract (the
+  // cache's determinism contract), so everything downstream — learner
+  // updates, rewards, the virtual clock — is byte-identical with the cache
+  // on or off. Only the wall clock observes the difference.
+  FeatureCache* cache = options_.feature_cache;
+  const uint64_t pipeline_fp =
+      cache != nullptr ? pipeline_->Fingerprint() : 0;
+  auto featurize = [&](uint32_t doc_id, const Document& doc) {
+    if (cache == nullptr) return pipeline_->Extract(doc, *corpus_);
+    if (std::shared_ptr<const FeatureCache::Entry> hit =
+            cache->Lookup(pipeline_fp, doc_id)) {
+      return hit->features;
+    }
+    SparseVector x = pipeline_->Extract(doc, *corpus_);
+    cache->Insert(pipeline_fp, doc_id,
+                  FeatureCache::Entry{x, BinaryLabel(doc.label),
+                                      pipeline_->ExtractionCostMicros(doc)});
+    return x;
+  };
 
   GroupedCorpus grouped(corpus_, grouping, rng.Fork().NextUint64(),
                         shuffle_groups);
@@ -109,8 +130,7 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
 
     for (uint32_t id : ids) {
       const Document& doc = corpus_->doc(id);
-      holdout_data.Add(pipeline_->Extract(doc, *corpus_),
-                       BinaryLabel(doc.label));
+      holdout_data.Add(featurize(id, doc), BinaryLabel(doc.label));
       if (options_.charge_holdout_cost) {
         clock.Advance(pipeline_->ExtractionCostMicros(doc) +
                       doc.labeling_cost_micros);
@@ -227,7 +247,7 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
     }
 
     const Document& doc = corpus_->doc(*doc_idx);
-    SparseVector x = pipeline_->Extract(doc, *corpus_);
+    SparseVector x = featurize(*doc_idx, doc);
     clock.Advance(pipeline_->ExtractionCostMicros(doc) +
                   doc.labeling_cost_micros);
     int32_t y = BinaryLabel(doc.label);

@@ -34,7 +34,7 @@ SessionResult RunSession(const Corpus& corpus, const RevisionScript& script,
                          const Learner& learner_prototype,
                          const RewardFunction& reward,
                          EngineOptions engine_options,
-                         bool warm_start_bandit) {
+                         bool warm_start_bandit, FeatureCache* cache) {
   SessionResult session;
   session.mode = mode;
   std::vector<ArmSummary> previous_arms;
@@ -52,6 +52,7 @@ SessionResult RunSession(const Corpus& corpus, const RevisionScript& script,
     // Each revision gets an independent but deterministic seed.
     EngineOptions opts = engine_options;
     opts.seed = HashCombine(engine_options.seed, r);
+    opts.feature_cache = cache;
 
     RevisionOutcome outcome;
     outcome.revision_name = script.name(r);

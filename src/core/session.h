@@ -62,12 +62,19 @@ struct SessionResult {
 /// seeded with the previous revision's per-arm statistics — the groups'
 /// usefulness barely changes between feature tweaks, so re-exploration is
 /// mostly wasted work (the paper's cross-iteration amortization idea).
+///
+/// With `cache` (borrowed, may be shared), every revision's featurization
+/// is memoized on the revision's pipeline fingerprint: re-running a script
+/// whose prefix is unchanged — the paper's edit-run-evaluate loop — skips
+/// re-extraction for those revisions entirely. Virtual-time and quality
+/// numbers are unchanged by the cache; only wall-clock time shrinks.
 SessionResult RunSession(const Corpus& corpus, const RevisionScript& script,
                          SessionMode mode, Grouper* grouper,
                          const Learner& learner_prototype,
                          const RewardFunction& reward,
                          EngineOptions engine_options,
-                         bool warm_start_bandit = false);
+                         bool warm_start_bandit = false,
+                         FeatureCache* cache = nullptr);
 
 }  // namespace zombie
 

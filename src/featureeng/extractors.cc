@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/logging.h"
 #include "util/random.h"
@@ -31,6 +32,13 @@ std::string HashedBagOfWordsExtractor::name() const {
   return StrFormat("bow%u", vectorizer_.dimension());
 }
 
+uint64_t HashedBagOfWordsExtractor::Fingerprint() const {
+  uint64_t fp = FeatureExtractor::Fingerprint();
+  fp = HashCombine(fp, vectorizer_.salt());
+  fp = HashCombine(fp, vectorizer_.signed_hash() ? 1u : 0u);
+  return HashCombine(fp, sublinear_tf_ ? 1u : 0u);
+}
+
 // --- HashedBigramExtractor --------------------------------------------------
 
 HashedBigramExtractor::HashedBigramExtractor(uint32_t dimension, uint64_t salt)
@@ -50,6 +58,10 @@ void HashedBigramExtractor::Extract(const Document& doc,
 
 std::string HashedBigramExtractor::name() const {
   return StrFormat("bigram%u", dimension_);
+}
+
+uint64_t HashedBigramExtractor::Fingerprint() const {
+  return HashCombine(FeatureExtractor::Fingerprint(), salt_);
 }
 
 // --- KeywordExtractor -------------------------------------------------------
@@ -74,6 +86,12 @@ void KeywordExtractor::Extract(const Document& doc, const Corpus& /*corpus*/,
 
 std::string KeywordExtractor::name() const {
   return StrFormat("keywords%zu", keywords_.size());
+}
+
+uint64_t KeywordExtractor::Fingerprint() const {
+  uint64_t fp = FeatureExtractor::Fingerprint();
+  for (uint32_t id : keywords_) fp = HashCombine(fp, id);
+  return fp;
 }
 
 // --- DocLengthExtractor -----------------------------------------------------
@@ -147,6 +165,15 @@ void ExpensiveWrapperExtractor::Extract(const Document& doc,
 std::string ExpensiveWrapperExtractor::name() const {
   return StrFormat("expensive(%s,x%.1f)", inner_->name().c_str(),
                    cost_multiplier_);
+}
+
+uint64_t ExpensiveWrapperExtractor::Fingerprint() const {
+  // The printed name truncates the multiplier, so hash the exact bits and
+  // the inner extractor's full fingerprint (which carries its salt).
+  uint64_t mult_bits = 0;
+  static_assert(sizeof(mult_bits) == sizeof(cost_multiplier_));
+  std::memcpy(&mult_bits, &cost_multiplier_, sizeof(mult_bits));
+  return HashCombine(inner_->Fingerprint(), mult_bits);
 }
 
 }  // namespace zombie

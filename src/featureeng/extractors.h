@@ -23,6 +23,7 @@ class HashedBagOfWordsExtractor : public FeatureExtractor {
   uint32_t dimension() const override { return vectorizer_.dimension(); }
   std::string name() const override;
   double cost_factor() const override { return 1.0; }
+  uint64_t Fingerprint() const override;  // folds in salt + sublinear flag
 
  private:
   HashingVectorizer vectorizer_;
@@ -39,6 +40,7 @@ class HashedBigramExtractor : public FeatureExtractor {
   uint32_t dimension() const override { return dimension_; }
   std::string name() const override;
   double cost_factor() const override { return 1.5; }
+  uint64_t Fingerprint() const override;  // folds in the hash salt
 
  private:
   uint32_t dimension_;
@@ -58,6 +60,7 @@ class KeywordExtractor : public FeatureExtractor {
   }
   std::string name() const override;
   double cost_factor() const override { return 0.2; }
+  uint64_t Fingerprint() const override;  // folds in the keyword ids
 
  private:
   std::vector<uint32_t> keywords_;  // sorted
@@ -123,6 +126,7 @@ class ExpensiveWrapperExtractor : public FeatureExtractor {
   double cost_factor() const override {
     return inner_->cost_factor() * cost_multiplier_;
   }
+  uint64_t Fingerprint() const override;  // delegates to the inner extractor
 
  private:
   std::unique_ptr<FeatureExtractor> inner_;

@@ -1,3 +1,20 @@
-// FeatureExtractor is a pure interface; this file anchors the translation
-// unit for the featureeng library.
 #include "featureeng/feature_extractor.h"
+
+#include <cstring>
+
+#include "util/random.h"
+
+namespace zombie {
+
+uint64_t FeatureExtractor::Fingerprint() const {
+  std::string n = name();
+  uint64_t fp = HashBytes(n.data(), n.size());
+  fp = HashCombine(fp, dimension());
+  double cf = cost_factor();
+  uint64_t cf_bits = 0;
+  static_assert(sizeof(cf_bits) == sizeof(cf));
+  std::memcpy(&cf_bits, &cf, sizeof(cf));
+  return HashCombine(fp, cf_bits);
+}
+
+}  // namespace zombie

@@ -39,6 +39,15 @@ class FeatureExtractor {
 
   /// Relative cost of running this extractor (see class comment).
   virtual double cost_factor() const { return 1.0; }
+
+  /// Stable 64-bit fingerprint of this extractor's *behavior*: two
+  /// extractors with equal fingerprints must emit identical features for
+  /// every document. The default hashes (name, dimension, cost_factor);
+  /// extractors with configuration not visible in those — hash salts,
+  /// keyword lists — must fold it in (see extractors.h overrides). The
+  /// FeatureCache keys memoized vectors on the pipeline fingerprint, so a
+  /// stale fingerprint silently serves wrong features.
+  virtual uint64_t Fingerprint() const;
 };
 
 }  // namespace zombie

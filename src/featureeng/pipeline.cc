@@ -2,6 +2,7 @@
 
 #include "text/term_counts.h"
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace zombie {
 
@@ -61,6 +62,13 @@ uint32_t FeaturePipeline::dimension() const {
 const FeatureExtractor& FeaturePipeline::extractor(size_t i) const {
   ZCHECK_LT(i, extractors_.size());
   return *extractors_[i];
+}
+
+uint64_t FeaturePipeline::Fingerprint() const {
+  // Seed constant keeps an empty pipeline's fingerprint distinct from 0.
+  uint64_t fp = 0x5a4d4249u;  // "ZMBI"
+  for (const auto& e : extractors_) fp = HashCombine(fp, e->Fingerprint());
+  return HashCombine(fp, l2_normalize_ ? 1u : 0u);
 }
 
 std::string FeaturePipeline::Description() const {

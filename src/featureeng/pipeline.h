@@ -56,6 +56,14 @@ class FeaturePipeline {
   /// "bow4096 + keywords12 + domain" style description.
   std::string Description() const;
 
+  /// Stable revision fingerprint: hashes the ordered extractor fingerprints
+  /// plus the normalization flag — everything that determines Extract()'s
+  /// output, and nothing else. Two pipelines built independently from the
+  /// same revision spec (e.g. the unchanged prefix of a re-run session
+  /// script) fingerprint identically, so FeatureCache entries carry across
+  /// runs; the display name is deliberately excluded.
+  uint64_t Fingerprint() const;
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<FeatureExtractor>> extractors_;

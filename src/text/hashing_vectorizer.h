@@ -30,6 +30,8 @@ class HashingVectorizer {
   uint32_t IndexOf(const std::string& token) const;
 
   uint32_t dimension() const { return dimension_; }
+  bool signed_hash() const { return signed_hash_; }
+  uint64_t salt() const { return salt_; }
 
  private:
   uint32_t dimension_;

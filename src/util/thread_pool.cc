@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <optional>
+
 #include "util/logging.h"
 
 namespace zombie {
@@ -13,6 +15,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  accepting_.store(false, std::memory_order_release);
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -22,9 +25,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  ZCHECK(accepting_.load(std::memory_order_acquire))
+      << "ThreadPool::Submit after destruction began";
   {
     std::unique_lock<std::mutex> lock(mu_);
-    ZCHECK(!shutdown_) << "Submit after shutdown";
+    ZCHECK(!shutdown_) << "ThreadPool::Submit after shutdown";
     queue_.push(std::move(task));
     ++in_flight_;
   }
@@ -64,6 +69,26 @@ void ParallelFor(ThreadPool* pool, size_t n,
     pool->Submit([&fn, i] { fn(i); });
   }
   pool->Wait();
+}
+
+Status ParallelForStatus(ThreadPool* pool, size_t n,
+                         const std::function<Status(size_t)>& fn) {
+  std::mutex first_mu;
+  std::optional<size_t> first_index;
+  Status first_status = Status::OK();
+  for (size_t i = 0; i < n; ++i) {
+    pool->Submit([&, i] {
+      Status st = fn(i);
+      if (st.ok()) return;
+      std::unique_lock<std::mutex> lock(first_mu);
+      if (!first_index.has_value() || i < *first_index) {
+        first_index = i;
+        first_status = std::move(st);
+      }
+    });
+  }
+  pool->Wait();
+  return first_status;
 }
 
 }  // namespace zombie

@@ -1,6 +1,7 @@
 #ifndef ZOMBIE_UTIL_THREAD_POOL_H_
 #define ZOMBIE_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -9,11 +10,14 @@
 #include <thread>
 #include <vector>
 
+#include "util/status.h"
+
 namespace zombie {
 
-/// Fixed-size worker pool used by benches to run independent experiment
-/// trials in parallel. The engine itself stays single-threaded — trial-level
-/// parallelism keeps every trace deterministic (each trial owns its RNG).
+/// Fixed-size worker pool used by the experiment driver and benches to run
+/// independent experiment trials in parallel. The engine itself stays
+/// single-threaded — trial-level parallelism keeps every trace deterministic
+/// (each trial owns its RNG).
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (>= 1).
@@ -25,8 +29,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Must not be called after Wait() has begun returning
-  /// with the intent of destroying the pool, but is safe from tasks.
+  /// Enqueues a task. Submitting after the destructor has begun is a
+  /// checked fatal error (the flag is flipped before the workers are
+  /// joined, so a racing Submit dies loudly instead of corrupting the
+  /// queue). Submitting from within a running task is safe.
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task (including tasks submitted by tasks)
@@ -44,12 +50,26 @@ class ThreadPool {
   std::queue<std::function<void()>> queue_;
   size_t in_flight_ = 0;  // queued + currently running
   bool shutdown_ = false;
+  /// Set (before `mu_` is even taken) at the top of the destructor;
+  /// Submit checks it first so a use-after-shutdown fails fast even when
+  /// the mutex state is already suspect.
+  std::atomic<bool> accepting_{true};
   std::vector<std::thread> threads_;
 };
 
 /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+/// The body has no failure channel; a body that can fail should use
+/// ParallelForStatus instead.
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn);
+
+/// Runs fn(i) for i in [0, n) across the pool, waits for completion, and
+/// returns the failure with the smallest index (or OK). Every iteration
+/// runs regardless of other iterations' failures — results must not depend
+/// on which worker noticed a problem first — but only the first failure by
+/// index is reported, deterministically at any thread count.
+[[nodiscard]] Status ParallelForStatus(
+    ThreadPool* pool, size_t n, const std::function<Status(size_t)>& fn);
 
 }  // namespace zombie
 

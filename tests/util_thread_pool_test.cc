@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
+
+#include "util/status.h"
+#include "util/string_util.h"
 
 namespace zombie {
 namespace {
@@ -113,6 +118,87 @@ TEST(ThreadPoolTest, StressParallelForRepeated) {
     });
     EXPECT_EQ(sum.load(), 199 * 200 / 2);
   }
+}
+
+TEST(ParallelForStatusTest, AllOkReturnsOk) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(50);
+  Status st = ParallelForStatus(&pool, 50, [&hits](size_t i) {
+    hits[i].fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForStatusTest, ZeroIterationsIsOk) {
+  ThreadPool pool(2);
+  Status st = ParallelForStatus(&pool, 0, [](size_t) {
+    ADD_FAILURE() << "must not run";
+    return Status::Internal("unreachable");
+  });
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(ParallelForStatusTest, SingleFailureIsPropagated) {
+  ThreadPool pool(4);
+  Status st = ParallelForStatus(&pool, 20, [](size_t i) {
+    if (i == 13) return Status::NotFound("iteration 13");
+    return Status::OK();
+  });
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "iteration 13");
+}
+
+// Several iterations fail; the reported one must be the smallest index, not
+// whichever worker lost the race — repeated to make scheduling luck
+// irrelevant.
+TEST(ParallelForStatusTest, FirstFailureByIndexWinsDeterministically) {
+  ThreadPool pool(8);
+  for (int round = 0; round < 25; ++round) {
+    Status st = ParallelForStatus(&pool, 64, [](size_t i) {
+      if (i % 2 == 1) {
+        return Status::Internal(StrFormat("failed at %zu", i));
+      }
+      return Status::OK();
+    });
+    EXPECT_EQ(st.code(), StatusCode::kInternal);
+    EXPECT_EQ(st.message(), "failed at 1");
+  }
+}
+
+// Failures must not short-circuit other iterations: every index still runs,
+// so results never depend on which worker noticed a problem first.
+TEST(ParallelForStatusTest, AllIterationsRunDespiteFailures) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  Status st = ParallelForStatus(&pool, 40, [&ran](size_t i) {
+    ran.fetch_add(1);
+    if (i < 5) return Status::Internal("early failure");
+    return Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(ran.load(), 40);
+}
+
+// A task still running when the destructor begins must not be able to
+// enqueue more work: the racing Submit is a checked fatal, not silent queue
+// corruption.
+TEST(ThreadPoolDeathTest, SubmitAfterDestructionBeganDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(1);
+        ThreadPool* raw = &pool;
+        pool.Submit([raw] {
+          // Outlive the destructor's entry (it flips `accepting_` before
+          // joining, then blocks on this very task).
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          raw->Submit([] {});
+        });
+        // Scope exit destroys the pool while the task sleeps.
+      },
+      "ThreadPool::Submit after destruction began");
 }
 
 }  // namespace

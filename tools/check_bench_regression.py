@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json results against a committed baseline.
+
+Usage:
+  tools/check_bench_regression.py --baseline bench/baseline.json \
+      --results <dir-with-BENCH_*.json> [--tolerance 0.25]
+
+The baseline (bench/baseline.json) maps "<bench>/<entry>" to the
+wall_micros measured on the reference machine.  CI machines differ in
+absolute speed, so raw comparison would be meaningless: instead the
+checker computes each entry's ratio current/baseline and normalizes by
+the *median* ratio across all entries.  A uniformly slower machine moves
+every ratio equally and cancels out; a genuine regression moves one
+entry's normalized ratio past 1 + tolerance and fails the build.
+
+Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_results(results_dir):
+    """Returns {"<bench>/<entry>": wall_micros} from every BENCH_*.json."""
+    out = {}
+    paths = sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json")))
+    if not paths:
+        print(f"error: no BENCH_*.json files in {results_dir}", file=sys.stderr)
+        sys.exit(2)
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if doc.get("schema_version") != 1:
+            print(f"error: {path}: unsupported schema_version "
+                  f"{doc.get('schema_version')!r}", file=sys.stderr)
+            sys.exit(2)
+        bench = doc["bench"]
+        for entry in doc.get("entries", []):
+            wall = entry.get("wall_micros", 0.0)
+            if wall > 0:
+                out[f"{bench}/{entry['name']}"] = wall
+    return out
+
+
+def median(xs):
+    xs = sorted(xs)
+    n = len(xs)
+    mid = n // 2
+    return xs[mid] if n % 2 else (xs[mid - 1] + xs[mid]) / 2.0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--results", required=True,
+                        help="directory containing BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed normalized slowdown (0.25 = +25%%)")
+    parser.add_argument("--min-micros", type=float, default=100.0,
+                        help="ignore entries faster than this in the "
+                             "baseline (too noisy to gate on)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline_doc = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read baseline: {e}", file=sys.stderr)
+        sys.exit(2)
+    baseline = baseline_doc["entries"]
+    current = load_results(args.results)
+
+    ratios = {}
+    skipped = []
+    for name, base_wall in sorted(baseline.items()):
+        if name not in current:
+            skipped.append(name)
+            continue
+        if base_wall < args.min_micros:
+            continue
+        ratios[name] = current[name] / base_wall
+
+    if len(ratios) < 3:
+        print(f"error: only {len(ratios)} comparable entries — baseline and "
+              "results barely overlap; refusing to certify", file=sys.stderr)
+        sys.exit(2)
+
+    scale = median(ratios.values())
+    print(f"{len(ratios)} comparable entries; machine-speed scale factor "
+          f"{scale:.3f} (median raw ratio)")
+    if skipped:
+        print(f"note: {len(skipped)} baseline entries missing from results: "
+              + ", ".join(skipped[:5])
+              + ("..." if len(skipped) > 5 else ""))
+
+    failures = []
+    for name, ratio in sorted(ratios.items(), key=lambda kv: -kv[1]):
+        normalized = ratio / scale
+        flag = ""
+        if normalized > 1.0 + args.tolerance:
+            failures.append((name, normalized))
+            flag = "  <-- REGRESSION"
+        print(f"  {name}: raw {ratio:.2f}x, normalized {normalized:.2f}x{flag}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} entr{'y' if len(failures) == 1 else 'ies'} "
+              f"regressed more than {args.tolerance:.0%} after machine-speed "
+              "normalization:", file=sys.stderr)
+        for name, normalized in failures:
+            print(f"  {name}: {normalized:.2f}x", file=sys.stderr)
+        sys.exit(1)
+    print("OK: no wall-clock regressions beyond tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,8 @@
 //   zombie_cli run      --corpus=crawl.zmbc [--task=webcat --docs=...]
 //                       --grouper=kmeans --groups=32 --policy=egreedy
 //                       --reward=label --learner=nb [--baseline] [--csv=out.csv]
-//   zombie_cli session  --task=webcat --docs=12000 [--warm]
+//                       [--trials=N] [--threads=N] [--cache]
+//   zombie_cli session  --task=webcat --docs=12000 [--warm] [--cache]
 //
 // Flags are --key=value; unknown flags fail loudly. When --corpus is given
 // it is loaded from disk, otherwise --task/--docs/--seed generate one.
@@ -22,8 +23,10 @@
 #include "core/analysis.h"
 #include "core/baselines.h"
 #include "core/engine.h"
+#include "core/experiment_driver.h"
 #include "core/reward.h"
 #include "core/session.h"
+#include "featureeng/feature_cache.h"
 #include "core/task_factory.h"
 #include "data/serialization.h"
 #include "featureeng/revision_script.h"
@@ -144,16 +147,16 @@ std::unique_ptr<Grouper> MakeGrouperFromFlags(const Flags& flags) {
   return nullptr;
 }
 
-std::unique_ptr<BanditPolicy> MakePolicyFromFlags(const Flags& flags) {
+StatusOr<PolicyKind> ParsePolicyKindFromFlags(const Flags& flags) {
   std::string name = flags.GetString("policy", "egreedy");
   for (PolicyKind kind :
        {PolicyKind::kRoundRobin, PolicyKind::kUniformRandom,
         PolicyKind::kEpsilonGreedy, PolicyKind::kUcb1,
         PolicyKind::kSlidingUcb, PolicyKind::kThompson, PolicyKind::kExp3,
         PolicyKind::kSoftmax}) {
-    if (name == PolicyKindName(kind)) return MakePolicy(kind);
+    if (name == PolicyKindName(kind)) return kind;
   }
-  return nullptr;
+  return Status::InvalidArgument("unknown policy: " + name);
 }
 
 std::unique_ptr<RewardFunction> MakeRewardFromFlags(const Flags& flags) {
@@ -249,30 +252,64 @@ int CmdRun(const Flags& flags) {
   FeaturePipeline pipeline = MakeDefaultPipeline(kind.value(), corpus);
 
   auto grouper = MakeGrouperFromFlags(flags);
-  auto policy = MakePolicyFromFlags(flags);
+  StatusOr<PolicyKind> policy_kind = ParsePolicyKindFromFlags(flags);
   auto reward = MakeRewardFromFlags(flags);
   auto learner = MakeLearnerFromFlags(flags);
-  if (!grouper || !policy || !reward || !learner) {
+  if (!grouper || !policy_kind.ok() || !reward || !learner) {
     std::fprintf(stderr, "unknown grouper/policy/reward/learner\n");
     return 1;
   }
   EngineOptions opts = MakeEngineOptionsFromFlags(flags);
   bool with_baseline = flags.GetBool("baseline");
+  bool use_cache = flags.GetBool("cache");
+  size_t trials = static_cast<size_t>(flags.GetInt("trials", 1));
+  size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
   std::string csv = flags.GetString("csv", "");
   Status st = flags.CheckAllConsumed();
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
+  if (trials == 0) trials = 1;
 
   GroupingResult grouping = grouper->Group(corpus);
   std::printf("index: %zu groups via %s (%s wall)\n", grouping.num_groups(),
               grouping.method.c_str(),
               FormatDuration(grouping.build_wall_micros).c_str());
 
-  ZombieEngine engine(&corpus, &pipeline, opts);
-  RunResult zombie = engine.Run(grouping, *policy, *learner, *reward);
-  std::printf("zombie:   %s\n", zombie.ToString().c_str());
+  // Trials run on the experiment driver (seeds run_seed..run_seed+trials-1,
+  // --threads workers); an optional shared feature cache memoizes
+  // extraction across trials of the identical pipeline.
+  FeatureCache cache;
+  ExperimentDriverOptions dopts;
+  dopts.num_threads = threads;
+  dopts.engine = opts;
+  dopts.cache = use_cache ? &cache : nullptr;
+  ExperimentDriver driver(&corpus, &pipeline, dopts);
+  ExperimentGrid grid;
+  grid.policies = {policy_kind.value()};
+  grid.groupings = {&grouping};
+  grid.rewards = {reward.get()};
+  grid.learners = {learner.get()};
+  for (size_t t = 0; t < trials; ++t) grid.seeds.push_back(opts.seed + t);
+  StatusOr<std::vector<TrialResult>> trials_or = driver.RunGrid(grid);
+  if (!trials_or.ok()) {
+    std::fprintf(stderr, "%s\n", trials_or.status().ToString().c_str());
+    return 1;
+  }
+  for (const TrialResult& t : trials_or.value()) {
+    std::printf("zombie[s%llu]: %s\n",
+                static_cast<unsigned long long>(t.spec.seed),
+                t.run.ToString().c_str());
+  }
+  if (use_cache) {
+    FeatureCacheStats cs = cache.Stats();
+    std::printf("cache: %zu entries, hit rate %.3f (%zu hits / %zu lookups), "
+                "%zu evictions\n",
+                cs.entries, cs.hit_rate(), cs.hits, cs.hits + cs.misses,
+                cs.evictions);
+  }
+  const RunResult& zombie = trials_or.value().front().run;
 
   if (with_baseline) {
     ZombieEngine baseline_engine(&corpus, &pipeline, FullScanOptions(opts));
@@ -304,6 +341,7 @@ int CmdSession(const Flags& flags) {
   }
   Corpus corpus = std::move(corpus_or).value();
   bool warm = flags.GetBool("warm");
+  bool use_cache = flags.GetBool("cache");
   EngineOptions opts = MakeEngineOptionsFromFlags(flags);
   size_t groups = static_cast<size_t>(flags.GetInt("groups", 32));
   Status st = flags.CheckAllConsumed();
@@ -315,12 +353,22 @@ int CmdSession(const Flags& flags) {
   RevisionScript script = MakeWebCatRevisionScript();
   NaiveBayesLearner learner;
   LabelReward reward;
+  FeatureCache cache;
+  FeatureCache* cache_ptr = use_cache ? &cache : nullptr;
   SessionResult full = RunSession(corpus, script, SessionMode::kFullScan,
                                   nullptr, learner, reward, opts);
   KMeansGrouper grouper(groups, 7);
   SessionResult fast = RunSession(corpus, script, SessionMode::kZombie,
-                                  &grouper, learner, reward, opts, warm);
+                                  &grouper, learner, reward, opts, warm,
+                                  cache_ptr);
   std::printf("%s\n%s\n", full.ToString().c_str(), fast.ToString().c_str());
+  if (use_cache) {
+    FeatureCacheStats cs = cache.Stats();
+    std::printf("cache: %zu entries, hit rate %.3f (%zu hits / %zu lookups), "
+                "%zu evictions\n",
+                cs.entries, cs.hit_rate(), cs.hits, cs.hits + cs.misses,
+                cs.evictions);
+  }
   double ratio = fast.total_virtual_micros > 0
                      ? static_cast<double>(full.total_virtual_micros) /
                            static_cast<double>(fast.total_virtual_micros)
