@@ -210,6 +210,10 @@ void BenchReporter::AddMetric(const std::string& name, double value) {
   metrics_.emplace_back(name, value);
 }
 
+void BenchReporter::AttachMetrics(const MetricsRegistry& metrics) {
+  observability_json_ = metrics.ToJson();
+}
+
 void BenchReporter::Finish() {
   const char* dir = std::getenv("ZOMBIE_BENCH_JSON_DIR");
   if (dir == nullptr || dir[0] == '\0') return;
@@ -217,7 +221,7 @@ void BenchReporter::Finish() {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema_version\": 1,\n";
+  json += "  \"schema_version\": 2,\n";
   json += StrFormat("  \"bench\": \"%s\",\n", JsonEscape(name_).c_str());
   json += StrFormat("  \"git_rev\": \"%s\",\n", JsonEscape(GitRev()).c_str());
   json += StrFormat("  \"generated_unix\": %lld,\n",
@@ -242,8 +246,12 @@ void BenchReporter::Finish() {
                       JsonEscape(metrics_[i].first).c_str(),
                       metrics_[i].second);
   }
-  json += "}\n";
-  json += "}\n";
+  json += "}";
+  if (!observability_json_.empty()) {
+    json += ",\n  \"observability\": ";
+    json += observability_json_;
+  }
+  json += "\n}\n";
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

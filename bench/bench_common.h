@@ -18,6 +18,7 @@
 #include "featureeng/feature_cache.h"
 #include "index/grouper.h"
 #include "ml/learner.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/status.h"
 #include "util/table_writer.h"
@@ -95,6 +96,10 @@ void FinishTable(const TableWriter& table, const char* name);
 /// EXPERIMENTS.md for the schema; tools/check_bench_regression.py consumes
 /// the files in CI). Wall-clock fields are real measured time; virtual
 /// fields are the paper's simulated data-processing time.
+///
+/// Schema v2 adds an optional "observability" key holding a
+/// MetricsRegistry snapshot (AttachMetrics); entries/metrics are unchanged
+/// from v1, so v1 consumers only need to accept the version bump.
 class BenchReporter {
  public:
   struct Entry {
@@ -117,6 +122,10 @@ class BenchReporter {
   /// Named scalar metric (speedups, ratios) for the top-level JSON map.
   void AddMetric(const std::string& name, double value);
 
+  /// Embeds a snapshot of `metrics` under the "observability" key of the
+  /// output JSON (schema v2). Call at most once, before Finish.
+  void AttachMetrics(const MetricsRegistry& metrics);
+
   /// Writes BENCH_<name>.json into ZOMBIE_BENCH_JSON_DIR and prints the
   /// path; silent no-op when the variable is unset. Call once, last.
   void Finish();
@@ -126,6 +135,7 @@ class BenchReporter {
   Stopwatch total_;
   std::vector<Entry> entries_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::string observability_json_;
 };
 
 }  // namespace bench

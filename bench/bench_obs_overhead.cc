@@ -1,0 +1,174 @@
+// bench_obs_overhead — pins the observability layer's cost contract.
+//
+// Three engine configurations run the identical workload interleaved:
+//
+//   off   EngineOptions::obs == nullptr (the uninstrumented hot path)
+//   noop  an ObsContext with every sink disabled (null-sink hook cost)
+//   full  an ObsContext with metrics + trace + decision log enabled
+//
+// Asserted (process exits 1 on violation):
+//   * noop wall time stays within ZOMBIE_OBS_OVERHEAD_MAX (default 1.02,
+//     i.e. <= 2%) of off — the DESIGN.md disabled-path cost contract.
+//   * RunResults are byte-identical across all three configurations
+//     (observability must measure the run, never steer it).
+//
+// The full configuration's overhead is reported but not gated: it pays for
+// real work (per-pull decision records) and is allowed to cost more.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bandit/epsilon_greedy.h"
+#include "bench_common.h"
+#include "index/kmeans_grouper.h"
+#include "ml/naive_bayes.h"
+#include "obs/obs.h"
+#include "util/string_util.h"
+
+namespace zombie {
+namespace bench {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  double parsed = std::atof(v);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  long parsed = std::atol(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+/// Serializes every deterministic RunResult field (everything except
+/// wall_micros) so configurations can be compared byte-for-byte.
+std::string ResultFingerprint(const RunResult& r) {
+  std::string s = StrFormat(
+      "items=%zu loop_us=%lld holdout_us=%lld quality=%.17g stop=%s "
+      "positives=%zu policy=%s grouper=%s reward=%s learner=%s\n",
+      r.items_processed, static_cast<long long>(r.loop_virtual_micros),
+      static_cast<long long>(r.holdout_virtual_micros), r.final_quality,
+      StopReasonName(r.stop_reason), r.positives_processed,
+      r.policy_name.c_str(), r.grouper_name.c_str(), r.reward_name.c_str(),
+      r.learner_name.c_str());
+  for (const ArmSummary& a : r.arms) {
+    s += StrFormat("arm size=%zu pulls=%zu reward=%.17g pos=%zu\n",
+                   a.group_size, a.pulls, a.total_reward, a.positives_seen);
+  }
+  s += r.curve.ToCsv();
+  return s;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+int Main() {
+  PrintPreamble("obs_overhead",
+                "observability cost contract (no paper analogue)",
+                "noop-sink wall time within noise of uninstrumented");
+
+  Task task = MakeTask(TaskKind::kWebCat, BenchCorpusSize(), 42);
+  KMeansGrouper grouper(16, 7);
+  GroupingResult grouping = grouper.Group(task.corpus);
+  NaiveBayesLearner learner;
+  LabelReward reward;
+  EpsilonGreedyPolicy policy;
+
+  EngineOptions base = BenchEngineOptions(1);
+  base.stop.max_items = 1500;
+
+  const size_t reps = EnvSize("ZOMBIE_OBS_OVERHEAD_REPS", 5);
+  const double max_ratio = EnvDouble("ZOMBIE_OBS_OVERHEAD_MAX", 1.02);
+
+  std::vector<double> off_wall, noop_wall, full_wall;
+  std::string off_fp, noop_fp, full_fp;
+  ObsContext full_obs;  // accumulates across reps; reported at the end
+
+  // Interleaved A/B/C reps so drift (thermal, ccache, page cache) hits all
+  // three configurations equally.
+  for (size_t rep = 0; rep < reps; ++rep) {
+    {
+      EngineOptions opts = base;
+      ZombieEngine engine(&task.corpus, &task.pipeline, opts);
+      RunResult r = engine.Run(grouping, policy, learner, reward);
+      off_wall.push_back(static_cast<double>(r.wall_micros));
+      off_fp = ResultFingerprint(r);
+    }
+    {
+      ObsOptions no_sinks;
+      no_sinks.metrics = false;
+      no_sinks.trace = false;
+      no_sinks.decision_log = false;
+      ObsContext noop_obs(no_sinks);
+      EngineOptions opts = base;
+      opts.obs = &noop_obs;
+      ZombieEngine engine(&task.corpus, &task.pipeline, opts);
+      RunResult r = engine.Run(grouping, policy, learner, reward);
+      noop_wall.push_back(static_cast<double>(r.wall_micros));
+      noop_fp = ResultFingerprint(r);
+    }
+    {
+      EngineOptions opts = base;
+      opts.obs = &full_obs;
+      ZombieEngine engine(&task.corpus, &task.pipeline, opts);
+      RunResult r = engine.Run(grouping, policy, learner, reward);
+      full_wall.push_back(static_cast<double>(r.wall_micros));
+      full_fp = ResultFingerprint(r);
+    }
+  }
+
+  double off_med = Median(off_wall);
+  double noop_ratio = off_med > 0.0 ? Median(noop_wall) / off_med : 1.0;
+  double full_ratio = off_med > 0.0 ? Median(full_wall) / off_med : 1.0;
+  std::printf("median wall: off=%.0fus noop=%.0fus (%.4fx) "
+              "full=%.0fus (%.4fx)\n",
+              off_med, Median(noop_wall), noop_ratio, Median(full_wall),
+              full_ratio);
+
+  BenchReporter reporter("obs_overhead");
+  reporter.AddMetric("noop_wall_ratio", noop_ratio);
+  reporter.AddMetric("full_wall_ratio", full_ratio);
+  reporter.AddMetric("reps", static_cast<double>(reps));
+  if (full_obs.metrics() != nullptr) {
+    reporter.AttachMetrics(*full_obs.metrics());
+  }
+  reporter.Finish();
+
+  int failures = 0;
+  if (noop_fp != off_fp) {
+    std::fprintf(stderr,
+                 "FAIL: noop-sink RunResult differs from uninstrumented\n");
+    ++failures;
+  }
+  if (full_fp != off_fp) {
+    std::fprintf(stderr,
+                 "FAIL: full-obs RunResult differs from uninstrumented\n");
+    ++failures;
+  }
+  if (noop_ratio > max_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: noop-sink overhead %.4fx exceeds limit %.4fx "
+                 "(ZOMBIE_OBS_OVERHEAD_MAX)\n",
+                 noop_ratio, max_ratio);
+    ++failures;
+  }
+  if (failures == 0) {
+    std::printf("PASS: results identical, noop overhead %.4fx <= %.4fx\n",
+                noop_ratio, max_ratio);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace zombie
+
+int main() { return zombie::bench::Main(); }

@@ -58,6 +58,27 @@ size_t Exp3Policy::SelectArm(const ArmStats& stats, Rng* rng) {
   return arm;
 }
 
+void Exp3Policy::ScoreArms(const ArmStats& stats,
+                           std::vector<double>* out) const {
+  out->assign(stats.num_arms(), 0.0);
+  if (weights_.size() != stats.num_arms()) return;  // before Reset()
+  double total = 0.0;
+  size_t active = 0;
+  for (size_t a = 0; a < weights_.size(); ++a) {
+    if (stats.active(a)) {
+      total += weights_[a];
+      ++active;
+    }
+  }
+  if (active == 0 || total <= 0.0) return;
+  double k = static_cast<double>(active);
+  for (size_t a = 0; a < weights_.size(); ++a) {
+    if (!stats.active(a)) continue;
+    (*out)[a] = (1.0 - options_.gamma) * weights_[a] / total +
+                options_.gamma / k;
+  }
+}
+
 void Exp3Policy::Observe(size_t arm, double reward) {
   ZCHECK_LT(arm, weights_.size());
   // Importance-weighted reward estimate for the played arm only.

@@ -21,6 +21,9 @@ class Exp3Policy : public BanditPolicy {
 
   void Reset(size_t num_arms) override;
   size_t SelectArm(const ArmStats& stats, Rng* rng) override;
+  /// The gamma-mixed choice probabilities SelectArm would draw from.
+  void ScoreArms(const ArmStats& stats, std::vector<double>* out)
+      const override;
   void Observe(size_t arm, double reward) override;
   std::string name() const override { return "exp3"; }
   std::unique_ptr<BanditPolicy> Clone() const override;

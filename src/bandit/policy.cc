@@ -12,6 +12,14 @@
 
 namespace zombie {
 
+void BanditPolicy::ScoreArms(const ArmStats& stats,
+                             std::vector<double>* out) const {
+  out->assign(stats.num_arms(), 0.0);
+  for (size_t a = 0; a < stats.num_arms(); ++a) {
+    if (stats.active(a)) (*out)[a] = stats.mean(a);
+  }
+}
+
 const char* PolicyKindName(PolicyKind kind) {
   switch (kind) {
     case PolicyKind::kRoundRobin:

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bandit/arm_stats.h"
 #include "util/random.h"
@@ -33,6 +34,15 @@ class BanditPolicy {
   }
 
   virtual std::string name() const = 0;
+
+  /// Diagnostic view of the policy's current per-arm preference — the
+  /// quantity SelectArm ranks by: reward means (default), UCB indices,
+  /// posterior means, or choice probabilities. Resizes `out` to
+  /// stats.num_arms(); inactive arms score 0. Must be cheap, must not
+  /// mutate policy state, and must not draw randomness (the observability
+  /// layer calls this per pull without touching the run's RNG stream —
+  /// the decision-log determinism tests depend on that).
+  virtual void ScoreArms(const ArmStats& stats, std::vector<double>* out) const;
 
   /// Fresh policy with identical hyperparameters and cleared state.
   virtual std::unique_ptr<BanditPolicy> Clone() const = 0;

@@ -20,6 +20,19 @@ size_t RoundRobinPolicy::SelectArm(const ArmStats& stats, Rng* /*rng*/) {
   return 0;
 }
 
+void RoundRobinPolicy::ScoreArms(const ArmStats& stats,
+                                 std::vector<double>* out) const {
+  out->assign(stats.num_arms(), 0.0);
+  size_t n = stats.num_arms();
+  for (size_t step = 0; step < n; ++step) {
+    size_t arm = (next_ + step) % n;
+    if (stats.active(arm)) {
+      (*out)[arm] = 1.0;
+      return;
+    }
+  }
+}
+
 std::unique_ptr<BanditPolicy> RoundRobinPolicy::Clone() const {
   return std::make_unique<RoundRobinPolicy>();
 }

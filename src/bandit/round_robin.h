@@ -14,6 +14,9 @@ class RoundRobinPolicy : public BanditPolicy {
 
   void Reset(size_t num_arms) override;
   size_t SelectArm(const ArmStats& stats, Rng* rng) override;
+  /// 1.0 on the arm the next SelectArm will return, 0 elsewhere.
+  void ScoreArms(const ArmStats& stats, std::vector<double>* out)
+      const override;
   std::string name() const override { return "roundrobin"; }
   std::unique_ptr<BanditPolicy> Clone() const override;
 

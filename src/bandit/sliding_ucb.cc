@@ -50,6 +50,25 @@ size_t SlidingUcbPolicy::SelectArm(const ArmStats& stats, Rng* /*rng*/) {
   return best_arm;
 }
 
+void SlidingUcbPolicy::ScoreArms(const ArmStats& stats,
+                                 std::vector<double>* out) const {
+  out->assign(stats.num_arms(), 0.0);
+  if (window_pulls_.size() != stats.num_arms()) return;  // before Reset()
+  double horizon = static_cast<double>(
+      std::min<size_t>(history_.size() + 1, options_.window));
+  double log_h = std::log(std::max(horizon, 2.0));
+  for (size_t a = 0; a < stats.num_arms(); ++a) {
+    if (!stats.active(a)) continue;
+    if (window_pulls_[a] == 0) {
+      (*out)[a] = 1e9;  // finite stand-in for the infinite index
+      continue;
+    }
+    double n = static_cast<double>(window_pulls_[a]);
+    (*out)[a] = window_reward_[a] / n +
+                options_.exploration * std::sqrt(log_h / n);
+  }
+}
+
 void SlidingUcbPolicy::Observe(size_t arm, double reward) {
   ZCHECK_LT(arm, window_pulls_.size());
   history_.emplace_back(arm, reward);

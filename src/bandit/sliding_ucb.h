@@ -25,6 +25,10 @@ class SlidingUcbPolicy : public BanditPolicy {
 
   void Reset(size_t num_arms) override;
   size_t SelectArm(const ArmStats& stats, Rng* rng) override;
+  /// Windowed UCB indices; active arms absent from the window report the
+  /// optimistic sentinel 1e9 (they are tried first).
+  void ScoreArms(const ArmStats& stats, std::vector<double>* out)
+      const override;
   void Observe(size_t arm, double reward) override;
   std::string name() const override;
   std::unique_ptr<BanditPolicy> Clone() const override;

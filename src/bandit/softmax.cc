@@ -31,6 +31,23 @@ size_t SoftmaxPolicy::SelectArm(const ArmStats& stats, Rng* rng) {
   return arm;
 }
 
+void SoftmaxPolicy::ScoreArms(const ArmStats& stats,
+                              std::vector<double>* out) const {
+  out->assign(stats.num_arms(), 0.0);
+  double max_mean = -1e300;
+  for (size_t a = 0; a < stats.num_arms(); ++a) {
+    if (stats.active(a)) max_mean = std::max(max_mean, stats.mean(a));
+  }
+  double total = 0.0;
+  for (size_t a = 0; a < stats.num_arms(); ++a) {
+    if (!stats.active(a)) continue;
+    (*out)[a] = std::exp((stats.mean(a) - max_mean) / options_.temperature);
+    total += (*out)[a];
+  }
+  if (total <= 0.0) return;
+  for (size_t a = 0; a < stats.num_arms(); ++a) (*out)[a] /= total;
+}
+
 std::string SoftmaxPolicy::name() const {
   return StrFormat("softmax(%.2f)", options_.temperature);
 }

@@ -17,6 +17,9 @@ class SoftmaxPolicy : public BanditPolicy {
   explicit SoftmaxPolicy(SoftmaxOptions options = {});
 
   size_t SelectArm(const ArmStats& stats, Rng* rng) override;
+  /// Normalized Boltzmann choice probabilities over active arms.
+  void ScoreArms(const ArmStats& stats, std::vector<double>* out)
+      const override;
   std::string name() const override;
   std::unique_ptr<BanditPolicy> Clone() const override;
 

@@ -37,6 +37,18 @@ size_t ThompsonPolicy::SelectArm(const ArmStats& stats, Rng* rng) {
   return best_arm;
 }
 
+void ThompsonPolicy::ScoreArms(const ArmStats& stats,
+                               std::vector<double>* out) const {
+  out->assign(stats.num_arms(), 0.0);
+  if (success_.size() != stats.num_arms()) return;  // before Reset()
+  for (size_t a = 0; a < stats.num_arms(); ++a) {
+    if (!stats.active(a)) continue;
+    double alpha = options_.prior_alpha + success_[a];
+    double beta = options_.prior_beta + failure_[a];
+    (*out)[a] = alpha / (alpha + beta);
+  }
+}
+
 void ThompsonPolicy::Observe(size_t arm, double reward) {
   ZCHECK_LT(arm, success_.size());
   double r = std::clamp(reward, 0.0, 1.0);

@@ -24,6 +24,10 @@ class ThompsonPolicy : public BanditPolicy {
 
   void Reset(size_t num_arms) override;
   size_t SelectArm(const ArmStats& stats, Rng* rng) override;
+  /// Beta posterior means (alpha+s)/(alpha+beta+s+f) — the expectation the
+  /// per-pull draws in SelectArm scatter around.
+  void ScoreArms(const ArmStats& stats, std::vector<double>* out)
+      const override;
   void Observe(size_t arm, double reward) override;
   std::string name() const override { return "thompson"; }
   std::unique_ptr<BanditPolicy> Clone() const override;

@@ -35,6 +35,23 @@ size_t Ucb1Policy::SelectArm(const ArmStats& stats, Rng* /*rng*/) {
   return best_arm;
 }
 
+void Ucb1Policy::ScoreArms(const ArmStats& stats,
+                           std::vector<double>* out) const {
+  out->assign(stats.num_arms(), 0.0);
+  double log_n = std::log(static_cast<double>(stats.total_pulls()) + 1.0);
+  for (size_t a = 0; a < stats.num_arms(); ++a) {
+    if (!stats.active(a)) continue;
+    if (stats.pulls(a) == 0) {
+      (*out)[a] = 1e9;  // finite stand-in for the infinite index
+      continue;
+    }
+    (*out)[a] = stats.mean(a) +
+                options_.exploration *
+                    std::sqrt(2.0 * log_n /
+                              static_cast<double>(stats.pulls(a)));
+  }
+}
+
 std::string Ucb1Policy::name() const {
   return StrFormat("ucb1(%.2f)", options_.exploration);
 }

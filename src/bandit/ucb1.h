@@ -18,6 +18,10 @@ class Ucb1Policy : public BanditPolicy {
   explicit Ucb1Policy(Ucb1Options options = {});
 
   size_t SelectArm(const ArmStats& stats, Rng* rng) override;
+  /// UCB indices (mean + exploration bonus); unpulled active arms report
+  /// the optimistic sentinel 1e9 that mirrors their try-first priority.
+  void ScoreArms(const ArmStats& stats, std::vector<double>* out)
+      const override;
   std::string name() const override;
   std::unique_ptr<BanditPolicy> Clone() const override;
 

@@ -8,6 +8,16 @@ size_t UniformRandomPolicy::SelectArm(const ArmStats& stats, Rng* rng) {
   return bandit_internal::PickUniformActive(stats, rng);
 }
 
+void UniformRandomPolicy::ScoreArms(const ArmStats& stats,
+                                    std::vector<double>* out) const {
+  out->assign(stats.num_arms(), 0.0);
+  if (stats.num_active() == 0) return;
+  double p = 1.0 / static_cast<double>(stats.num_active());
+  for (size_t a = 0; a < stats.num_arms(); ++a) {
+    if (stats.active(a)) (*out)[a] = p;
+  }
+}
+
 std::unique_ptr<BanditPolicy> UniformRandomPolicy::Clone() const {
   return std::make_unique<UniformRandomPolicy>();
 }

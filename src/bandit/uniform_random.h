@@ -13,6 +13,9 @@ class UniformRandomPolicy : public BanditPolicy {
   UniformRandomPolicy() = default;
 
   size_t SelectArm(const ArmStats& stats, Rng* rng) override;
+  /// Uniform probability 1/num_active on each active arm.
+  void ScoreArms(const ArmStats& stats, std::vector<double>* out)
+      const override;
   std::string name() const override { return "random"; }
   std::unique_ptr<BanditPolicy> Clone() const override;
 };

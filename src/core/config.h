@@ -13,6 +13,7 @@
 namespace zombie {
 
 class FeatureCache;
+class ObsContext;
 
 /// When the inner loop ends. Rules combine with OR: the first satisfied
 /// rule stops the run. Exhausting the corpus always stops it.
@@ -80,6 +81,13 @@ struct EngineOptions {
   /// results are byte-identical with the cache on or off — only wall-clock
   /// time changes (featureeng/feature_cache.h).
   FeatureCache* feature_cache = nullptr;
+  /// Optional observability sinks (borrowed, thread-safe; obs/obs.h). When
+  /// set, the engine emits trace spans, metric series, and per-pull
+  /// decision records into whichever sinks the context enables. Never
+  /// affects results: RunResult is byte-identical with obs on or off
+  /// (asserted by tests and bench_obs_overhead), and the disabled path
+  /// (nullptr) costs only null checks.
+  ObsContext* obs = nullptr;
 
   /// Validates knob ranges.
   [[nodiscard]] Status Validate() const;

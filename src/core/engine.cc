@@ -8,9 +8,11 @@
 #include "index/grouped_corpus.h"
 #include "ml/dataset.h"
 #include "ml/evaluator.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/string_util.h"
 
 namespace zombie {
 
@@ -54,6 +56,34 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
   RunResult result;
   result.grouper_name = grouping.method;
 
+  // --- Observability sinks (all null when disabled). Everything recorded
+  // here is measurement only — no instrumented branch may influence the
+  // run (RunResult stays byte-identical with obs on or off). -------------
+  ObsContext* obs = options_.obs;
+  MetricsRegistry* metrics = obs != nullptr ? obs->metrics() : nullptr;
+  TraceRecorder* tracer = obs != nullptr ? obs->trace() : nullptr;
+  DecisionLog* dlog = obs != nullptr ? obs->decisions() : nullptr;
+  Counter* pulls_counter = nullptr;
+  Counter* positives_counter = nullptr;
+  Counter* evals_counter = nullptr;
+  Counter* cache_hit_counter = nullptr;
+  Counter* cache_miss_counter = nullptr;
+  Counter* cache_bypass_counter = nullptr;
+  Histogram* extract_hist = nullptr;
+  Histogram* eval_hist = nullptr;
+  if (metrics != nullptr) {
+    metrics->GetCounter("engine.runs")->Increment();
+    pulls_counter = metrics->GetCounter("engine.pulls");
+    positives_counter = metrics->GetCounter("engine.positives");
+    evals_counter = metrics->GetCounter("engine.evals");
+    cache_hit_counter = metrics->GetCounter("featureeng.cache.hits");
+    cache_miss_counter = metrics->GetCounter("featureeng.cache.misses");
+    cache_bypass_counter = metrics->GetCounter("featureeng.cache.bypass");
+    extract_hist = metrics->GetHistogram("featureeng.extract_us");
+    eval_hist = metrics->GetHistogram("engine.eval_us");
+  }
+  TraceSpan run_span(tracer, "engine.run", "engine");
+
   // Memoized featurization: identical output to pipeline_->Extract (the
   // cache's determinism contract), so everything downstream — learner
   // updates, rewards, the virtual clock — is byte-identical with the cache
@@ -61,12 +91,22 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
   FeatureCache* cache = options_.feature_cache;
   const uint64_t pipeline_fp =
       cache != nullptr ? pipeline_->Fingerprint() : 0;
+  CacheOutcome last_cache = CacheOutcome::kDisabled;
   auto featurize = [&](uint32_t doc_id, const Document& doc) {
-    if (cache == nullptr) return pipeline_->Extract(doc, *corpus_);
+    ScopedHistogramTimer extract_timer(extract_hist);
+    if (cache == nullptr) {
+      last_cache = CacheOutcome::kDisabled;
+      if (cache_bypass_counter != nullptr) cache_bypass_counter->Increment();
+      return pipeline_->Extract(doc, *corpus_);
+    }
     if (std::shared_ptr<const FeatureCache::Entry> hit =
             cache->Lookup(pipeline_fp, doc_id)) {
+      last_cache = CacheOutcome::kHit;
+      if (cache_hit_counter != nullptr) cache_hit_counter->Increment();
       return hit->features;
     }
+    last_cache = CacheOutcome::kMiss;
+    if (cache_miss_counter != nullptr) cache_miss_counter->Increment();
     SparseVector x = pipeline_->Extract(doc, *corpus_);
     cache->Insert(pipeline_fp, doc_id,
                   FeatureCache::Entry{x, BinaryLabel(doc.label),
@@ -85,6 +125,7 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
   holdout_size = std::max<size_t>(holdout_size, 1);
   Dataset holdout_data;
   {
+    TraceSpan holdout_span(tracer, "engine.holdout", "engine");
     std::vector<uint32_t> ids(corpus_->size());
     for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
     Rng holdout_rng = rng.Fork();
@@ -184,6 +225,27 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
   result.reward_name = reward->name();
   result.learner_name = learner->name();
 
+  // Per-component latency series and the decision log. The run label keys
+  // decision records by configuration + seed, so the log is independent of
+  // which driver thread executed the run.
+  Histogram* select_hist = nullptr;
+  Histogram* update_hist = nullptr;
+  if (metrics != nullptr) {
+    select_hist =
+        metrics->GetHistogram("bandit.select_us." + policy->name());
+    update_hist =
+        metrics->GetHistogram("learner.update_us." + learner->name());
+  }
+  std::vector<DecisionRecord> decisions;
+  std::vector<double> score_buffer;
+  const std::string run_label =
+      dlog != nullptr
+          ? StrFormat("%s/%s/%s/%s/s%llu", policy->name().c_str(),
+                      grouping.method.c_str(), reward->name().c_str(),
+                      learner->name().c_str(),
+                      static_cast<unsigned long long>(options_.seed))
+          : std::string();
+
   ConvergenceDetector plateau(options_.stop.plateau);
   const StopRule& stop = options_.stop;
   double peak_quality = 0.0;
@@ -201,6 +263,9 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
   }
 
   auto evaluate = [&](size_t items) {
+    ScopedHistogramTimer eval_timer(eval_hist);
+    TraceSpan eval_span(tracer, "engine.evaluate", "engine");
+    if (evals_counter != nullptr) evals_counter->Increment();
     BinaryMetrics m = options_.tune_threshold
                           ? EvaluateLearnerTuned(*learner, holdout.holdout())
                           : holdout.Evaluate(*learner);
@@ -231,6 +296,7 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
   evaluate(0);
 
   // --- The inner loop -------------------------------------------------------
+  TraceSpan loop_span(tracer, "engine.loop", "engine");
   size_t items = 0;
   bool stopped = false;
   while (!stopped) {
@@ -238,19 +304,28 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
       result.stop_reason = StopReason::kExhausted;
       break;
     }
-    size_t arm = policy->SelectArm(stats, &select_rng);
+    size_t arm;
+    {
+      ScopedHistogramTimer select_timer(select_hist);
+      arm = policy->SelectArm(stats, &select_rng);
+    }
     ZCHECK(stats.active(arm)) << "policy selected an exhausted arm";
     std::optional<uint32_t> doc_idx = grouped.NextFromGroup(arm);
     if (!doc_idx.has_value()) {
       stats.Deactivate(arm);
       continue;
     }
+    if (pulls_counter != nullptr) pulls_counter->Increment();
 
     const Document& doc = corpus_->doc(*doc_idx);
     SparseVector x = featurize(*doc_idx, doc);
-    clock.Advance(pipeline_->ExtractionCostMicros(doc) +
-                  doc.labeling_cost_micros);
+    const int64_t extraction_cost =
+        pipeline_->ExtractionCostMicros(doc) + doc.labeling_cost_micros;
+    clock.Advance(extraction_cost);
     int32_t y = BinaryLabel(doc.label);
+    if (y == 1 && positives_counter != nullptr) {
+      positives_counter->Increment();
+    }
 
     RewardInputs inputs;
     inputs.features = &x;
@@ -261,7 +336,10 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
     inputs.seen_negative = items - result.positives_processed;
     double probe_before = needs_probe ? probe_quality() : 0.0;
 
-    learner->Update(x, y);
+    {
+      ScopedHistogramTimer update_timer(update_hist);
+      learner->Update(x, y);
+    }
     ++items;
     if (y == 1) {
       ++result.positives_processed;
@@ -280,6 +358,23 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
       // Clamp so one freak-cheap item cannot dominate the arm estimate
       // (rewards must stay in [0, 1] for the Bernoulli-style policies).
       r = std::min(1.0, r / std::max(relative_cost, 0.25));
+    }
+    if (dlog != nullptr) {
+      // Captured before Observe so the scores reflect the posterior the
+      // policy actually selected from. Every field is deterministic given
+      // (corpus, grouping, seed) — no wall time — which is what makes the
+      // log byte-identical across driver thread counts.
+      policy->ScoreArms(stats, &score_buffer);
+      DecisionRecord rec;
+      rec.iteration = static_cast<uint64_t>(items - 1);  // 0-based pull index
+      rec.arm = static_cast<uint32_t>(arm);
+      rec.doc_id = *doc_idx;
+      rec.reward = r;
+      rec.cache = last_cache;
+      rec.extraction_cost_micros = extraction_cost;
+      rec.virtual_micros = clock.NowMicros();
+      rec.arm_scores = score_buffer;
+      decisions.push_back(std::move(rec));
     }
     stats.Record(arm, r);
     policy->Observe(arm, r);
@@ -327,6 +422,9 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
     result.arms[a].pulls = stats.pulls(a) - pseudo_pulls[a];
     result.arms[a].total_reward = stats.total_reward(a) - pseudo_reward[a];
     result.arms[a].positives_seen = arm_positives[a];
+  }
+  if (dlog != nullptr) {
+    dlog->AppendRun(run_label, std::move(decisions));
   }
   return result;
 }

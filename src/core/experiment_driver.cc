@@ -4,6 +4,7 @@
 
 #include "core/baselines.h"
 #include "core/engine.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -52,6 +53,13 @@ size_t ResolveThreads(size_t requested) {
   return hw == 0 ? 1 : static_cast<size_t>(hw);
 }
 
+/// Metric-backed pool hooks when the driver has an obs context with
+/// metrics enabled; empty (zero-cost) hooks otherwise.
+ThreadPoolStatsHooks DriverPoolHooks(const ExperimentDriverOptions& options) {
+  ObsContext* obs = options.engine.obs;
+  return MetricsPoolHooks(obs != nullptr ? obs->metrics() : nullptr);
+}
+
 }  // namespace
 
 ExperimentDriver::ExperimentDriver(const Corpus* corpus,
@@ -92,9 +100,22 @@ StatusOr<std::vector<TrialResult>> ExperimentDriver::RunGrid(
   }
 
   std::vector<TrialResult> results(specs.size());
-  ThreadPool pool(std::min(num_threads_, std::max<size_t>(specs.size(), 1)));
+  ObsContext* obs = options_.engine.obs;
+  TraceRecorder* tracer = obs != nullptr ? obs->trace() : nullptr;
+  // Trial labels must outlive their TraceSpans (spans store the name
+  // pointer), so they are materialized before the pool starts.
+  std::vector<std::string> labels;
+  if (tracer != nullptr) {
+    labels.reserve(specs.size());
+    for (const TrialSpec& spec : specs) labels.push_back(spec.Label());
+  }
+  ThreadPool pool(std::min(num_threads_, std::max<size_t>(specs.size(), 1)),
+                  DriverPoolHooks(options_));
   Status st = ParallelForStatus(&pool, specs.size(), [&](size_t i) {
     const TrialSpec& spec = specs[i];
+    TraceSpan trial_span(tracer,
+                         tracer != nullptr ? labels[i].c_str() : "trial",
+                         "driver");
     EngineOptions opts = options_.engine;
     opts.seed = spec.seed;
     opts.feature_cache = options_.cache;
@@ -110,6 +131,12 @@ StatusOr<std::vector<TrialResult>> ExperimentDriver::RunGrid(
     return Status::OK();
   });
   ZOMBIE_RETURN_IF_ERROR(std::move(st));
+  if (options_.cache != nullptr && obs != nullptr) {
+    options_.cache->ExportMetrics(obs->metrics());
+  }
+  if (obs != nullptr && obs->metrics() != nullptr) {
+    obs->metrics()->GetCounter("driver.trials")->Increment(specs.size());
+  }
   return results;
 }
 
@@ -118,7 +145,8 @@ std::vector<RunResult> ExperimentDriver::RunScanBaselines(
     bool sequential) const {
   std::vector<RunResult> results(seeds.size());
   if (seeds.empty()) return results;
-  ThreadPool pool(std::min(num_threads_, seeds.size()));
+  ThreadPool pool(std::min(num_threads_, seeds.size()),
+                  DriverPoolHooks(options_));
   ParallelFor(&pool, seeds.size(), [&](size_t i) {
     EngineOptions opts = options_.engine;
     opts.seed = seeds[i];

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -91,6 +92,22 @@ FeatureCacheStats FeatureCache::Stats() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   s.entries = map_.size();
   return s;
+}
+
+void FeatureCache::ExportMetrics(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  FeatureCacheStats s = Stats();
+  metrics->GetGauge("featureeng.cache.entries")
+      ->Set(static_cast<double>(s.entries));
+  metrics->GetGauge("featureeng.cache.inserts")
+      ->Set(static_cast<double>(s.inserts));
+  metrics->GetGauge("featureeng.cache.evictions")
+      ->Set(static_cast<double>(s.evictions));
+  metrics->GetGauge("featureeng.cache.hits_total")
+      ->Set(static_cast<double>(s.hits));
+  metrics->GetGauge("featureeng.cache.misses_total")
+      ->Set(static_cast<double>(s.misses));
+  metrics->GetGauge("featureeng.cache.hit_rate")->Set(s.hit_rate());
 }
 
 }  // namespace zombie

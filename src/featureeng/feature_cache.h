@@ -12,6 +12,8 @@
 
 namespace zombie {
 
+class MetricsRegistry;
+
 struct FeatureCacheOptions {
   /// Maximum number of cached (revision, doc) vectors. When an insert would
   /// exceed it, roughly the oldest eighth of the cache is evicted in one
@@ -85,6 +87,13 @@ class FeatureCache {
   void Clear();
 
   FeatureCacheStats Stats() const;
+
+  /// Publishes the current Stats() into `metrics` as gauges under
+  /// "featureeng.cache.*" (entries, inserts, evictions, hit_rate, plus
+  /// lifetime hits/misses as *_total). Gauges, not counters: this is a
+  /// snapshot export, safe to call repeatedly without double-counting.
+  /// No-op when `metrics` is null.
+  void ExportMetrics(MetricsRegistry* metrics) const;
 
   size_t capacity() const { return options_.capacity; }
 

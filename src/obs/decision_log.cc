@@ -1,0 +1,95 @@
+#include "obs/decision_log.h"
+
+#include <utility>
+
+#include "obs/json_util.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+const char* CacheOutcomeName(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kDisabled:
+      return "off";
+    case CacheOutcome::kMiss:
+      return "miss";
+    case CacheOutcome::kHit:
+      return "hit";
+  }
+  return "?";
+}
+
+void DecisionLog::AppendRun(const std::string& run_label,
+                            std::vector<DecisionRecord> records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DecisionRecord>& dest = runs_[run_label];
+  if (dest.empty()) {
+    dest = std::move(records);
+  } else {
+    dest.insert(dest.end(), std::make_move_iterator(records.begin()),
+                std::make_move_iterator(records.end()));
+  }
+}
+
+size_t DecisionLog::num_runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_.size();
+}
+
+size_t DecisionLog::num_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [label, records] : runs_) n += records.size();
+  return n;
+}
+
+std::vector<std::string> DecisionLog::Labels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> labels;
+  labels.reserve(runs_.size());
+  for (const auto& [label, records] : runs_) labels.push_back(label);
+  return labels;
+}
+
+std::vector<DecisionRecord> DecisionLog::Records(
+    const std::string& run_label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = runs_.find(run_label);
+  return it == runs_.end() ? std::vector<DecisionRecord>() : it->second;
+}
+
+std::string DecisionLog::ToJsonl() const {
+  using obs_internal::AppendJsonNumber;
+  using obs_internal::JsonEscape;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [label, records] : runs_) {
+    std::string escaped = JsonEscape(label);
+    for (const DecisionRecord& r : records) {
+      out += StrFormat(
+          "{\"run\": \"%s\", \"iter\": %llu, \"arm\": %u, \"doc\": %u, "
+          "\"reward\": ",
+          escaped.c_str(), static_cast<unsigned long long>(r.iteration),
+          r.arm, r.doc_id);
+      AppendJsonNumber(&out, r.reward);
+      out += StrFormat(
+          ", \"cache\": \"%s\", \"cost_us\": %lld, \"virtual_us\": %lld, "
+          "\"scores\": [",
+          CacheOutcomeName(r.cache),
+          static_cast<long long>(r.extraction_cost_micros),
+          static_cast<long long>(r.virtual_micros));
+      for (size_t i = 0; i < r.arm_scores.size(); ++i) {
+        if (i > 0) out += ", ";
+        AppendJsonNumber(&out, r.arm_scores[i]);
+      }
+      out += "]}\n";
+    }
+  }
+  return out;
+}
+
+Status DecisionLog::WriteJsonl(const std::string& path) const {
+  return obs_internal::WriteFile(path, ToJsonl());
+}
+
+}  // namespace zombie

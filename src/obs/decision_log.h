@@ -1,0 +1,79 @@
+#ifndef ZOMBIE_OBS_DECISION_LOG_H_
+#define ZOMBIE_OBS_DECISION_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace zombie {
+
+/// What the feature-extraction memo did for one pull.
+enum class CacheOutcome : int8_t {
+  kDisabled = -1,  // no cache configured for the run
+  kMiss = 0,
+  kHit = 1,
+};
+
+const char* CacheOutcomeName(CacheOutcome outcome);
+
+/// Everything the engine knew and decided at one bandit pull. Every field
+/// is a deterministic function of (corpus, grouping, options.seed) — wall
+/// time never appears here, so logs are byte-identical across repeat runs
+/// and worker-thread counts (the property obs_decision_log_test pins).
+struct DecisionRecord {
+  uint64_t iteration = 0;  // 0-based pull index within the run
+  uint32_t arm = 0;
+  uint32_t doc_id = 0;
+  double reward = 0.0;
+  CacheOutcome cache = CacheOutcome::kDisabled;
+  int64_t extraction_cost_micros = 0;  // the pull's virtual extraction charge
+  int64_t virtual_micros = 0;          // virtual clock after the pull
+  /// The policy's per-arm preference scores at selection time
+  /// (BanditPolicy::ScoreArms): posterior means, UCB indices, or choice
+  /// probabilities depending on the policy.
+  std::vector<double> arm_scores;
+};
+
+/// Structured per-pull log, grouped by run label. Thread-safe at run
+/// granularity: each engine run collects its records locally and commits
+/// them with one AppendRun; serialization iterates runs in label order, so
+/// output bytes do not depend on commit order (and therefore not on the
+/// experiment driver's thread count).
+class DecisionLog {
+ public:
+  DecisionLog() = default;
+  DecisionLog(const DecisionLog&) = delete;
+  DecisionLog& operator=(const DecisionLog&) = delete;
+
+  /// Commits one run's records under `run_label` (appends when the label
+  /// already exists, e.g. re-running an identical spec).
+  void AppendRun(const std::string& run_label,
+                 std::vector<DecisionRecord> records);
+
+  size_t num_runs() const;
+  size_t num_records() const;
+
+  /// Run labels in serialization (lexicographic) order.
+  std::vector<std::string> Labels() const;
+
+  /// Records for one run label (empty when absent).
+  std::vector<DecisionRecord> Records(const std::string& run_label) const;
+
+  /// JSON Lines: one object per record, runs in label order, records in
+  /// pull order. Deterministic byte-for-byte for deterministic runs.
+  std::string ToJsonl() const;
+
+  [[nodiscard]] Status WriteJsonl(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<DecisionRecord>> runs_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_OBS_DECISION_LOG_H_

@@ -1,0 +1,72 @@
+#include "obs/json_util.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace zombie {
+namespace obs_internal {
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendJsonNumber(std::string* out, double v) {
+  if (std::isnan(v)) {
+    *out += "0";
+    return;
+  }
+  if (std::isinf(v)) {
+    *out += v > 0 ? "1e308" : "-1e308";
+    return;
+  }
+  // %.17g round-trips every double; trim to a plain integer form when the
+  // value is integral and small enough to matter for readability.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    *out += StrFormat("%lld", static_cast<long long>(v));
+    return;
+  }
+  *out += StrFormat("%.17g", v);
+}
+
+Status WriteFile(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for write: " + path);
+  }
+  size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  int close_err = std::fclose(f);
+  if (written != data.size() || close_err != 0) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs_internal
+}  // namespace zombie

@@ -1,0 +1,28 @@
+#ifndef ZOMBIE_OBS_JSON_UTIL_H_
+#define ZOMBIE_OBS_JSON_UTIL_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace zombie {
+namespace obs_internal {
+
+/// Escapes `in` for use inside a JSON string literal (quotes not included).
+std::string JsonEscape(const std::string& in);
+
+/// Appends a JSON-legal number: full round-trip precision for finite
+/// values; non-finite values (which JSON cannot represent) are clamped to
+/// +/-1e308 and NaN becomes 0. Metric and score values are informational,
+/// so a clamped extreme beats an unparseable file.
+void AppendJsonNumber(std::string* out, double v);
+
+/// Writes `data` to `path` atomically enough for CI artifacts (plain
+/// truncate-and-write); returns IOError on failure.
+[[nodiscard]] Status WriteFile(const std::string& path,
+                               const std::string& data);
+
+}  // namespace obs_internal
+}  // namespace zombie
+
+#endif  // ZOMBIE_OBS_JSON_UTIL_H_

@@ -1,0 +1,215 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "obs/json_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+namespace {
+
+/// Lock-free accumulate for atomic<double> (fetch_add on floating atomics
+/// is C++20 but not universally lowered well; CAS is portable and the
+/// contention here is negligible).
+void AtomicAdd(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  // 1us .. 10s in quarter-decade steps: tight enough for p99 interpolation
+  // across the latencies this library sees, small enough to snapshot fast.
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 1e7; b *= std::pow(10.0, 0.25)) {
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? DefaultLatencyBounds() : std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    ZCHECK_LT(bounds_[i - 1], bounds_[i]) << "bounds must strictly increase";
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double value) {
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::PercentileLocked(double q,
+                                   const std::vector<uint64_t>& buckets,
+                                   uint64_t total, double min_v,
+                                   double max_v) const {
+  if (total == 0) return 0.0;
+  double target = q * static_cast<double>(total);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    double prev_cum = static_cast<double>(cum);
+    cum += buckets[i];
+    if (static_cast<double>(cum) < target) continue;
+    // Interpolate inside bucket i: [lower, upper) holds the target rank.
+    double lower = i == 0 ? std::min(min_v, bounds_.front()) : bounds_[i - 1];
+    double upper = i < bounds_.size() ? bounds_[i] : max_v;
+    lower = std::max(lower, min_v);
+    upper = std::min(std::max(upper, lower), max_v);
+    double frac = (target - prev_cum) / static_cast<double>(buckets[i]);
+    return std::clamp(lower + frac * (upper - lower), min_v, max_v);
+  }
+  return max_v;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  // Relaxed loads: a snapshot taken concurrently with Observe may be off
+  // by in-flight observations — acceptable for reporting.
+  std::vector<uint64_t> buckets(bounds_.size() + 1);
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += buckets[i];
+  }
+  s.count = total;
+  if (total == 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = PercentileLocked(0.50, buckets, total, s.min, s.max);
+  s.p95 = PercentileLocked(0.95, buckets, total, s.min, s.max);
+  s.p99 = PercentileLocked(0.99, buckets, total, s.min, s.max);
+  return s;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    s.counters.emplace_back(name, c->value());
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.emplace_back(name, g->value());
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->Snapshot());
+  }
+  return s;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  using obs_internal::AppendJsonNumber;
+  using obs_internal::JsonEscape;
+  MetricsSnapshot s = Snapshot();
+  std::string json = "{\n  \"counters\": {";
+  for (size_t i = 0; i < s.counters.size(); ++i) {
+    json += StrFormat("%s\n    \"%s\": %llu", i == 0 ? "" : ",",
+                      JsonEscape(s.counters[i].first).c_str(),
+                      static_cast<unsigned long long>(s.counters[i].second));
+  }
+  json += s.counters.empty() ? "},\n" : "\n  },\n";
+  json += "  \"gauges\": {";
+  for (size_t i = 0; i < s.gauges.size(); ++i) {
+    json += StrFormat("%s\n    \"%s\": ", i == 0 ? "" : ",",
+                      JsonEscape(s.gauges[i].first).c_str());
+    AppendJsonNumber(&json, s.gauges[i].second);
+  }
+  json += s.gauges.empty() ? "},\n" : "\n  },\n";
+  json += "  \"histograms\": {";
+  for (size_t i = 0; i < s.histograms.size(); ++i) {
+    const HistogramSnapshot& h = s.histograms[i].second;
+    json += StrFormat("%s\n    \"%s\": {\"count\": %llu, \"sum\": ",
+                      i == 0 ? "" : ",",
+                      JsonEscape(s.histograms[i].first).c_str(),
+                      static_cast<unsigned long long>(h.count));
+    AppendJsonNumber(&json, h.sum);
+    for (const auto& [key, value] :
+         {std::pair<const char*, double>{"min", h.min},
+          {"max", h.max},
+          {"p50", h.p50},
+          {"p95", h.p95},
+          {"p99", h.p99}}) {
+      json += StrFormat(", \"%s\": ", key);
+      AppendJsonNumber(&json, value);
+    }
+    json += "}";
+  }
+  json += s.histograms.empty() ? "}\n" : "\n  }\n";
+  json += "}\n";
+  return json;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  return obs_internal::WriteFile(path, ToJson());
+}
+
+}  // namespace zombie

@@ -1,0 +1,165 @@
+#ifndef ZOMBIE_OBS_METRICS_H_
+#define ZOMBIE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace zombie {
+
+/// Monotonically increasing event count. All operations are lock-free and
+/// safe to call from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, cache entries).
+/// Thread-safe; concurrent Set calls race benignly (one of them wins).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Read-only view of a histogram's state at one instant.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Fixed-bucket histogram. Bucket upper bounds are set at construction and
+/// never change, so Observe only touches atomics — safe and cheap from any
+/// thread. Percentiles are estimated by linear interpolation inside the
+/// bucket that contains the requested rank (exact at bucket boundaries;
+/// the default exponential bounds keep the relative error small).
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing bucket upper bounds; values above the
+  /// last bound land in an implicit overflow bucket. Empty bounds select
+  /// DefaultLatencyBounds().
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void Observe(double value);
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Exponential bounds from 1 to ~1e7 (microsecond latencies: 1us..10s).
+  static std::vector<double> DefaultLatencyBounds();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Raw count of bucket i, i in [0, bounds().size()] (testing accessor).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  /// buckets_[i] counts values in [bounds_[i-1], bounds_[i]) — bucket 0
+  /// takes everything below bounds_[0]; the extra last bucket is overflow.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+
+  double PercentileLocked(double q, const std::vector<uint64_t>& buckets,
+                          uint64_t total, double min_v, double max_v) const;
+};
+
+/// RAII wall-latency sample: observes the scope's duration (microseconds)
+/// into `hist` at destruction. A null histogram disables the timer
+/// completely — no allocation and no clock read, which is what keeps
+/// disabled-observability hot loops at their uninstrumented cost.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) watch_.emplace();
+  }
+
+  ~ScopedHistogramTimer() {
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<double>(watch_->ElapsedMicros()));
+    }
+  }
+
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::optional<Stopwatch> watch_;
+};
+
+/// One registry snapshot: every metric's name and current value, in name
+/// order (deterministic iteration for serialization and tests).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/// Thread-safe name -> metric registry. Get* returns a stable pointer,
+/// creating the metric on first use; the pointer stays valid for the
+/// registry's lifetime, so hot paths resolve their metrics once and then
+/// operate lock-free. Name convention: "layer.metric" with '.' separators
+/// ("engine.pulls", "bandit.select_us.egreedy(0.10)").
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies only when the histogram is created by this call;
+  /// later lookups with different bounds return the existing histogram.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Serializes a Snapshot() as a stable, pretty-printed JSON object:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, min, max, p50, p95, p99}, ...}}.
+  std::string ToJson() const;
+
+  [[nodiscard]] Status WriteJson(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_OBS_METRICS_H_

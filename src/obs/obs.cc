@@ -1,0 +1,30 @@
+#include "obs/obs.h"
+
+namespace zombie {
+
+ObsContext::ObsContext(ObsOptions options) : options_(options) {
+  if (options_.metrics) metrics_ = std::make_unique<MetricsRegistry>();
+  if (options_.trace) trace_ = std::make_unique<TraceRecorder>();
+  if (options_.decision_log) decisions_ = std::make_unique<DecisionLog>();
+}
+
+ThreadPoolStatsHooks MetricsPoolHooks(MetricsRegistry* metrics) {
+  ThreadPoolStatsHooks hooks;
+  if (metrics == nullptr) return hooks;
+  // Resolve metric handles once; the hooks then touch only atomics.
+  Gauge* depth = metrics->GetGauge("threadpool.queue_depth");
+  Histogram* wait = metrics->GetHistogram("threadpool.queue_wait_us");
+  Histogram* task = metrics->GetHistogram("threadpool.task_us");
+  hooks.on_submit = [depth](size_t queue_depth) {
+    depth->Set(static_cast<double>(queue_depth));
+  };
+  hooks.on_dequeue = [wait](int64_t queue_wait_micros) {
+    wait->Observe(static_cast<double>(queue_wait_micros));
+  };
+  hooks.on_complete = [task](int64_t task_micros) {
+    task->Observe(static_cast<double>(task_micros));
+  };
+  return hooks;
+}
+
+}  // namespace zombie

@@ -1,0 +1,61 @@
+#ifndef ZOMBIE_OBS_OBS_H_
+#define ZOMBIE_OBS_OBS_H_
+
+#include <memory>
+
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace zombie {
+
+/// Which sinks an ObsContext owns. Disabling a sink makes every
+/// instrumentation site that targets it a null-pointer check — the
+/// "no-op sink" configuration bench_obs_overhead uses to bound hook cost.
+struct ObsOptions {
+  bool metrics = true;
+  bool trace = true;
+  bool decision_log = true;
+};
+
+/// Owning bundle of the three observability sinks, passed to the engine,
+/// driver, and CLI as one borrowed pointer (EngineOptions::obs).
+///
+/// Cost contract (DESIGN.md "Observability"): with no ObsContext
+/// (EngineOptions::obs == nullptr) the instrumented paths reduce to
+/// branches on a null pointer — no allocation, locking, or clock read per
+/// pull; bench_obs_overhead asserts the wall overhead stays within noise
+/// (<= 2%) and RunResults stay byte-identical. With a context attached,
+/// cost scales with the sinks enabled; the decision log is the most
+/// expensive (one heap record per pull).
+class ObsContext {
+ public:
+  explicit ObsContext(ObsOptions options = {});
+
+  ObsContext(const ObsContext&) = delete;
+  ObsContext& operator=(const ObsContext&) = delete;
+
+  /// Null when the corresponding sink is disabled in the options.
+  MetricsRegistry* metrics() const { return metrics_.get(); }
+  TraceRecorder* trace() const { return trace_.get(); }
+  DecisionLog* decisions() const { return decisions_.get(); }
+
+  const ObsOptions& options() const { return options_; }
+
+ private:
+  ObsOptions options_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<DecisionLog> decisions_;
+};
+
+/// Adapts a MetricsRegistry onto ThreadPool's instrumentation callbacks:
+/// "threadpool.queue_depth" gauge, "threadpool.queue_wait_us" and
+/// "threadpool.task_us" histograms. Returns empty hooks (uninstrumented
+/// pool) when `metrics` is null; otherwise `metrics` must outlive the pool.
+ThreadPoolStatsHooks MetricsPoolHooks(MetricsRegistry* metrics);
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_OBS_OBS_H_

@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+#include <thread>
+#include <utility>
+
+#include "obs/json_util.h"
+#include "util/string_util.h"
+
+namespace zombie {
+
+TraceRecorder::TraceRecorder(std::function<int64_t()> now_fn)
+    : now_fn_(std::move(now_fn)) {}
+
+int64_t TraceRecorder::NowMicros() const {
+  return now_fn_ ? now_fn_() : epoch_.ElapsedMicros();
+}
+
+uint32_t TraceRecorder::CurrentTid() const {
+  // Dense ids in first-record order keep the JSON stable for
+  // single-threaded runs and readable for multi-threaded ones. Caller
+  // holds mu_.
+  uint64_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  for (const auto& [hash, id] : tids_) {
+    if (hash == h) return id;
+  }
+  uint32_t id = static_cast<uint32_t>(tids_.size()) + 1;
+  tids_.emplace_back(h, id);
+  return id;
+}
+
+void TraceRecorder::Append(const char* name, const char* category,
+                           int64_t ts_micros, int64_t dur_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.ts_micros = ts_micros;
+  e.dur_micros = dur_micros;
+  e.tid = CurrentTid();
+  events_.push_back(std::move(e));
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceRecorder::ToJson() const {
+  using obs_internal::JsonEscape;
+  std::vector<TraceEvent> events = Events();
+  std::string json = "{\"traceEvents\": [\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    json += StrFormat(
+        "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+        "\"ts\": %lld, \"dur\": %lld, \"pid\": 1, \"tid\": %u}%s\n",
+        JsonEscape(e.name).c_str(), JsonEscape(e.category).c_str(),
+        static_cast<long long>(e.ts_micros),
+        static_cast<long long>(e.dur_micros), e.tid,
+        i + 1 < events.size() ? "," : "");
+  }
+  json += "], \"displayTimeUnit\": \"ms\"}\n";
+  return json;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  return obs_internal::WriteFile(path, ToJson());
+}
+
+}  // namespace zombie

@@ -1,0 +1,100 @@
+#ifndef ZOMBIE_OBS_TRACE_H_
+#define ZOMBIE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace zombie {
+
+/// One complete ("ph":"X") event in the Chrome trace-event format.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  int64_t ts_micros = 0;   // start, relative to the recorder's epoch
+  int64_t dur_micros = 0;  // duration
+  uint32_t tid = 0;        // recorder-assigned thread id, dense from 1
+};
+
+/// Thread-safe collector of duration events, exported as JSON that loads
+/// directly in Perfetto / chrome://tracing ("traceEvents" array of "X"
+/// phase events).
+///
+/// Time source: by default a wall epoch anchored at construction
+/// (util/clock Stopwatch). Tests inject a deterministic `now_fn` so span
+/// timestamps are reproducible. Thread ids are assigned densely in the
+/// order threads first record, so single-threaded traces are fully
+/// deterministic modulo timestamps.
+class TraceRecorder {
+ public:
+  /// `now_fn` returns microseconds since an arbitrary epoch; when empty,
+  /// wall time since recorder construction is used.
+  explicit TraceRecorder(std::function<int64_t()> now_fn = {});
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Current time in microseconds from the recorder's time source.
+  int64_t NowMicros() const;
+
+  /// Appends a complete event (thread-safe).
+  void Append(const char* name, const char* category, int64_t ts_micros,
+              int64_t dur_micros);
+
+  size_t size() const;
+  std::vector<TraceEvent> Events() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} — the schema both
+  /// Perfetto and chrome://tracing accept.
+  std::string ToJson() const;
+
+  [[nodiscard]] Status WriteJson(const std::string& path) const;
+
+ private:
+  uint32_t CurrentTid() const;
+
+  std::function<int64_t()> now_fn_;
+  Stopwatch epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  mutable std::vector<std::pair<uint64_t, uint32_t>> tids_;  // hash -> dense id
+};
+
+/// RAII span: records [construction, destruction) as one trace event.
+/// A null recorder makes every operation a no-op — the disabled path does
+/// not allocate, lock, or read the clock. `name` and `category` must
+/// outlive the span (pass string literals, or keep the owning std::string
+/// alive across the span's scope).
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* name,
+            const char* category = "zombie")
+      : recorder_(recorder), name_(name), category_(category) {
+    if (recorder_ != nullptr) start_ = recorder_->NowMicros();
+  }
+
+  ~TraceSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->Append(name_, category_, start_,
+                        recorder_->NowMicros() - start_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  int64_t start_ = 0;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_OBS_TRACE_H_

@@ -6,7 +6,8 @@
 
 namespace zombie {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, ThreadPoolStatsHooks hooks)
+    : hooks_(std::move(hooks)) {
   ZCHECK_GE(num_threads, 1u);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -27,13 +28,20 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   ZCHECK(accepting_.load(std::memory_order_acquire))
       << "ThreadPool::Submit after destruction began";
+  QueuedTask queued;
+  queued.fn = std::move(task);
+  if (hooks_.on_dequeue) queued.enqueue_micros = epoch_.ElapsedMicros();
+  size_t depth = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
     ZCHECK(!shutdown_) << "ThreadPool::Submit after shutdown";
-    queue_.push(std::move(task));
+    queue_.push(std::move(queued));
     ++in_flight_;
+    depth = queue_.size();
   }
   work_cv_.notify_one();
+  // Outside the lock: hooks may be arbitrarily slow metric adapters.
+  if (hooks_.on_submit) hooks_.on_submit(depth);
 }
 
 void ThreadPool::Wait() {
@@ -43,7 +51,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -54,7 +62,16 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    if (hooks_.on_dequeue) {
+      hooks_.on_dequeue(epoch_.ElapsedMicros() - task.enqueue_micros);
+    }
+    if (hooks_.on_complete) {
+      Stopwatch task_watch;
+      task.fn();
+      hooks_.on_complete(task_watch.ElapsedMicros());
+    } else {
+      task.fn();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

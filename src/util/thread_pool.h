@@ -10,9 +10,27 @@
 #include <thread>
 #include <vector>
 
+#include "util/clock.h"
 #include "util/status.h"
 
 namespace zombie {
+
+/// Optional pool instrumentation callbacks. Plain std::functions rather
+/// than a MetricsRegistry* so zombie_util stays below zombie_obs in the
+/// dependency stack — callers (experiment driver, CLI) adapt these hooks
+/// onto whatever sink they own. Every hook may be empty; an empty hook
+/// costs one boolean check on its code path and skips the clock reads
+/// that feed it. Hooks are invoked from worker and submitter threads
+/// concurrently and must be thread-safe.
+struct ThreadPoolStatsHooks {
+  /// After a task is enqueued: number of tasks sitting in the queue
+  /// (excluding running tasks).
+  std::function<void(size_t queue_depth)> on_submit;
+  /// When a worker dequeues a task: microseconds it spent queued.
+  std::function<void(int64_t queue_wait_micros)> on_dequeue;
+  /// When a task finishes: microseconds it spent executing.
+  std::function<void(int64_t task_micros)> on_complete;
+};
 
 /// Fixed-size worker pool used by the experiment driver and benches to run
 /// independent experiment trials in parallel. The engine itself stays
@@ -20,8 +38,9 @@ namespace zombie {
 /// (each trial owns its RNG).
 class ThreadPool {
  public:
-  /// Starts `num_threads` workers (>= 1).
-  explicit ThreadPool(size_t num_threads);
+  /// Starts `num_threads` workers (>= 1). `hooks` are fixed for the pool's
+  /// lifetime (no data race with running workers).
+  explicit ThreadPool(size_t num_threads, ThreadPoolStatsHooks hooks = {});
 
   /// Drains the queue and joins all workers.
   ~ThreadPool();
@@ -44,10 +63,20 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  struct QueuedTask {
+    std::function<void()> fn;
+    /// Enqueue timestamp (epoch_ micros); 0 when on_dequeue is unset so
+    /// the uninstrumented Submit path never reads the clock.
+    int64_t enqueue_micros = 0;
+  };
+
+  ThreadPoolStatsHooks hooks_;
+  /// Time base for the queue-wait hook; only read when hooks are set.
+  Stopwatch epoch_;
   std::mutex mu_;
   std::condition_variable work_cv_;   // signals workers
   std::condition_variable idle_cv_;   // signals Wait()
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   size_t in_flight_ = 0;  // queued + currently running
   bool shutdown_ = false;
   /// Set (before `mu_` is even taken) at the top of the destructor;

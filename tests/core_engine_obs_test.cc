@@ -1,0 +1,175 @@
+// Engine <-> observability contract tests: attaching an ObsContext (any
+// sink combination) never changes RunResult, the expected metric series
+// appear, and the no-op-sink configuration adds zero allocations per pull
+// relative to the uninstrumented engine.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "bandit/epsilon_greedy.h"
+#include "core/engine.h"
+#include "core/reward.h"
+#include "core/task_factory.h"
+#include "gtest/gtest.h"
+#include "index/kmeans_grouper.h"
+#include "ml/naive_bayes.h"
+#include "obs/obs.h"
+#include "util/string_util.h"
+
+namespace zombie {
+namespace {
+
+std::atomic<bool> g_count_allocs{false};
+std::atomic<uint64_t> g_alloc_count{0};
+
+}  // namespace
+}  // namespace zombie
+
+void* operator new(std::size_t size) {
+  if (zombie::g_count_allocs.load(std::memory_order_relaxed)) {
+    zombie::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace zombie {
+namespace {
+
+/// Every deterministic RunResult field; wall_micros deliberately excluded.
+std::string Fingerprint(const RunResult& r) {
+  std::string s = StrFormat(
+      "items=%zu loop=%lld holdout=%lld q=%.17g stop=%s pos=%zu\n",
+      r.items_processed, static_cast<long long>(r.loop_virtual_micros),
+      static_cast<long long>(r.holdout_virtual_micros), r.final_quality,
+      StopReasonName(r.stop_reason), r.positives_processed);
+  for (const ArmSummary& a : r.arms) {
+    s += StrFormat("arm %zu %zu %.17g %zu\n", a.group_size, a.pulls,
+                   a.total_reward, a.positives_seen);
+  }
+  s += r.curve.ToCsv();
+  return s;
+}
+
+class EngineObsTest : public ::testing::Test {
+ protected:
+  EngineObsTest()
+      : task_(MakeTask(TaskKind::kWebCat, 700, 42)),
+        grouper_(6, 7),
+        grouping_(grouper_.Group(task_.corpus)) {
+    opts_.seed = 1;
+    opts_.holdout_size = 100;
+    opts_.stop.max_items = 120;
+  }
+
+  RunResult RunWith(ObsContext* obs) {
+    EngineOptions opts = opts_;
+    opts.obs = obs;
+    ZombieEngine engine(&task_.corpus, &task_.pipeline, opts);
+    return engine.Run(grouping_, policy_, learner_, reward_);
+  }
+
+  Task task_;
+  KMeansGrouper grouper_;
+  GroupingResult grouping_;
+  EngineOptions opts_;
+  EpsilonGreedyPolicy policy_;
+  NaiveBayesLearner learner_;
+  LabelReward reward_;
+};
+
+TEST_F(EngineObsTest, ResultsIdenticalWithEverySinkCombination) {
+  std::string baseline = Fingerprint(RunWith(nullptr));
+  for (int mask = 0; mask < 8; ++mask) {
+    ObsOptions obs_opts;
+    obs_opts.metrics = (mask & 1) != 0;
+    obs_opts.trace = (mask & 2) != 0;
+    obs_opts.decision_log = (mask & 4) != 0;
+    ObsContext obs(obs_opts);
+    EXPECT_EQ(Fingerprint(RunWith(&obs)), baseline)
+        << "sink mask " << mask << " changed the run";
+  }
+}
+
+TEST_F(EngineObsTest, ExpectedMetricSeriesAppear) {
+  ObsContext obs;
+  RunResult r = RunWith(&obs);
+  ASSERT_NE(obs.metrics(), nullptr);
+  EXPECT_EQ(obs.metrics()->GetCounter("engine.pulls")->value(),
+            r.items_processed);
+  EXPECT_EQ(obs.metrics()->GetCounter("engine.positives")->value(),
+            r.positives_processed);
+  EXPECT_GT(obs.metrics()->GetCounter("engine.evals")->value(), 0u);
+  // No cache configured: every featurization counts as a bypass.
+  EXPECT_GT(obs.metrics()->GetCounter("featureeng.cache.bypass")->value(),
+            0u);
+  HistogramSnapshot extract =
+      obs.metrics()->GetHistogram("featureeng.extract_us")->Snapshot();
+  EXPECT_GE(extract.count, r.items_processed);
+  // Per-component series are suffixed with the component's name.
+  EXPECT_GT(obs.metrics()
+                ->GetHistogram("bandit.select_us." + policy_.name())
+                ->Snapshot()
+                .count,
+            0u);
+  EXPECT_EQ(obs.metrics()
+                ->GetHistogram("learner.update_us." + learner_.name())
+                ->Snapshot()
+                .count,
+            r.items_processed);
+}
+
+TEST_F(EngineObsTest, TraceSpansNestAndDecisionLogMatchesRun) {
+  ObsContext obs;
+  RunResult r = RunWith(&obs);
+  ASSERT_NE(obs.trace(), nullptr);
+  bool saw_run = false, saw_loop = false, saw_holdout = false;
+  for (const TraceEvent& e : obs.trace()->Events()) {
+    if (e.name == "engine.run") saw_run = true;
+    if (e.name == "engine.loop") saw_loop = true;
+    if (e.name == "engine.holdout") saw_holdout = true;
+  }
+  EXPECT_TRUE(saw_run);
+  EXPECT_TRUE(saw_loop);
+  EXPECT_TRUE(saw_holdout);
+
+  ASSERT_NE(obs.decisions(), nullptr);
+  EXPECT_EQ(obs.decisions()->num_records(), r.items_processed);
+}
+
+TEST_F(EngineObsTest, NoopSinkAddsZeroAllocations) {
+  // An ObsContext with every sink disabled must leave the engine's
+  // allocation profile untouched: the instrumented paths reduce to null
+  // checks. Allocation counts of a deterministic run are deterministic,
+  // so exact equality is the right assertion.
+  RunWith(nullptr);  // warm lazy init (vocabularies, interned strings)
+
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  RunWith(nullptr);
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  uint64_t baseline = g_alloc_count.load(std::memory_order_relaxed);
+
+  ObsOptions no_sinks;
+  no_sinks.metrics = false;
+  no_sinks.trace = false;
+  no_sinks.decision_log = false;
+  ObsContext noop(no_sinks);
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  RunWith(&noop);
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  uint64_t with_noop = g_alloc_count.load(std::memory_order_relaxed);
+
+  EXPECT_GT(baseline, 0u);
+  EXPECT_EQ(with_noop, baseline);
+}
+
+}  // namespace
+}  // namespace zombie

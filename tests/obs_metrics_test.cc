@@ -1,0 +1,215 @@
+// Tests for obs/metrics: registry semantics, histogram bucketing and
+// percentiles, concurrent mutation (run under TSan in CI), and the
+// disabled-path cost contract (no allocations when sinks are null).
+
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace zombie {
+namespace {
+
+// Global operator new/delete instrumentation for the zero-allocation
+// assertions. Counting is toggled explicitly so gtest's own allocations
+// don't pollute the counts.
+std::atomic<bool> g_count_allocs{false};
+std::atomic<uint64_t> g_alloc_count{0};
+
+}  // namespace
+}  // namespace zombie
+
+void* operator new(std::size_t size) {
+  if (zombie::g_count_allocs.load(std::memory_order_relaxed)) {
+    zombie::g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace zombie {
+namespace {
+
+uint64_t CountAllocations(const std::function<void()>& body) {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_count_allocs.store(true, std::memory_order_relaxed);
+  body();
+  g_count_allocs.store(false, std::memory_order_relaxed);
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  g.Set(1.5);
+  g.Set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+}
+
+TEST(HistogramTest, SnapshotTracksCountSumMinMax) {
+  Histogram h({10.0, 100.0, 1000.0});
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(500.0);
+  h.Observe(5000.0);  // overflow bucket
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.sum, 5555.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5000.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5555.0 / 4.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h;
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentilesAreOrderedAndBounded) {
+  Histogram h;  // default latency bounds
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  // With 1..1000 uniform, p50 should land in the right decade.
+  EXPECT_GT(s.p50, 200.0);
+  EXPECT_LT(s.p50, 900.0);
+}
+
+TEST(HistogramTest, SingleValuePercentilesCollapse) {
+  Histogram h;
+  h.Observe(77.0);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.p50, 77.0);
+  EXPECT_DOUBLE_EQ(s.p95, 77.0);
+  EXPECT_DOUBLE_EQ(s.p99, 77.0);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x.count");
+  Counter* b = reg.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "x.count");
+  EXPECT_EQ(snap.counters[0].second, 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameOrdered) {
+  MetricsRegistry reg;
+  reg.GetCounter("zz");
+  reg.GetCounter("aa");
+  reg.GetGauge("mm");
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "aa");
+  EXPECT_EQ(snap.counters[1].first, "zz");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsStable) {
+  MetricsRegistry reg;
+  reg.GetCounter("runs")->Increment(3);
+  reg.GetGauge("depth")->Set(2.0);
+  reg.GetHistogram("lat")->Observe(10.0);
+  std::string a = reg.ToJson();
+  std::string b = reg.ToJson();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"runs\": 3"), std::string::npos);
+  EXPECT_NE(a.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentMutationIsConsistent) {
+  // Stress the lock-free paths from several threads; run under TSan in CI.
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      Counter* c = reg.GetCounter("stress.count");
+      Histogram* h = reg.GetHistogram("stress.lat");
+      Gauge* g = reg.GetGauge("stress.depth");
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        c->Increment();
+        h->Observe(static_cast<double>((t * kOpsPerThread + i) % 997));
+        g->Set(static_cast<double>(i));
+        if (i % 1000 == 0) reg.Snapshot();  // concurrent readers
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("stress.count")->value(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  HistogramSnapshot s = reg.GetHistogram("stress.lat")->Snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 996.0);
+}
+
+TEST(ScopedHistogramTimerTest, ObservesIntoHistogram) {
+  Histogram h;
+  {
+    ScopedHistogramTimer timer(&h);
+  }
+  EXPECT_EQ(h.Snapshot().count, 1u);
+}
+
+TEST(ScopedHistogramTimerTest, NullHistogramAllocatesNothing) {
+  uint64_t allocs = CountAllocations([] {
+    for (int i = 0; i < 1000; ++i) {
+      ScopedHistogramTimer timer(nullptr);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(MetricsTest, HotPathOperationsAllocateNothing) {
+  // Resolve handles first (creation allocates), then assert the per-event
+  // operations — the ones instrumented code runs per pull — are alloc-free.
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("hot.count");
+  Gauge* g = reg.GetGauge("hot.gauge");
+  Histogram* h = reg.GetHistogram("hot.lat");
+  uint64_t allocs = CountAllocations([&] {
+    for (int i = 0; i < 1000; ++i) {
+      c->Increment();
+      g->Set(static_cast<double>(i));
+      h->Observe(static_cast<double>(i));
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+}
+
+}  // namespace
+}  // namespace zombie

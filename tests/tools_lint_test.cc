@@ -151,6 +151,71 @@ TEST_F(ZombieLintTest, RandomImplFileIsExempt) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST_F(ZombieLintTest, RejectsRawClockNow) {
+  WriteFile("src/core/timer.cc",
+            "#include <chrono>\n"
+            "namespace zombie {\n"
+            "long Now() {\n"
+            "  return std::chrono::steady_clock::now().time_since_epoch()\n"
+            "      .count();\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-raw-clock"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, RejectsSystemAndHighResolutionClockNow) {
+  WriteFile("src/core/clocks.cc",
+            "#include <chrono>\n"
+            "namespace zombie {\n"
+            "auto A() { return std::chrono::system_clock::now(); }\n"
+            "auto B() { return std::chrono::high_resolution_clock::now(); }\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("system_clock"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("high_resolution_clock"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(ZombieLintTest, ClockTypeWithoutNowDoesNotTrigger) {
+  // Declaring a time_point type is not a clock read.
+  WriteFile("src/core/types.cc",
+            "#include <chrono>\n"
+            "namespace zombie {\n"
+            "using TimePoint = std::chrono::steady_clock::time_point;\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, ClockImplAndObsFilesAreExemptFromRawClock) {
+  const char* body =
+      "#include <chrono>\n"
+      "namespace zombie {\n"
+      "long Now() {\n"
+      "  return std::chrono::steady_clock::now().time_since_epoch()"
+      ".count();\n"
+      "}\n"
+      "}  // namespace zombie\n";
+  WriteFile("src/util/clock.cc", body);
+  WriteFile("src/obs/sampler.cc", body);
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, AllowCommentSuppressesRawClock) {
+  WriteFile("src/core/special.cc",
+            "#include <chrono>\n"
+            "namespace zombie {\n"
+            "auto T() { return std::chrono::steady_clock::now(); }"
+            "  // zombie-lint: allow(no-raw-clock)\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST_F(ZombieLintTest, HeaderGuardMustMatchPath) {
   WriteFile("src/util/widget.h",
             "#ifndef WRONG_GUARD_H\n"

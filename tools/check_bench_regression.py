@@ -13,6 +13,10 @@ the *median* ratio across all entries.  A uniformly slower machine moves
 every ratio equally and cancels out; a genuine regression moves one
 entry's normalized ratio past 1 + tolerance and fails the build.
 
+When $GITHUB_STEP_SUMMARY is set (GitHub Actions), a markdown ratio
+table is appended to it so the comparison shows up on the job summary
+page without digging through logs.
+
 Exit codes: 0 ok, 1 regression found, 2 usage/IO error.
 """
 
@@ -33,7 +37,8 @@ def load_results(results_dir):
     for path in paths:
         with open(path) as f:
             doc = json.load(f)
-        if doc.get("schema_version") != 1:
+        # v2 adds an optional "observability" block; entries are unchanged.
+        if doc.get("schema_version") not in (1, 2):
             print(f"error: {path}: unsupported schema_version "
                   f"{doc.get('schema_version')!r}", file=sys.stderr)
             sys.exit(2)
@@ -50,6 +55,33 @@ def median(xs):
     n = len(xs)
     mid = n // 2
     return xs[mid] if n % 2 else (xs[mid - 1] + xs[mid]) / 2.0
+
+
+def write_step_summary(scale, tolerance, table_rows, failures):
+    """Appends a markdown ratio table to $GITHUB_STEP_SUMMARY if set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = ["## Bench regression gate", ""]
+    if failures:
+        lines.append(f"**FAIL** — {len(failures)} entr"
+                     f"{'y' if len(failures) == 1 else 'ies'} regressed more "
+                     f"than {tolerance:.0%} after normalization.")
+    else:
+        lines.append("**OK** — no wall-clock regressions beyond "
+                     f"{tolerance:.0%} tolerance.")
+    lines += ["",
+              f"Machine-speed scale factor (median raw ratio): `{scale:.3f}`",
+              "",
+              "| entry | raw ratio | normalized | status |",
+              "|---|---|---|---|"]
+    failed_names = {name for name, _ in failures}
+    for name, ratio, normalized in table_rows:
+        status = ":x: regression" if name in failed_names else ":white_check_mark:"
+        lines.append(f"| `{name}` | {ratio:.2f}x | {normalized:.2f}x "
+                     f"| {status} |")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def main():
@@ -97,13 +129,17 @@ def main():
               + ("..." if len(skipped) > 5 else ""))
 
     failures = []
+    table_rows = []
     for name, ratio in sorted(ratios.items(), key=lambda kv: -kv[1]):
         normalized = ratio / scale
         flag = ""
         if normalized > 1.0 + args.tolerance:
             failures.append((name, normalized))
             flag = "  <-- REGRESSION"
+        table_rows.append((name, ratio, normalized))
         print(f"  {name}: raw {ratio:.2f}x, normalized {normalized:.2f}x{flag}")
+
+    write_step_summary(scale, args.tolerance, table_rows, failures)
 
     if failures:
         print(f"\nFAIL: {len(failures)} entr{'y' if len(failures) == 1 else 'ies'} "

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage for a ZOMBIE_COVERAGE build.
+
+Usage:
+  tools/coverage_report.py --build-dir build-cov [--source-root .]
+      [--include src/] [--html-out coverage.html] [--fail-under-line 80]
+
+Works from the raw toolchain only (gcov --json-format); no gcovr/lcov
+dependency.  The script walks the build tree for .gcda counter files,
+asks gcov for the JSON intermediate format on stdout, and merges the
+per-line execution counts across translation units (headers are
+instrumented in every TU that includes them, so counts are summed
+per source line).
+
+Outputs a per-file table on stdout, optionally a self-contained HTML
+report with annotated sources, and exits 1 when total line coverage
+falls below --fail-under-line (the CI gate).
+
+Exit codes: 0 ok, 1 coverage below threshold, 2 usage/IO error.
+"""
+
+import argparse
+import collections
+import html
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda_files(build_dir):
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                out.append(os.path.join(root, name))
+    return sorted(out)
+
+
+def run_gcov(gcda_path):
+    """Returns the parsed gcov JSON document for one .gcda, or None."""
+    # cwd must contain the .gcda/.gcno pair; gcov resolves them by stem.
+    cwd = os.path.dirname(gcda_path)
+    cmd = ["gcov", "--json-format", "--stdout", os.path.basename(gcda_path)]
+    try:
+        proc = subprocess.run(cmd, cwd=cwd, capture_output=True, text=True,
+                              check=False)
+    except OSError as e:
+        print(f"error: cannot run gcov: {e}", file=sys.stderr)
+        sys.exit(2)
+    if proc.returncode != 0 or not proc.stdout.strip():
+        print(f"warning: gcov failed on {gcda_path}: "
+              f"{proc.stderr.strip()[:200]}", file=sys.stderr)
+        return None
+    # gcov emits one JSON document per input file, one per line.
+    docs = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            pass
+    return docs
+
+
+def normalize(path, cwd):
+    if not os.path.isabs(path):
+        path = os.path.join(cwd, path)
+    return os.path.realpath(path)
+
+
+def collect_coverage(build_dir, source_root, include_prefixes):
+    """Returns {rel_source_path: {line_number: count}}."""
+    gcdas = find_gcda_files(build_dir)
+    if not gcdas:
+        print(f"error: no .gcda files under {build_dir} — build with "
+              "-DZOMBIE_COVERAGE=ON and run the tests first", file=sys.stderr)
+        sys.exit(2)
+    coverage = collections.defaultdict(lambda: collections.defaultdict(int))
+    for gcda in gcdas:
+        docs = run_gcov(gcda)
+        if not docs:
+            continue
+        cwd = os.path.dirname(gcda)
+        for doc in docs:
+            # Compilation cwd recorded by gcc is the authority for
+            # relative source paths when present.
+            comp_cwd = doc.get("current_working_directory", cwd)
+            for f in doc.get("files", []):
+                src = normalize(f["file"], comp_cwd)
+                try:
+                    rel = os.path.relpath(src, source_root)
+                except ValueError:
+                    continue
+                if rel.startswith(".."):
+                    continue
+                if not any(rel.startswith(p) for p in include_prefixes):
+                    continue
+                lines = coverage[rel]
+                for ln in f.get("lines", []):
+                    lines[ln["line_number"]] += ln["count"]
+    return coverage
+
+
+def summarize(coverage):
+    """Returns ([(rel, covered, total)], covered_total, lines_total)."""
+    rows = []
+    grand_covered = 0
+    grand_total = 0
+    for rel in sorted(coverage):
+        lines = coverage[rel]
+        total = len(lines)
+        covered = sum(1 for c in lines.values() if c > 0)
+        rows.append((rel, covered, total))
+        grand_covered += covered
+        grand_total += total
+    return rows, grand_covered, grand_total
+
+
+def pct(covered, total):
+    return 100.0 * covered / total if total else 0.0
+
+
+def write_html(path, rows, grand_covered, grand_total, coverage, source_root):
+    def color(p):
+        if p >= 90:
+            return "#2e7d32"
+        if p >= 70:
+            return "#f9a825"
+        return "#c62828"
+
+    parts = []
+    parts.append(
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>zombie coverage</title><style>"
+        "body{font-family:monospace;margin:2em;}"
+        "table{border-collapse:collapse;}"
+        "td,th{border:1px solid #ccc;padding:2px 8px;text-align:left;}"
+        "pre{margin:0;}"
+        ".src{font-size:12px;border:1px solid #ddd;margin:0 0 2em 0;}"
+        ".src td{border:none;padding:0 8px;white-space:pre;}"
+        ".hit{background:#e8f5e9;}"
+        ".miss{background:#ffebee;}"
+        ".count{color:#888;text-align:right;}"
+        "</style></head><body>")
+    total_pct = pct(grand_covered, grand_total)
+    parts.append(f"<h1>zombie line coverage: "
+                 f"<span style='color:{color(total_pct)}'>"
+                 f"{total_pct:.1f}%</span> "
+                 f"({grand_covered}/{grand_total} lines)</h1>")
+    parts.append("<table><tr><th>file</th><th>covered</th><th>total</th>"
+                 "<th>%</th></tr>")
+    for rel, covered, total in rows:
+        p = pct(covered, total)
+        anchor = rel.replace("/", "_").replace(".", "_")
+        parts.append(
+            f"<tr><td><a href='#{anchor}'>{html.escape(rel)}</a></td>"
+            f"<td>{covered}</td><td>{total}</td>"
+            f"<td style='color:{color(p)}'>{p:.1f}</td></tr>")
+    parts.append("</table>")
+
+    for rel, covered, total in rows:
+        anchor = rel.replace("/", "_").replace(".", "_")
+        p = pct(covered, total)
+        parts.append(f"<h2 id='{anchor}'>{html.escape(rel)} "
+                     f"— {p:.1f}%</h2>")
+        src_path = os.path.join(source_root, rel)
+        try:
+            with open(src_path, encoding="utf-8", errors="replace") as f:
+                source_lines = f.read().splitlines()
+        except OSError:
+            parts.append("<p>(source unavailable)</p>")
+            continue
+        lines = coverage[rel]
+        parts.append("<table class='src'>")
+        for i, text in enumerate(source_lines, start=1):
+            count = lines.get(i)
+            if count is None:
+                cls, shown = "", ""
+            elif count > 0:
+                cls, shown = "hit", str(count)
+            else:
+                cls, shown = "miss", "0"
+            parts.append(
+                f"<tr class='{cls}'><td class='count'>{i}</td>"
+                f"<td class='count'>{shown}</td>"
+                f"<td>{html.escape(text) or ' '}</td></tr>")
+        parts.append("</table>")
+    parts.append("</body></html>")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(parts))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True,
+                        help="coverage-instrumented build tree")
+    parser.add_argument("--source-root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--include", action="append", default=None,
+                        help="source path prefix to report on "
+                             "(repeatable; default: src/)")
+    parser.add_argument("--html-out", default=None,
+                        help="write a self-contained HTML report here")
+    parser.add_argument("--fail-under-line", type=float, default=None,
+                        help="exit 1 if total line coverage %% is below this")
+    args = parser.parse_args()
+
+    source_root = os.path.realpath(args.source_root)
+    include_prefixes = args.include if args.include else ["src/"]
+
+    coverage = collect_coverage(args.build_dir, source_root, include_prefixes)
+    if not coverage:
+        print("error: no instrumented source files matched "
+              f"{include_prefixes}", file=sys.stderr)
+        sys.exit(2)
+    rows, grand_covered, grand_total = summarize(coverage)
+
+    width = max(len(rel) for rel, _, _ in rows)
+    for rel, covered, total in rows:
+        print(f"  {rel:<{width}}  {covered:>5}/{total:<5}  "
+              f"{pct(covered, total):6.1f}%")
+    total_pct = pct(grand_covered, grand_total)
+    print(f"TOTAL line coverage: {total_pct:.2f}% "
+          f"({grand_covered}/{grand_total} lines in {len(rows)} files)")
+
+    if args.html_out:
+        write_html(args.html_out, rows, grand_covered, grand_total, coverage,
+                   source_root)
+        print(f"HTML report written to {args.html_out}")
+
+    if args.fail_under_line is not None and total_pct < args.fail_under_line:
+        print(f"FAIL: line coverage {total_pct:.2f}% is below the "
+              f"required {args.fail_under_line:.2f}%", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

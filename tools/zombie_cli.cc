@@ -6,10 +6,18 @@
 //                       --grouper=kmeans --groups=32 --policy=egreedy
 //                       --reward=label --learner=nb [--baseline] [--csv=out.csv]
 //                       [--trials=N] [--threads=N] [--cache]
+//                       [--trace-out=trace.json] [--metrics-out=metrics.json]
+//                       [--decisions-out=decisions.jsonl]
 //   zombie_cli session  --task=webcat --docs=12000 [--warm] [--cache]
+//                       [--trace-out=...] [--metrics-out=...]
+//                       [--decisions-out=...]
 //
 // Flags are --key=value; unknown flags fail loudly. When --corpus is given
 // it is loaded from disk, otherwise --task/--docs/--seed generate one.
+// The three --*-out flags enable the matching observability sink for the
+// run and write it on exit: --trace-out produces Chrome/Perfetto-loadable
+// trace JSON, --metrics-out a metrics snapshot, --decisions-out the
+// per-pull bandit decision log as JSONL.
 
 #include <cstdio>
 #include <cstring>
@@ -40,6 +48,7 @@
 #include "ml/naive_bayes.h"
 #include "ml/pegasos_svm.h"
 #include "ml/perceptron.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -194,6 +203,66 @@ EngineOptions MakeEngineOptionsFromFlags(const Flags& flags) {
 }
 
 // ---------------------------------------------------------------------------
+// Observability plumbing shared by run/session
+// ---------------------------------------------------------------------------
+
+struct ObsOutputs {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string decisions_path;
+
+  bool any() const {
+    return !trace_path.empty() || !metrics_path.empty() ||
+           !decisions_path.empty();
+  }
+};
+
+ObsOutputs GetObsOutputs(const Flags& flags) {
+  ObsOutputs out;
+  out.trace_path = flags.GetString("trace-out", "");
+  out.metrics_path = flags.GetString("metrics-out", "");
+  out.decisions_path = flags.GetString("decisions-out", "");
+  return out;
+}
+
+/// Builds a context with exactly the sinks the requested outputs need, or
+/// null when no --*-out flag was given (keeps the hot path uninstrumented).
+std::unique_ptr<ObsContext> MakeObsContext(const ObsOutputs& out) {
+  if (!out.any()) return nullptr;
+  ObsOptions opts;
+  opts.trace = !out.trace_path.empty();
+  opts.metrics = !out.metrics_path.empty();
+  opts.decision_log = !out.decisions_path.empty();
+  return std::make_unique<ObsContext>(opts);
+}
+
+/// Writes each requested sink; returns false (after reporting) on IO error.
+bool WriteObsOutputs(const ObsOutputs& out, const ObsContext& obs) {
+  bool ok = true;
+  auto report = [&ok](const Status& st, const std::string& what,
+                      const std::string& path) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      ok = false;
+    } else {
+      std::printf("%s written to %s\n", what.c_str(), path.c_str());
+    }
+  };
+  if (!out.metrics_path.empty()) {
+    report(obs.metrics()->WriteJson(out.metrics_path), "metrics",
+           out.metrics_path);
+  }
+  if (!out.trace_path.empty()) {
+    report(obs.trace()->WriteJson(out.trace_path), "trace", out.trace_path);
+  }
+  if (!out.decisions_path.empty()) {
+    report(obs.decisions()->WriteJsonl(out.decisions_path), "decision log",
+           out.decisions_path);
+  }
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
 // Subcommands
 // ---------------------------------------------------------------------------
 
@@ -265,6 +334,7 @@ int CmdRun(const Flags& flags) {
   size_t trials = static_cast<size_t>(flags.GetInt("trials", 1));
   size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
   std::string csv = flags.GetString("csv", "");
+  ObsOutputs obs_out = GetObsOutputs(flags);
   Status st = flags.CheckAllConsumed();
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -281,9 +351,11 @@ int CmdRun(const Flags& flags) {
   // --threads workers); an optional shared feature cache memoizes
   // extraction across trials of the identical pipeline.
   FeatureCache cache;
+  std::unique_ptr<ObsContext> obs = MakeObsContext(obs_out);
   ExperimentDriverOptions dopts;
   dopts.num_threads = threads;
   dopts.engine = opts;
+  dopts.engine.obs = obs.get();
   dopts.cache = use_cache ? &cache : nullptr;
   ExperimentDriver driver(&corpus, &pipeline, dopts);
   ExperimentGrid grid;
@@ -330,6 +402,7 @@ int CmdRun(const Flags& flags) {
     std::fclose(f);
     std::printf("curve written to %s\n", csv.c_str());
   }
+  if (obs != nullptr && !WriteObsOutputs(obs_out, *obs)) return 1;
   return 0;
 }
 
@@ -344,12 +417,15 @@ int CmdSession(const Flags& flags) {
   bool use_cache = flags.GetBool("cache");
   EngineOptions opts = MakeEngineOptionsFromFlags(flags);
   size_t groups = static_cast<size_t>(flags.GetInt("groups", 32));
+  ObsOutputs obs_out = GetObsOutputs(flags);
   Status st = flags.CheckAllConsumed();
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
 
+  std::unique_ptr<ObsContext> obs = MakeObsContext(obs_out);
+  opts.obs = obs.get();
   RevisionScript script = MakeWebCatRevisionScript();
   NaiveBayesLearner learner;
   LabelReward reward;
@@ -374,6 +450,12 @@ int CmdSession(const Flags& flags) {
                            static_cast<double>(fast.total_virtual_micros)
                      : 0.0;
   std::printf("session speedup: %.2fx\n", ratio);
+  if (obs != nullptr) {
+    if (use_cache && obs->metrics() != nullptr) {
+      cache.ExportMetrics(obs->metrics());
+    }
+    if (!WriteObsOutputs(obs_out, *obs)) return 1;
+  }
   return 0;
 }
 

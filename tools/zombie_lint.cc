@@ -15,6 +15,11 @@
 //                   goes through util/logging.h. `std::cout` and bare
 //                   `printf` are banned in src/ (snprintf/fprintf stderr are
 //                   fine and are distinct identifiers).
+//   no-raw-clock    Wall-clock reads flow through util/clock (Stopwatch /
+//                   VirtualClock) so time handling stays centralized and
+//                   mockable. Lines calling `now` on std::chrono's
+//                   steady_clock / system_clock / high_resolution_clock are
+//                   banned outside src/util/clock.* and src/obs/.
 //   header-guard    Include guards must be derived from the file path:
 //                   src/util/status.h -> ZOMBIE_UTIL_STATUS_H_.
 //
@@ -188,6 +193,14 @@ bool IsRandomImplFile(const fs::path& rel) {
   return s == "src/util/random.cc" || s == "src/util/random.h";
 }
 
+// File-scope exemptions for no-raw-clock: the clock wrapper itself, and
+// the observability layer (whose whole purpose is timing measurement).
+bool IsClockImplFile(const fs::path& rel) {
+  std::string s = rel.generic_string();
+  return s == "src/util/clock.cc" || s == "src/util/clock.h" ||
+         s.rfind("src/obs/", 0) == 0;
+}
+
 void LintFile(const fs::path& path, const fs::path& rel,
               std::vector<Finding>* findings) {
   std::ifstream in(path, std::ios::binary);
@@ -210,6 +223,8 @@ void LintFile(const fs::path& path, const fs::path& rel,
   static const char* kRandomTokens[] = {"rand",   "srand",         "rand_r",
                                         "drand48", "random_device", "mt19937"};
   static const char* kStdoutTokens[] = {"cout", "printf"};
+  static const char* kClockTokens[] = {"steady_clock", "system_clock",
+                                       "high_resolution_clock"};
 
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string& code = lines[i].code;
@@ -238,6 +253,17 @@ void LintFile(const fs::path& path, const fs::path& rel,
         report(line_no, "no-stdout",
                std::string("'") + tok +
                    "' in library code; use ZLOG (src/util/logging.h)");
+      }
+    }
+    if (!IsClockImplFile(rel) && HasToken(code, "now")) {
+      for (const char* tok : kClockTokens) {
+        if (HasToken(code, tok)) {
+          report(line_no, "no-raw-clock",
+                 std::string("'") + tok +
+                     "::now' outside util/clock; use Stopwatch or "
+                     "VirtualClock (src/util/clock.h) so timing stays "
+                     "centralized and mockable");
+        }
       }
     }
   }
