@@ -19,6 +19,9 @@ Status EngineOptions::Validate() const {
   if (stop.max_items == 0) {
     return Status::InvalidArgument("max_items must be positive");
   }
+  if (holdout_eval_threads == 0) {
+    return Status::InvalidArgument("holdout_eval_threads must be positive");
+  }
   return Status::OK();
 }
 

@@ -88,6 +88,16 @@ struct EngineOptions {
   /// (asserted by tests and bench_obs_overhead), and the disabled path
   /// (nullptr) costs only null checks.
   ObsContext* obs = nullptr;
+  /// Worker threads for the periodic holdout evaluation (1 = serial, no
+  /// pool is created). The engine owns a private pool rather than sharing
+  /// the experiment driver's: a nested ParallelFor on the driver's pool
+  /// could have every worker blocked in Wait() on subtasks stuck behind
+  /// them in the same queue. Scoring shards over fixed index ranges into
+  /// disjoint slots of one pre-sized vector and every reduction stays
+  /// serial, so RunResult is byte-identical at any thread count (see
+  /// EvaluateLearner's determinism contract; asserted by
+  /// core_engine_holdout_test).
+  size_t holdout_eval_threads = 1;
 
   /// Validates knob ranges.
   [[nodiscard]] Status Validate() const;

@@ -13,6 +13,7 @@
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace zombie {
 
@@ -71,6 +72,7 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
   Counter* cache_bypass_counter = nullptr;
   Histogram* extract_hist = nullptr;
   Histogram* eval_hist = nullptr;
+  Histogram* holdout_eval_hist = nullptr;
   if (metrics != nullptr) {
     metrics->GetCounter("engine.runs")->Increment();
     pulls_counter = metrics->GetCounter("engine.pulls");
@@ -81,6 +83,7 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
     cache_bypass_counter = metrics->GetCounter("featureeng.cache.bypass");
     extract_hist = metrics->GetHistogram("featureeng.extract_us");
     eval_hist = metrics->GetHistogram("engine.eval_us");
+    holdout_eval_hist = metrics->GetHistogram("engine.holdout_eval_us");
   }
   TraceSpan run_span(tracer, "engine.run", "engine");
 
@@ -182,6 +185,18 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
   }
   HoldoutEvaluator holdout(std::move(holdout_data));
 
+  // Private pool for sharded holdout scoring (never the caller's driver
+  // pool: nesting ParallelFor inside a driver task can leave every worker
+  // blocked in Wait() on subtasks queued behind them). Scoring writes
+  // disjoint slots of a pre-sized vector over fixed shard boundaries and
+  // all reductions run serially, so results are byte-identical at any
+  // thread count. The serial default (threads == 1) creates no pool and
+  // allocates nothing extra.
+  std::unique_ptr<ThreadPool> eval_pool;
+  if (options_.holdout_eval_threads > 1) {
+    eval_pool = std::make_unique<ThreadPool>(options_.holdout_eval_threads);
+  }
+
   // Probe subset for probe-requiring rewards.
   Dataset probe;
   const bool needs_probe = reward_prototype.requires_probe();
@@ -262,13 +277,22 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
     if (mean_item_cost <= 0.0) mean_item_cost = 1.0;
   }
 
+  // The holdout scoring pass proper (no curve/stop bookkeeping), shared by
+  // the cadence evaluation and the final metrics; this is what
+  // holdout_eval_threads parallelizes and engine.holdout_eval_us times.
+  auto eval_holdout = [&]() {
+    ScopedHistogramTimer holdout_eval_timer(holdout_eval_hist);
+    return options_.tune_threshold
+               ? EvaluateLearnerTuned(*learner, holdout.holdout(), nullptr,
+                                      eval_pool.get())
+               : holdout.Evaluate(*learner, eval_pool.get());
+  };
+
   auto evaluate = [&](size_t items) {
     ScopedHistogramTimer eval_timer(eval_hist);
     TraceSpan eval_span(tracer, "engine.evaluate", "engine");
     if (evals_counter != nullptr) evals_counter->Increment();
-    BinaryMetrics m = options_.tune_threshold
-                          ? EvaluateLearnerTuned(*learner, holdout.holdout())
-                          : holdout.Evaluate(*learner);
+    BinaryMetrics m = eval_holdout();
     CurvePoint p;
     p.items_processed = items;
     p.virtual_micros = clock.NowMicros();
@@ -328,7 +352,7 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
     }
 
     RewardInputs inputs;
-    inputs.features = &x;
+    inputs.features = x;
     inputs.label = y;
     inputs.score_before = learner->Score(x);
     inputs.probability_before = learner->PredictProbability(x);
@@ -409,10 +433,7 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
 
   result.items_processed = items;
   result.loop_virtual_micros = clock.NowMicros();
-  result.final_metrics =
-      options_.tune_threshold
-          ? EvaluateLearnerTuned(*learner, holdout.holdout())
-          : holdout.Evaluate(*learner);
+  result.final_metrics = eval_holdout();
   result.final_quality = QualityOf(result.final_metrics, options_.metric);
   result.wall_micros = wall.ElapsedMicros();
 

@@ -104,7 +104,8 @@ StatusOr<std::vector<TrialResult>> ExperimentDriver::RunGrid(
   TraceRecorder* tracer = obs != nullptr ? obs->trace() : nullptr;
   // Trial labels must outlive their TraceSpans (spans store the name
   // pointer), so they are materialized before the pool starts.
-  std::vector<std::string> labels;
+  // Once per trial, not per event.
+  std::vector<std::string> labels;  // zombie-lint: allow(no-hot-path-string-copy)
   if (tracer != nullptr) {
     labels.reserve(specs.size());
     for (const TrialSpec& spec : specs) labels.push_back(spec.Label());

@@ -18,7 +18,9 @@ namespace zombie {
 /// the precomputed fields).
 struct RewardInputs {
   const Learner* learner = nullptr;
-  const SparseVector* features = nullptr;
+  /// Non-owning view of the item's feature vector; valid only during the
+  /// Compute call.
+  SparseVectorView features;
   int32_t label = 0;
   double score_before = 0.0;
   double probability_before = 0.5;

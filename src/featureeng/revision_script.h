@@ -49,8 +49,9 @@ RevisionScript MakeWebCatRevisionScript();
 RevisionScript MakeEntityRevisionScript();
 
 /// Looks up vocabulary terms by name; silently drops unknown terms.
-std::vector<uint32_t> ResolveTerms(const Corpus& corpus,
-                                   const std::vector<std::string>& terms);
+std::vector<uint32_t> ResolveTerms(
+    const Corpus& corpus,
+    const std::vector<std::string>& terms);  // zombie-lint: allow(no-hot-path-string-copy)
 
 }  // namespace zombie
 

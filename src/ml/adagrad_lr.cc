@@ -14,21 +14,21 @@ AdaGradLogisticLearner::AdaGradLogisticLearner(AdaGradOptions options)
   ZCHECK_GT(options.epsilon, 0.0);
 }
 
-double AdaGradLogisticLearner::RawScore(const SparseVector& x) const {
+double AdaGradLogisticLearner::RawScore(SparseVectorView x) const {
   double s = x.Dot(weights_) + bias_;
   return std::clamp(s, -options_.score_clip, options_.score_clip);
 }
 
-double AdaGradLogisticLearner::Score(const SparseVector& x) const {
+double AdaGradLogisticLearner::Score(SparseVectorView x) const {
   return RawScore(x);
 }
 
 double AdaGradLogisticLearner::PredictProbability(
-    const SparseVector& x) const {
+    SparseVectorView x) const {
   return 1.0 / (1.0 + std::exp(-RawScore(x)));
 }
 
-void AdaGradLogisticLearner::Update(const SparseVector& x, int32_t y) {
+void AdaGradLogisticLearner::Update(SparseVectorView x, int32_t y) {
   ZCHECK(y == 0 || y == 1) << "binary labels required, got " << y;
   ++num_updates_;
   double p = 1.0 / (1.0 + std::exp(-RawScore(x)));

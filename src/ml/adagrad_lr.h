@@ -31,9 +31,9 @@ class AdaGradLogisticLearner : public Learner {
  public:
   explicit AdaGradLogisticLearner(AdaGradOptions options = {});
 
-  void Update(const SparseVector& x, int32_t y) override;
-  double Score(const SparseVector& x) const override;
-  double PredictProbability(const SparseVector& x) const override;
+  void Update(SparseVectorView x, int32_t y) override;
+  double Score(SparseVectorView x) const override;
+  double PredictProbability(SparseVectorView x) const override;
   void Reset() override;
   std::unique_ptr<Learner> Clone() const override;
   std::string name() const override { return "adagrad"; }
@@ -42,7 +42,7 @@ class AdaGradLogisticLearner : public Learner {
   double WeightAt(uint32_t index) const;
 
  private:
-  double RawScore(const SparseVector& x) const;
+  double RawScore(SparseVectorView x) const;
 
   AdaGradOptions options_;
   std::vector<double> weights_;

@@ -1,6 +1,7 @@
 #ifndef ZOMBIE_ML_DATASET_H_
 #define ZOMBIE_ML_DATASET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -11,27 +12,66 @@ namespace zombie {
 
 class Rng;
 
-/// One labeled training/evaluation example.
-struct Example {
-  SparseVector x;
+/// One labeled example, viewed in place. The feature vector borrows the
+/// owning Dataset's CSR arena — valid until that Dataset is mutated or
+/// destroyed. Cheap to copy (pointer + size + label).
+struct ExampleView {
+  SparseVectorView x;
   int32_t y = 0;
 };
 
-/// A flat collection of labeled examples.
+/// A flat collection of labeled examples in CSR (compressed sparse row)
+/// layout: one contiguous `indices` array, one contiguous `values` array,
+/// and `row_offsets` marking each example's [begin, end) span, instead of a
+/// heap-allocated SparseVector per row. Rows are handed out as non-owning
+/// ExampleView/SparseVectorView — iterating a holdout touches three flat
+/// arrays sequentially, which is the layout the scoring kernels want.
 class Dataset {
  public:
-  Dataset() = default;
+  Dataset() { row_offsets_.push_back(0); }
 
-  void Add(SparseVector x, int32_t y) {
-    examples_.push_back(Example{std::move(x), y});
+  /// Appends a copy of the view's entries to the arena.
+  void Add(SparseVectorView x, int32_t y);
+  void Add(ExampleView e) { Add(e.x, e.y); }
+
+  /// Pre-sizes the arena (optional; Add grows as needed).
+  void Reserve(size_t rows, size_t nnz);
+
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  /// Total number of stored (index, value) entries across all rows.
+  size_t num_entries() const { return indices_.size(); }
+
+  ExampleView example(size_t i) const {
+    const size_t begin = row_offsets_[i];
+    return ExampleView{
+        SparseVectorView(indices_.data() + begin, values_.data() + begin,
+                         row_offsets_[i + 1] - begin),
+        labels_[i]};
   }
-  void Add(Example e) { examples_.push_back(std::move(e)); }
+  int32_t label(size_t i) const { return labels_[i]; }
 
-  size_t size() const { return examples_.size(); }
-  bool empty() const { return examples_.empty(); }
+  /// Iteration yields ExampleView by value; `examples()` keeps the
+  /// pre-CSR call-site spelling `for (ExampleView e : ds.examples())`.
+  class Iterator {
+   public:
+    Iterator(const Dataset* ds, size_t i) : ds_(ds), i_(i) {}
+    ExampleView operator*() const { return ds_->example(i_); }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const Iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const Iterator& o) const { return i_ != o.i_; }
 
-  const Example& example(size_t i) const { return examples_[i]; }
-  const std::vector<Example>& examples() const { return examples_; }
+   private:
+    const Dataset* ds_;
+    size_t i_;
+  };
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, size()); }
+  const Dataset& examples() const { return *this; }
 
   /// Number of examples with y == 1.
   size_t num_positive() const;
@@ -39,7 +79,9 @@ class Dataset {
   /// Fraction of examples with y == 1 (0 for an empty set).
   double positive_fraction() const;
 
-  /// Shuffles example order in place.
+  /// Shuffles example order in place. Consumes exactly the same Rng draws
+  /// as the pre-CSR vector shuffle (Fisher–Yates over `size()` elements),
+  /// so seeded runs reproduce the old ordering bit-for-bit.
   void Shuffle(Rng* rng);
 
   /// Splits into train/test: the first `test_fraction` of a shuffled copy
@@ -51,7 +93,13 @@ class Dataset {
   std::vector<Dataset> SplitFolds(size_t k, Rng* rng) const;
 
  private:
-  std::vector<Example> examples_;
+  /// Rebuilds the arena with rows in `order` (a permutation of [0, size)).
+  void Permute(const std::vector<size_t>& order);
+
+  std::vector<uint32_t> indices_;
+  std::vector<double> values_;
+  std::vector<size_t> row_offsets_;  // size() + 1 entries; [0] == 0
+  std::vector<int32_t> labels_;
 };
 
 }  // namespace zombie

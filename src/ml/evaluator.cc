@@ -14,7 +14,7 @@ void TrainEpochs(Learner* learner, const Dataset& train, size_t epochs,
   for (size_t e = 0; e < epochs; ++e) {
     rng->Shuffle(&order);
     for (size_t idx : order) {
-      const Example& ex = train.example(idx);
+      ExampleView ex = train.example(idx);
       learner->Update(ex.x, ex.y);
     }
   }
@@ -25,8 +25,9 @@ HoldoutEvaluator::HoldoutEvaluator(Dataset holdout)
   ZCHECK(!holdout_.empty()) << "holdout must be non-empty";
 }
 
-BinaryMetrics HoldoutEvaluator::Evaluate(const Learner& learner) const {
-  return EvaluateLearner(learner, holdout_);
+BinaryMetrics HoldoutEvaluator::Evaluate(const Learner& learner,
+                                         ThreadPool* pool) const {
+  return EvaluateLearner(learner, holdout_, pool);
 }
 
 double HoldoutEvaluator::Quality(const Learner& learner,
@@ -46,7 +47,7 @@ CrossValidationResult CrossValidate(const Learner& prototype,
     Dataset train;
     for (size_t f = 0; f < folds; ++f) {
       if (f == held) continue;
-      for (const Example& e : fold_sets[f].examples()) train.Add(e);
+      for (ExampleView e : fold_sets[f].examples()) train.Add(e);
     }
     TrainEpochs(learner.get(), train, epochs, rng);
     BinaryMetrics m = EvaluateLearner(*learner, fold_sets[held]);

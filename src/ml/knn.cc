@@ -8,17 +8,17 @@ namespace zombie {
 
 KnnLearner::KnnLearner(size_t k) : k_(k) { ZCHECK_GE(k, 1u); }
 
-void KnnLearner::Update(const SparseVector& x, int32_t y) {
+void KnnLearner::Update(SparseVectorView x, int32_t y) {
   ZCHECK(y == 0 || y == 1) << "binary labels required, got " << y;
-  memory_.push_back(Example{x, y});
+  memory_.Add(x, y);
 }
 
-double KnnLearner::Score(const SparseVector& x) const {
+double KnnLearner::Score(SparseVectorView x) const {
   if (memory_.empty()) return 0.0;
   // (similarity, label) for all memorized examples; take the top k.
   std::vector<std::pair<double, int32_t>> sims;
   sims.reserve(memory_.size());
-  for (const Example& e : memory_) {
+  for (ExampleView e : memory_) {
     sims.emplace_back(x.CosineSimilarity(e.x), e.y);
   }
   size_t k = std::min(k_, sims.size());
@@ -33,7 +33,7 @@ double KnnLearner::Score(const SparseVector& x) const {
   return score / static_cast<double>(k);
 }
 
-void KnnLearner::Reset() { memory_.clear(); }
+void KnnLearner::Reset() { memory_ = Dataset(); }
 
 std::unique_ptr<Learner> KnnLearner::Clone() const {
   return std::make_unique<KnnLearner>(k_);

@@ -19,10 +19,10 @@ class KnnLearner : public Learner {
  public:
   explicit KnnLearner(size_t k = 5);
 
-  void Update(const SparseVector& x, int32_t y) override;
+  void Update(SparseVectorView x, int32_t y) override;
   /// Score is in [-1, 1]: (positive neighbors - negative neighbors) / k,
   /// similarity-weighted.
-  double Score(const SparseVector& x) const override;
+  double Score(SparseVectorView x) const override;
   void Reset() override;
   std::unique_ptr<Learner> Clone() const override;
   std::string name() const override { return "knn"; }
@@ -32,7 +32,7 @@ class KnnLearner : public Learner {
 
  private:
   size_t k_;
-  std::vector<Example> memory_;
+  Dataset memory_;  // CSR arena: memorized examples stay contiguous
 };
 
 }  // namespace zombie

@@ -20,23 +20,23 @@ class Learner {
   virtual ~Learner() = default;
 
   /// Consumes one labeled example (y in {0, 1}).
-  virtual void Update(const SparseVector& x, int32_t y) = 0;
+  virtual void Update(SparseVectorView x, int32_t y) = 0;
 
   /// Decision value; > 0 means class 1. Magnitude reflects confidence for
   /// margin-based learners, a log-odds ratio for probabilistic ones. An
   /// exact 0 (e.g. an untrained model) classifies as the negative class so
   /// that a blank model does not spuriously "recall" every positive.
-  virtual double Score(const SparseVector& x) const = 0;
+  virtual double Score(SparseVectorView x) const = 0;
 
   /// Hard prediction in {0, 1}. Default thresholds Score at zero
   /// (ties negative).
-  virtual int32_t Predict(const SparseVector& x) const {
+  virtual int32_t Predict(SparseVectorView x) const {
     return Score(x) > 0.0 ? 1 : 0;
   }
 
   /// P(y == 1 | x) in [0, 1]. Default squashes Score through a logistic;
   /// learners with calibrated probabilities override.
-  virtual double PredictProbability(const SparseVector& x) const {
+  virtual double PredictProbability(SparseVectorView x) const {
     return 1.0 / (1.0 + std::exp(-Score(x)));
   }
 

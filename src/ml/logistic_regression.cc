@@ -14,17 +14,17 @@ LogisticRegressionLearner::LogisticRegressionLearner(
   ZCHECK_GE(options.lambda, 0.0);
 }
 
-double LogisticRegressionLearner::RawScore(const SparseVector& x) const {
+double LogisticRegressionLearner::RawScore(SparseVectorView x) const {
   double s = scale_ * x.Dot(weights_) + bias_;
   return std::clamp(s, -options_.score_clip, options_.score_clip);
 }
 
-double LogisticRegressionLearner::Score(const SparseVector& x) const {
+double LogisticRegressionLearner::Score(SparseVectorView x) const {
   return RawScore(x);
 }
 
 double LogisticRegressionLearner::PredictProbability(
-    const SparseVector& x) const {
+    SparseVectorView x) const {
   return 1.0 / (1.0 + std::exp(-RawScore(x)));
 }
 
@@ -34,7 +34,7 @@ void LogisticRegressionLearner::Rescale() {
   scale_ = 1.0;
 }
 
-void LogisticRegressionLearner::Update(const SparseVector& x, int32_t y) {
+void LogisticRegressionLearner::Update(SparseVectorView x, int32_t y) {
   ZCHECK(y == 0 || y == 1) << "binary labels required, got " << y;
   ++num_updates_;
   double t = static_cast<double>(num_updates_);

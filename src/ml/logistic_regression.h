@@ -27,9 +27,9 @@ class LogisticRegressionLearner : public Learner {
  public:
   explicit LogisticRegressionLearner(LogisticRegressionOptions options = {});
 
-  void Update(const SparseVector& x, int32_t y) override;
-  double Score(const SparseVector& x) const override;
-  double PredictProbability(const SparseVector& x) const override;
+  void Update(SparseVectorView x, int32_t y) override;
+  double Score(SparseVectorView x) const override;
+  double PredictProbability(SparseVectorView x) const override;
   void Reset() override;
   std::unique_ptr<Learner> Clone() const override;
   std::string name() const override { return "logreg"; }
@@ -42,7 +42,7 @@ class LogisticRegressionLearner : public Learner {
   double bias() const { return bias_; }
 
  private:
-  double RawScore(const SparseVector& x) const;
+  double RawScore(SparseVectorView x) const;
   // Folds scale_ into weights_ when it underflows toward zero.
   void Rescale();
 

@@ -6,12 +6,12 @@
 
 namespace zombie {
 
-void MajorityClassLearner::Update(const SparseVector& /*x*/, int32_t y) {
+void MajorityClassLearner::Update(SparseVectorView /*x*/, int32_t y) {
   ZCHECK(y == 0 || y == 1) << "binary labels required, got " << y;
   ++count_[y];
 }
 
-double MajorityClassLearner::Score(const SparseVector& /*x*/) const {
+double MajorityClassLearner::Score(SparseVectorView /*x*/) const {
   double p1 = (static_cast<double>(count_[1]) + 1.0) /
               (static_cast<double>(count_[0] + count_[1]) + 2.0);
   return std::log(p1 / (1.0 - p1));

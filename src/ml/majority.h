@@ -15,9 +15,9 @@ class MajorityClassLearner : public Learner {
  public:
   MajorityClassLearner() = default;
 
-  void Update(const SparseVector& x, int32_t y) override;
+  void Update(SparseVectorView x, int32_t y) override;
   /// Score is the smoothed log-odds of the empirical class balance.
-  double Score(const SparseVector& x) const override;
+  double Score(SparseVectorView x) const override;
   void Reset() override;
   std::unique_ptr<Learner> Clone() const override;
   std::string name() const override { return "majority"; }

@@ -4,8 +4,49 @@
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace zombie {
+
+namespace {
+
+/// Minimum examples per shard when scoring on a pool; below
+/// kShardSize * 2 the fork/join overhead outweighs the scan.
+constexpr size_t kShardSize = 128;
+
+/// Fills `scores`/`labels` (resized to data.size()) with Score()/label for
+/// every example. Serial when pool is null or the dataset is small;
+/// otherwise sharded over fixed [shard*kShardSize, ...) ranges with each
+/// shard writing only its own slots, so the filled vectors are identical to
+/// the serial fill regardless of thread count or completion order.
+void ScoreAll(const Learner& learner, const Dataset& data, ThreadPool* pool,
+              std::vector<double>* scores, std::vector<int32_t>* labels) {
+  const size_t n = data.size();
+  scores->resize(n);
+  labels->resize(n);
+  double* score_out = scores->data();
+  int32_t* label_out = labels->data();
+  if (pool == nullptr || n < 2 * kShardSize) {
+    for (size_t i = 0; i < n; ++i) {
+      ExampleView e = data.example(i);
+      score_out[i] = learner.Score(e.x);
+      label_out[i] = e.y;
+    }
+    return;
+  }
+  const size_t num_shards = (n + kShardSize - 1) / kShardSize;
+  ParallelFor(pool, num_shards, [&](size_t shard) {
+    const size_t begin = shard * kShardSize;
+    const size_t end = std::min(begin + kShardSize, n);
+    for (size_t i = begin; i < end; ++i) {
+      ExampleView e = data.example(i);
+      score_out[i] = learner.Score(e.x);
+      label_out[i] = e.y;
+    }
+  });
+}
+
+}  // namespace
 
 void Confusion::Add(int32_t truth, int32_t predicted) {
   if (truth == 1) {
@@ -114,17 +155,13 @@ double AucFromScores(const std::vector<double>& scores,
 
 BinaryMetrics EvaluateLearnerTuned(const Learner& learner,
                                    const Dataset& data,
-                                   double* best_threshold) {
+                                   double* best_threshold,
+                                   ThreadPool* pool) {
   std::vector<double> scores;
   std::vector<int32_t> labels;
-  scores.reserve(data.size());
-  labels.reserve(data.size());
+  ScoreAll(learner, data, pool, &scores, &labels);
   int64_t total_pos = 0;
-  for (const Example& e : data.examples()) {
-    scores.push_back(learner.Score(e.x));
-    labels.push_back(e.y);
-    total_pos += e.y == 1;
-  }
+  for (int32_t y : labels) total_pos += y == 1;
 
   // Sweep thresholds in one pass over score-sorted examples: predicting
   // positive above position i means tp = positives in the suffix.
@@ -174,17 +211,14 @@ BinaryMetrics EvaluateLearnerTuned(const Learner& learner,
   return m;
 }
 
-BinaryMetrics EvaluateLearner(const Learner& learner, const Dataset& data) {
+BinaryMetrics EvaluateLearner(const Learner& learner, const Dataset& data,
+                              ThreadPool* pool) {
   BinaryMetrics m;
   std::vector<double> scores;
   std::vector<int32_t> labels;
-  scores.reserve(data.size());
-  labels.reserve(data.size());
-  for (const Example& e : data.examples()) {
-    double s = learner.Score(e.x);
-    scores.push_back(s);
-    labels.push_back(e.y);
-    m.confusion.Add(e.y, s > 0.0 ? 1 : 0);
+  ScoreAll(learner, data, pool, &scores, &labels);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    m.confusion.Add(labels[i], scores[i] > 0.0 ? 1 : 0);
   }
   m.accuracy = Accuracy(m.confusion);
   m.precision = Precision(m.confusion);

@@ -10,6 +10,8 @@
 
 namespace zombie {
 
+class ThreadPool;
+
 /// Binary confusion counts, positive class == 1.
 struct Confusion {
   int64_t tp = 0;
@@ -52,7 +54,16 @@ double QualityOf(const BinaryMetrics& m, QualityMetric metric);
 /// Scores every example with `learner` and computes the full bundle.
 /// AUC is the rank-based (Mann–Whitney) estimate over Score() values; it is
 /// 0 when either class is absent from `data`.
-BinaryMetrics EvaluateLearner(const Learner& learner, const Dataset& data);
+///
+/// Determinism contract for `pool`: when non-null, scoring is sharded over
+/// fixed index ranges and each shard writes its own disjoint slots of a
+/// pre-sized score vector; every reduction (confusion, threshold sweep,
+/// AUC) then runs serially over that vector. The scores — and therefore the
+/// returned metrics — are byte-identical to the serial path at any thread
+/// count, by construction rather than by tolerance. Score() must be const
+/// and thread-safe (all learners here are: scoring never mutates).
+BinaryMetrics EvaluateLearner(const Learner& learner, const Dataset& data,
+                              ThreadPool* pool = nullptr);
 
 /// AUC from raw (score, label) pairs; ties get midrank credit.
 double AucFromScores(const std::vector<double>& scores,
@@ -66,7 +77,8 @@ double AucFromScores(const std::vector<double>& scores,
 /// learner's operating point without changing its ranking quality.
 BinaryMetrics EvaluateLearnerTuned(const Learner& learner,
                                    const Dataset& data,
-                                   double* best_threshold = nullptr);
+                                   double* best_threshold = nullptr,
+                                   ThreadPool* pool = nullptr);
 
 }  // namespace zombie
 

@@ -11,7 +11,7 @@ NaiveBayesLearner::NaiveBayesLearner(double alpha) : alpha_(alpha) {
   ZCHECK_GT(alpha, 0.0);
 }
 
-void NaiveBayesLearner::Update(const SparseVector& x, int32_t y) {
+void NaiveBayesLearner::Update(SparseVectorView x, int32_t y) {
   ZCHECK(y == 0 || y == 1) << "binary labels required, got " << y;
   ++num_updates_;
   class_count_[y] += 1.0;
@@ -26,7 +26,7 @@ void NaiveBayesLearner::Update(const SparseVector& x, int32_t y) {
   }
 }
 
-double NaiveBayesLearner::LogOdds(const SparseVector& x) const {
+double NaiveBayesLearner::LogOdds(SparseVectorView x) const {
   // Uninformed model: even log-odds.
   if (class_count_[0] + class_count_[1] == 0.0) return 0.0;
 
@@ -51,11 +51,11 @@ double NaiveBayesLearner::LogOdds(const SparseVector& x) const {
   return log_odds;
 }
 
-double NaiveBayesLearner::Score(const SparseVector& x) const {
+double NaiveBayesLearner::Score(SparseVectorView x) const {
   return LogOdds(x);
 }
 
-double NaiveBayesLearner::PredictProbability(const SparseVector& x) const {
+double NaiveBayesLearner::PredictProbability(SparseVectorView x) const {
   return 1.0 / (1.0 + std::exp(-LogOdds(x)));
 }
 

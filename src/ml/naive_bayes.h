@@ -25,9 +25,9 @@ class NaiveBayesLearner : public Learner {
   /// updates.
   explicit NaiveBayesLearner(double alpha = 0.1);
 
-  void Update(const SparseVector& x, int32_t y) override;
-  double Score(const SparseVector& x) const override;
-  double PredictProbability(const SparseVector& x) const override;
+  void Update(SparseVectorView x, int32_t y) override;
+  double Score(SparseVectorView x) const override;
+  double PredictProbability(SparseVectorView x) const override;
   void Reset() override;
   std::unique_ptr<Learner> Clone() const override;
   std::string name() const override { return "nb"; }
@@ -38,7 +38,7 @@ class NaiveBayesLearner : public Learner {
  private:
   // Log P(y=1|x) - log P(y=0|x) with smoothing over the currently observed
   // feature dimensionality.
-  double LogOdds(const SparseVector& x) const;
+  double LogOdds(SparseVectorView x) const;
 
   double alpha_;
   size_t num_updates_ = 0;

@@ -9,7 +9,7 @@ PegasosSvmLearner::PegasosSvmLearner(PegasosOptions options)
   ZCHECK_GT(options.lambda, 0.0);
 }
 
-double PegasosSvmLearner::Score(const SparseVector& x) const {
+double PegasosSvmLearner::Score(SparseVectorView x) const {
   return scale_ * x.Dot(weights_) + bias_;
 }
 
@@ -19,7 +19,7 @@ void PegasosSvmLearner::Rescale() {
   scale_ = 1.0;
 }
 
-void PegasosSvmLearner::Update(const SparseVector& x, int32_t y) {
+void PegasosSvmLearner::Update(SparseVectorView x, int32_t y) {
   ZCHECK(y == 0 || y == 1) << "binary labels required, got " << y;
   ++num_updates_;
   // t+1 avoids the degenerate first step where (1 - eta*lambda) would be 0.

@@ -4,7 +4,7 @@
 
 namespace zombie {
 
-void AveragedPerceptronLearner::Update(const SparseVector& x, int32_t y) {
+void AveragedPerceptronLearner::Update(SparseVectorView x, int32_t y) {
   ZCHECK(y == 0 || y == 1) << "binary labels required, got " << y;
   ++num_updates_;
   double t = static_cast<double>(num_updates_);
@@ -28,7 +28,7 @@ void AveragedPerceptronLearner::Update(const SparseVector& x, int32_t y) {
   cum_bias_ += t * yy;
 }
 
-double AveragedPerceptronLearner::Score(const SparseVector& x) const {
+double AveragedPerceptronLearner::Score(SparseVectorView x) const {
   if (num_updates_ == 0) return 0.0;
   double t = static_cast<double>(num_updates_);
   // avg_w = w - cum_w / t; compute the dot products separately to avoid

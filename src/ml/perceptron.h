@@ -18,8 +18,8 @@ class AveragedPerceptronLearner : public Learner {
  public:
   AveragedPerceptronLearner() = default;
 
-  void Update(const SparseVector& x, int32_t y) override;
-  double Score(const SparseVector& x) const override;
+  void Update(SparseVectorView x, int32_t y) override;
+  double Score(SparseVectorView x) const override;
   void Reset() override;
   std::unique_ptr<Learner> Clone() const override;
   std::string name() const override { return "perceptron"; }

@@ -8,6 +8,43 @@
 
 namespace zombie {
 
+// The hot kernels (Dot, AddScaledTo, SquaredDistance, norms) live inline in
+// sparse_vector.h — see the kernel note there. This TU keeps the cold
+// paths: lookup, construction, formatting.
+
+double SparseVectorView::Get(uint32_t index) const {
+  const uint32_t* end = indices_ + size_;
+  const uint32_t* it = std::lower_bound(indices_, end, index);
+  if (it == end || *it != index) return 0.0;
+  return values_[static_cast<size_t>(it - indices_)];
+}
+
+double SparseVectorView::CosineSimilarity(SparseVectorView other) const {
+  const double na = L2Norm();
+  const double nb = other.L2Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(other) / (na * nb);
+}
+
+bool SparseVectorView::operator==(SparseVectorView other) const {
+  if (size_ != other.size_) return false;
+  for (size_t i = 0; i < size_; ++i) {
+    if (indices_[i] != other.indices_[i]) return false;
+    if (values_[i] != other.values_[i]) return false;
+  }
+  return true;
+}
+
+std::string SparseVectorView::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < size_; ++i) {
+    if (i) out += ", ";
+    out += StrFormat("%u:%g", indices_[i], values_[i]);
+  }
+  out += "}";
+  return out;
+}
+
 SparseVector SparseVector::FromPairs(
     std::vector<std::pair<uint32_t, double>> pairs) {
   std::sort(pairs.begin(), pairs.end(),
@@ -30,6 +67,13 @@ SparseVector SparseVector::FromPairs(
   return v;
 }
 
+SparseVector SparseVector::FromView(SparseVectorView view) {
+  SparseVector v;
+  v.indices_.assign(view.indices_data(), view.indices_data() + view.num_nonzero());
+  v.values_.assign(view.values_data(), view.values_data() + view.num_nonzero());
+  return v;
+}
+
 void SparseVector::PushBack(uint32_t index, double value) {
   ZCHECK(indices_.empty() || index > indices_.back())
       << "PushBack indices must be strictly increasing";
@@ -38,101 +82,8 @@ void SparseVector::PushBack(uint32_t index, double value) {
   values_.push_back(value);
 }
 
-double SparseVector::Get(uint32_t index) const {
-  auto it = std::lower_bound(indices_.begin(), indices_.end(), index);
-  if (it == indices_.end() || *it != index) return 0.0;
-  return values_[static_cast<size_t>(it - indices_.begin())];
-}
-
-double SparseVector::Dot(const std::vector<double>& dense) const {
-  double sum = 0.0;
-  for (size_t i = 0; i < indices_.size(); ++i) {
-    if (indices_[i] >= dense.size()) break;  // indices are sorted
-    sum += values_[i] * dense[indices_[i]];
-  }
-  return sum;
-}
-
-double SparseVector::Dot(const SparseVector& other) const {
-  double sum = 0.0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < indices_.size() && j < other.indices_.size()) {
-    if (indices_[i] < other.indices_[j]) {
-      ++i;
-    } else if (indices_[i] > other.indices_[j]) {
-      ++j;
-    } else {
-      sum += values_[i] * other.values_[j];
-      ++i;
-      ++j;
-    }
-  }
-  return sum;
-}
-
-void SparseVector::AddScaledTo(double scale,
-                               std::vector<double>* dense) const {
-  if (indices_.empty()) return;
-  if (dense->size() < dimension()) dense->resize(dimension(), 0.0);
-  for (size_t i = 0; i < indices_.size(); ++i) {
-    (*dense)[indices_[i]] += scale * values_[i];
-  }
-}
-
 void SparseVector::Scale(double factor) {
   for (double& v : values_) v *= factor;
-}
-
-double SparseVector::L2Norm() const {
-  double s = 0.0;
-  for (double v : values_) s += v * v;
-  return std::sqrt(s);
-}
-
-double SparseVector::L1Norm() const {
-  double s = 0.0;
-  for (double v : values_) s += std::abs(v);
-  return s;
-}
-
-double SparseVector::SquaredDistance(const SparseVector& other) const {
-  double s = 0.0;
-  size_t i = 0;
-  size_t j = 0;
-  while (i < indices_.size() || j < other.indices_.size()) {
-    if (j >= other.indices_.size() ||
-        (i < indices_.size() && indices_[i] < other.indices_[j])) {
-      s += values_[i] * values_[i];
-      ++i;
-    } else if (i >= indices_.size() || indices_[i] > other.indices_[j]) {
-      s += other.values_[j] * other.values_[j];
-      ++j;
-    } else {
-      double d = values_[i] - other.values_[j];
-      s += d * d;
-      ++i;
-      ++j;
-    }
-  }
-  return s;
-}
-
-double SparseVector::CosineSimilarity(const SparseVector& other) const {
-  double na = L2Norm();
-  double nb = other.L2Norm();
-  if (na == 0.0 || nb == 0.0) return 0.0;
-  return Dot(other) / (na * nb);
-}
-
-std::string SparseVector::ToString() const {
-  std::string out = "{";
-  for (size_t i = 0; i < indices_.size(); ++i) {
-    if (i) out += ", ";
-    out += StrFormat("%u:%g", indices_[i], values_[i]);
-  }
-  out += "}";
-  return out;
 }
 
 }  // namespace zombie

@@ -9,11 +9,12 @@ HashingVectorizer::HashingVectorizer(uint32_t dimension, bool signed_hash,
                                      uint64_t salt)
     : dimension_(dimension), signed_hash_(signed_hash), salt_(salt) {
   ZCHECK_GT(dimension, 0u);
+  if ((dimension_ & (dimension_ - 1)) == 0) index_mask_ = dimension_ - 1;
 }
 
-uint32_t HashingVectorizer::IndexOf(const std::string& token) const {
+uint32_t HashingVectorizer::IndexOf(std::string_view token) const {
   uint64_t h = HashCombine(HashBytes(token.data(), token.size()), salt_);
-  return static_cast<uint32_t>(h % dimension_);
+  return ReduceHash(h);
 }
 
 TermCounts HashingVectorizer::Transform(
@@ -29,6 +30,20 @@ TermCounts HashingVectorizer::Transform(
   }
   NormalizeTermCounts(&counts);
   return counts;
+}
+
+void HashingVectorizer::TransformViews(
+    const std::vector<std::string_view>& tokens, TermCounts* scratch) const {
+  scratch->clear();
+  scratch->reserve(tokens.size());
+  for (std::string_view tok : tokens) {
+    uint64_t h = HashCombine(HashBytes(tok.data(), tok.size()), salt_);
+    uint32_t idx = ReduceHash(h);
+    double sign = 1.0;
+    if (signed_hash_ && ((h >> 32) & 1) != 0) sign = -1.0;
+    scratch->emplace_back(idx, sign);
+  }
+  NormalizeTermCounts(scratch);
 }
 
 TermCounts HashingVectorizer::TransformIds(

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "text/term_counts.h"
@@ -23,20 +24,40 @@ class HashingVectorizer {
   /// Hashes string tokens into sorted (index, weight) pairs.
   TermCounts Transform(const std::vector<std::string>& tokens) const;
 
+  /// Zero-allocation twin of Transform: hashes token views directly into
+  /// caller-owned `scratch` (cleared first, capacity retained across
+  /// calls). Bit-identical output to Transform on the same token sequence
+  /// — both hash the raw token bytes. Pairs with Tokenizer::TokenizeViews
+  /// so a whole document vectorizes without per-token heap traffic.
+  void TransformViews(const std::vector<std::string_view>& tokens,
+                      TermCounts* scratch) const;
+
   /// Hashes pre-assigned token ids (cheap path for synthetic corpora).
   TermCounts TransformIds(const std::vector<uint32_t>& token_ids) const;
 
   /// The feature index a single token maps to.
-  uint32_t IndexOf(const std::string& token) const;
+  uint32_t IndexOf(std::string_view token) const;
 
   uint32_t dimension() const { return dimension_; }
   bool signed_hash() const { return signed_hash_; }
   uint64_t salt() const { return salt_; }
 
  private:
+  // Maps a 64-bit token hash to its feature index. For power-of-two
+  // dimensions (the common configuration) `h % dimension_` equals
+  // `h & (dimension_ - 1)` exactly, and the AND avoids a 64-bit divide per
+  // token in the hot loop; the fallback modulo keeps arbitrary dimensions
+  // working. Bit-identical to a plain modulo either way.
+  uint32_t ReduceHash(uint64_t h) const {
+    return index_mask_ != 0 ? static_cast<uint32_t>(h & index_mask_)
+                            : static_cast<uint32_t>(h % dimension_);
+  }
+
   uint32_t dimension_;
   bool signed_hash_;
   uint64_t salt_;
+  // dimension_ - 1 when dimension_ is a power of two, else 0 (modulo path).
+  uint64_t index_mask_ = 0;
 };
 
 }  // namespace zombie

@@ -6,7 +6,18 @@
 
 namespace zombie {
 
-Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {}
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {
+  for (int c = 0; c < 256; ++c) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (!IsTokenChar(uc)) {
+      token_char_map_[c] = 0;
+      continue;
+    }
+    token_char_map_[c] = options_.lowercase
+                             ? static_cast<unsigned char>(std::tolower(uc))
+                             : uc;
+  }
+}
 
 bool Tokenizer::IsTokenChar(unsigned char c) const {
   if (std::isalpha(c)) return true;
@@ -45,6 +56,46 @@ size_t Tokenizer::TokenizeAppend(std::string_view text,
   }
   if (!token.empty()) flush();
   return appended;
+}
+
+const std::vector<std::string_view>& Tokenizer::TokenizeViews(
+    std::string_view text, TokenBuffer* buffer) const {
+  buffer->Clear();
+  // Token bytes are a subset of the input bytes, so sizing the arena to
+  // text.size() guarantees it never reallocates mid-call — the views handed
+  // out below stay anchored. std::string capacity never shrinks, so a
+  // reused buffer keeps its high-water capacity and subsequent calls
+  // allocate nothing. Writing through a raw cursor instead of push_back
+  // removes the per-character capacity check from the hot loop.
+  std::string& chars = buffer->chars_;
+  chars.resize(text.size());
+  char* const base = chars.data();
+  size_t w = 0;
+  size_t token_start = 0;
+  auto flush = [&]() {
+    const size_t len = w - token_start;
+    if (len >= options_.min_token_length &&
+        (options_.max_token_length == 0 || len <= options_.max_token_length)) {
+      buffer->views_.emplace_back(base + token_start, len);
+    } else {
+      w = token_start;  // drop the filtered token's bytes
+    }
+    token_start = w;
+  };
+  const unsigned char* map = token_char_map_;
+  const char* p = text.data();
+  const size_t n = text.size();
+  for (size_t k = 0; k < n; ++k) {
+    const unsigned char out = map[static_cast<unsigned char>(p[k])];
+    if (out != 0) {
+      base[w++] = static_cast<char>(out);
+    } else if (w > token_start) {
+      flush();
+    }
+  }
+  if (w > token_start) flush();
+  chars.resize(w);  // shrinking never reallocates; views stay anchored
+  return buffer->views_;
 }
 
 std::vector<std::string> WordNgrams(const std::vector<std::string>& tokens,

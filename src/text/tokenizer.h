@@ -19,6 +19,30 @@ struct TokenizerOptions {
   bool keep_digits = true;
 };
 
+/// Reusable scratch storage for the zero-allocation token path. One
+/// TokenizeViews call fills it with string_views over an internal char
+/// arena; the views stay valid until the next TokenizeViews/Clear on the
+/// same buffer (or its destruction). Reusing one TokenBuffer across
+/// documents amortizes both allocations to zero once the buffer has grown
+/// to the largest document seen.
+class TokenBuffer {
+ public:
+  const std::vector<std::string_view>& views() const { return views_; }
+  size_t size() const { return views_.size(); }
+  bool empty() const { return views_.empty(); }
+  std::string_view operator[](size_t i) const { return views_[i]; }
+
+  void Clear() {
+    chars_.clear();
+    views_.clear();
+  }
+
+ private:
+  friend class Tokenizer;
+  std::string chars_;  // normalized token bytes, concatenated
+  std::vector<std::string_view> views_;
+};
+
 /// Splits raw text into word tokens on non-alphanumeric boundaries.
 ///
 /// This is the text front end for user-supplied raw documents (see the
@@ -36,12 +60,29 @@ class Tokenizer {
   size_t TokenizeAppend(std::string_view text,
                         std::vector<std::string>* out) const;
 
+  /// Zero-allocation token path: clears `buffer` and fills it with views
+  /// of the tokens of `text` (identical token sequence to Tokenize()).
+  /// Returns buffer->views(). No per-token heap traffic — token bytes land
+  /// in the buffer's arena, which is reserved to text.size() up front so
+  /// the views never dangle from a mid-call reallocation.
+  const std::vector<std::string_view>& TokenizeViews(
+      std::string_view text, TokenBuffer* buffer) const;
+
   const TokenizerOptions& options() const { return options_; }
 
  private:
   bool IsTokenChar(unsigned char c) const;
 
   TokenizerOptions options_;
+  // Per-byte classification/normalization table built once at construction:
+  // 0 for separator bytes, else the byte the token should contain (already
+  // lowercased when options_.lowercase). TokenizeViews reads this instead of
+  // calling the <cctype> functions per character — those go through a
+  // locale-table indirection on every call. Classification semantics are
+  // identical to IsTokenChar()/std::tolower() in the default "C" locale
+  // (the program never calls setlocale); the text round-trip tests assert
+  // TokenizeViews and Tokenize agree token-for-token.
+  unsigned char token_char_map_[256];
 };
 
 /// Produces word n-grams ("a_b", "b_c" for n=2) from a token sequence.

@@ -96,7 +96,7 @@ TEST_P(EveryLearnerTest, ProbabilitiesInUnitInterval) {
   Dataset train = SeparableData(200, &rng);
   auto learner = MakeLearner();
   TrainEpochs(learner.get(), train, 2, &rng);
-  for (const Example& e : train.examples()) {
+  for (ExampleView e : train.examples()) {
     double p = learner->PredictProbability(e.x);
     EXPECT_GE(p, 0.0) << learner->name();
     EXPECT_LE(p, 1.0) << learner->name();
@@ -108,7 +108,7 @@ TEST_P(EveryLearnerTest, PredictConsistentWithScore) {
   Dataset train = SeparableData(150, &rng);
   auto learner = MakeLearner();
   TrainEpochs(learner.get(), train, 2, &rng);
-  for (const Example& e : train.examples()) {
+  for (ExampleView e : train.examples()) {
     double s = learner->Score(e.x);
     EXPECT_EQ(learner->Predict(e.x), s > 0.0 ? 1 : 0) << learner->name();
   }

@@ -134,8 +134,8 @@ class FixedScoreLearner : public Learner {
   explicit FixedScoreLearner(std::vector<double> scores)
       : scores_(std::move(scores)) {}
 
-  void Update(const SparseVector&, int32_t) override {}
-  double Score(const SparseVector& x) const override {
+  void Update(SparseVectorView, int32_t) override {}
+  double Score(SparseVectorView x) const override {
     // Feature index 0 carries the example id.
     return scores_[static_cast<size_t>(x.value_at(0))];
   }

@@ -57,6 +57,82 @@ TEST(TokenizerTest, AppendAccumulates) {
   EXPECT_EQ(out, (std::vector<std::string>{"pre", "a", "b"}));
 }
 
+// --- Zero-allocation view path ------------------------------------------
+// TokenizeViews must reproduce Tokenize's token sequence exactly — it is
+// the same classification (via the per-byte table) and normalization, just
+// without per-token heap traffic.
+
+std::vector<std::string> Materialize(
+    const std::vector<std::string_view>& views) {
+  return std::vector<std::string>(views.begin(), views.end());
+}
+
+const char* kViewCorpus[] = {
+    "",
+    "   ",
+    "Hello, World!",
+    "a",
+    "The;quick,brown..fox JUMPED over_the lazy dog 42 times",
+    "trailing token",
+    "token trailing!",
+    "MiXeD CaSe AB12cd34 ...punct---runs___ x",
+    "digits123embedded and 999 alone",
+};
+
+TEST(TokenizeViewsTest, MatchesTokenizeOnDefaults) {
+  Tokenizer t;
+  TokenBuffer buf;
+  for (const char* text : kViewCorpus) {
+    EXPECT_EQ(Materialize(t.TokenizeViews(text, &buf)), t.Tokenize(text))
+        << "text: \"" << text << "\"";
+  }
+}
+
+TEST(TokenizeViewsTest, MatchesTokenizeAcrossOptionCombos) {
+  for (bool lowercase : {false, true}) {
+    for (bool keep_digits : {false, true}) {
+      for (size_t min_len : {size_t{1}, size_t{3}}) {
+        TokenizerOptions opts;
+        opts.lowercase = lowercase;
+        opts.keep_digits = keep_digits;
+        opts.min_token_length = min_len;
+        opts.max_token_length = 6;
+        Tokenizer t(opts);
+        TokenBuffer buf;
+        for (const char* text : kViewCorpus) {
+          EXPECT_EQ(Materialize(t.TokenizeViews(text, &buf)),
+                    t.Tokenize(text))
+              << "lowercase=" << lowercase << " keep_digits=" << keep_digits
+              << " min_len=" << min_len << " text: \"" << text << "\"";
+        }
+      }
+    }
+  }
+}
+
+TEST(TokenizeViewsTest, BufferReuseDoesNotLeakPriorTokens) {
+  Tokenizer t;
+  TokenBuffer buf;
+  t.TokenizeViews("first document with several tokens", &buf);
+  const std::vector<std::string_view>& views =
+      t.TokenizeViews("second", &buf);
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0], "second");
+}
+
+TEST(TokenizeViewsTest, ViewsPointIntoBufferArenaNotInput) {
+  // The views must survive the input string's death: they alias the
+  // buffer's arena, not the caller's text.
+  Tokenizer t;
+  TokenBuffer buf;
+  std::string doomed = "ephemeral input text";
+  t.TokenizeViews(doomed, &buf);
+  doomed.assign(doomed.size(), 'x');  // clobber in place
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf[0], "ephemeral");
+  EXPECT_EQ(buf[2], "text");
+}
+
 TEST(NgramTest, Bigrams) {
   std::vector<std::string> toks = {"a", "b", "c"};
   EXPECT_EQ(WordNgrams(toks, 2), (std::vector<std::string>{"a_b", "b_c"}));

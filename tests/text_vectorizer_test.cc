@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "text/term_counts.h"
 
 namespace zombie {
@@ -67,6 +71,49 @@ TEST(HashingVectorizerTest, EmptyInput) {
   HashingVectorizer v(32);
   EXPECT_TRUE(v.Transform({}).empty());
   EXPECT_TRUE(v.TransformIds({}).empty());
+}
+
+// --- Zero-allocation view path ------------------------------------------
+
+std::vector<std::string_view> AsViews(const std::vector<std::string>& toks) {
+  return std::vector<std::string_view>(toks.begin(), toks.end());
+}
+
+TEST(HashingVectorizerTest, TransformViewsBitIdenticalToTransform) {
+  const std::vector<std::string> tokens = {"the", "quick", "brown", "fox",
+                                           "the", "lazy",  "dog",   "the"};
+  // Power-of-two dimensions take the mask path, the others the modulo
+  // path; both must agree exactly with Transform (which always divides).
+  for (uint32_t dim : {8u, 16u, 1024u, 7u, 100u, 1000u}) {
+    for (bool sign : {false, true}) {
+      HashingVectorizer v(dim, sign, /*salt=*/42);
+      TermCounts scratch;
+      v.TransformViews(AsViews(tokens), &scratch);
+      EXPECT_EQ(scratch, v.Transform(tokens)) << "dim=" << dim
+                                              << " signed=" << sign;
+    }
+  }
+}
+
+TEST(HashingVectorizerTest, TransformViewsClearsScratch) {
+  HashingVectorizer v(32);
+  TermCounts scratch;
+  v.TransformViews(AsViews({"a", "b", "c"}), &scratch);
+  v.TransformViews(AsViews({"z"}), &scratch);
+  EXPECT_EQ(scratch, v.Transform({"z"}));
+}
+
+TEST(HashingVectorizerTest, IndexOfAgreesAcrossReductionPaths) {
+  // IndexOf must agree with where Transform actually lands a token, for
+  // both the power-of-two mask and the arbitrary-dimension modulo.
+  for (uint32_t dim : {64u, 97u}) {
+    HashingVectorizer v(dim);
+    for (const char* tok : {"alpha", "beta", "gamma", "delta"}) {
+      TermCounts c = v.Transform({tok});
+      ASSERT_EQ(c.size(), 1u);
+      EXPECT_EQ(v.IndexOf(tok), c[0].first) << "dim=" << dim;
+    }
+  }
 }
 
 TEST(TermCountsTest, CountTokenIdsAggregates) {

@@ -216,6 +216,68 @@ TEST_F(ZombieLintTest, AllowCommentSuppressesRawClock) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST_F(ZombieLintTest, RejectsStringVectorOnHotPath) {
+  WriteFile("src/featureeng/bad_tokens.cc",
+            "#include <string>\n"
+            "#include <vector>\n"
+            "namespace zombie {\n"
+            "std::vector<std::string> CollectTokens();\n"
+            "}  // namespace zombie\n");
+  WriteFile("src/core/bad_core.cc",
+            "#include <string>\n"
+            "#include <vector>\n"
+            "namespace zombie {\n"
+            "std::vector<std::string> Names();\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-hot-path-string-copy"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("bad_tokens.cc"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("bad_core.cc"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, StringVectorMatchToleratesWhitespace) {
+  WriteFile("src/core/spaced.cc",
+            "#include <string>\n"
+            "#include <vector>\n"
+            "namespace zombie {\n"
+            "std::vector< std::string > Spaced();\n"
+            "std::vector<\n"
+            "    std::string>\n"
+            "Wrapped();\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // The single-line spelling must be caught despite the extra spaces. (A
+  // declaration wrapped across lines is beyond the per-line matcher.)
+  EXPECT_NE(run.output.find("spaced.cc:4"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, StringVectorOutsideHotPathIsFine) {
+  // util/ and text/ may own strings; only featureeng/ and core/ are hot.
+  WriteFile("src/util/strings.cc",
+            "#include <string>\n"
+            "#include <vector>\n"
+            "namespace zombie {\n"
+            "std::vector<std::string> Split();\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, AllowCommentSuppressesStringVector) {
+  WriteFile("src/core/setup.cc",
+            "#include <string>\n"
+            "#include <vector>\n"
+            "namespace zombie {\n"
+            "std::vector<std::string> Labels();"
+            "  // zombie-lint: allow(no-hot-path-string-copy)\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST_F(ZombieLintTest, HeaderGuardMustMatchPath) {
   WriteFile("src/util/widget.h",
             "#ifndef WRONG_GUARD_H\n"

@@ -28,8 +28,10 @@ import sys
 
 
 def load_results(results_dir):
-    """Returns {"<bench>/<entry>": wall_micros} from every BENCH_*.json."""
+    """Returns ({"<bench>/<entry>": wall_micros}, {"<bench>/<metric>": value})
+    from every BENCH_*.json."""
     out = {}
+    metrics = {}
     paths = sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json")))
     if not paths:
         print(f"error: no BENCH_*.json files in {results_dir}", file=sys.stderr)
@@ -47,7 +49,9 @@ def load_results(results_dir):
             wall = entry.get("wall_micros", 0.0)
             if wall > 0:
                 out[f"{bench}/{entry['name']}"] = wall
-    return out
+        for name, value in doc.get("metrics", {}).items():
+            metrics[f"{bench}/{name}"] = value
+    return out, metrics
 
 
 def median(xs):
@@ -57,7 +61,32 @@ def median(xs):
     return xs[mid] if n % 2 else (xs[mid - 1] + xs[mid]) / 2.0
 
 
-def write_step_summary(scale, tolerance, table_rows, failures):
+def kernel_ratio_rows(metrics):
+    """Extracts sorted (name, speedup) rows from "ratio.*" bench metrics.
+
+    bench_micro emits one "ratio.<kernel>" metric per old-vs-new kernel
+    pair (old wall / new wall, >1 means the shipped kernel is faster); see
+    ExportKernelRatios in bench/bench_micro.cc.
+    """
+    rows = []
+    for name, value in sorted(metrics.items()):
+        bench, _, metric = name.partition("/")
+        if metric.startswith("ratio."):
+            rows.append((f"{bench}/{metric[len('ratio.'):]}", value))
+    return rows
+
+
+def print_kernel_ratios(rows):
+    if not rows:
+        return
+    print(f"\n{len(rows)} kernel speedup metrics (old wall / new wall):")
+    for name, speedup in rows:
+        print(f"  {name}: {speedup:.2f}x")
+    speedups = [s for _, s in rows]
+    print(f"  median: {median(speedups):.2f}x")
+
+
+def write_step_summary(scale, tolerance, table_rows, failures, kernel_rows):
     """Appends a markdown ratio table to $GITHUB_STEP_SUMMARY if set."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -80,6 +109,19 @@ def write_step_summary(scale, tolerance, table_rows, failures):
         status = ":x: regression" if name in failed_names else ":white_check_mark:"
         lines.append(f"| `{name}` | {ratio:.2f}x | {normalized:.2f}x "
                      f"| {status} |")
+    if kernel_rows:
+        lines += ["", "## Kernel speedups (old vs new)", "",
+                  "Per-kernel wall ratio of the pre-optimization reference "
+                  "implementation over the shipped kernel, measured on "
+                  "identical inputs in the same bench_micro run "
+                  "(machine speed cancels; >1.00x means the shipped kernel "
+                  "is faster).", "",
+                  "| kernel | speedup |",
+                  "|---|---|"]
+        for name, speedup in kernel_rows:
+            lines.append(f"| `{name}` | {speedup:.2f}x |")
+        speedups = [s for _, s in kernel_rows]
+        lines.append(f"| **median** | **{median(speedups):.2f}x** |")
     with open(path, "a") as f:
         f.write("\n".join(lines) + "\n")
 
@@ -103,7 +145,8 @@ def main():
         print(f"error: cannot read baseline: {e}", file=sys.stderr)
         sys.exit(2)
     baseline = baseline_doc["entries"]
-    current = load_results(args.results)
+    current, metrics = load_results(args.results)
+    kernel_rows = kernel_ratio_rows(metrics)
 
     ratios = {}
     skipped = []
@@ -139,7 +182,9 @@ def main():
         table_rows.append((name, ratio, normalized))
         print(f"  {name}: raw {ratio:.2f}x, normalized {normalized:.2f}x{flag}")
 
-    write_step_summary(scale, args.tolerance, table_rows, failures)
+    print_kernel_ratios(kernel_rows)
+    write_step_summary(scale, args.tolerance, table_rows, failures,
+                       kernel_rows)
 
     if failures:
         print(f"\nFAIL: {len(failures)} entr{'y' if len(failures) == 1 else 'ies'} "

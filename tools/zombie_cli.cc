@@ -5,7 +5,8 @@
 //   zombie_cli run      --corpus=crawl.zmbc [--task=webcat --docs=...]
 //                       --grouper=kmeans --groups=32 --policy=egreedy
 //                       --reward=label --learner=nb [--baseline] [--csv=out.csv]
-//                       [--trials=N] [--threads=N] [--cache]
+//                       [--trials=N] [--threads=N] [--eval-threads=N]
+//                       [--cache]
 //                       [--trace-out=trace.json] [--metrics-out=metrics.json]
 //                       [--decisions-out=decisions.jsonl]
 //   zombie_cli session  --task=webcat --docs=12000 [--warm] [--cache]
@@ -199,6 +200,10 @@ EngineOptions MakeEngineOptionsFromFlags(const Flags& flags) {
   opts.tune_threshold = flags.GetBool("tune_threshold");
   int64_t budget = flags.GetInt("max_items", -1);
   if (budget > 0) opts.stop.max_items = static_cast<size_t>(budget);
+  int64_t eval_threads = flags.GetInt("eval-threads", 1);
+  if (eval_threads > 1) {
+    opts.holdout_eval_threads = static_cast<size_t>(eval_threads);
+  }
   return opts;
 }
 

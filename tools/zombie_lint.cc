@@ -22,6 +22,13 @@
 //                   banned outside src/util/clock.* and src/obs/.
 //   header-guard    Include guards must be derived from the file path:
 //                   src/util/status.h -> ZOMBIE_UTIL_STATUS_H_.
+//   no-hot-path-string-copy
+//                   The feature-extraction and engine layers are the hot
+//                   path; token streams there flow as string_view spans
+//                   over a reusable TokenBuffer (src/text/tokenizer.h), not
+//                   as owning string collections that allocate per token.
+//                   `std::vector<std::string>` is banned in src/featureeng/
+//                   and src/core/ (whitespace-tolerant match).
 //
 // A finding on a line can be suppressed in place with a trailing comment:
 //
@@ -201,6 +208,13 @@ bool IsClockImplFile(const fs::path& rel) {
          s.rfind("src/obs/", 0) == 0;
 }
 
+// Files covered by no-hot-path-string-copy: the per-event layers where a
+// per-token allocation multiplies across the whole stream.
+bool IsHotPathFile(const fs::path& rel) {
+  std::string s = rel.generic_string();
+  return s.rfind("src/featureeng/", 0) == 0 || s.rfind("src/core/", 0) == 0;
+}
+
 void LintFile(const fs::path& path, const fs::path& rel,
               std::vector<Finding>* findings) {
   std::ifstream in(path, std::ios::binary);
@@ -253,6 +267,21 @@ void LintFile(const fs::path& path, const fs::path& rel,
         report(line_no, "no-stdout",
                std::string("'") + tok +
                    "' in library code; use ZLOG (src/util/logging.h)");
+      }
+    }
+    if (IsHotPathFile(rel)) {
+      // Whitespace-tolerant: `std::vector< std::string >` etc. must match,
+      // so compare against the line's code with all whitespace removed.
+      std::string squished;
+      squished.reserve(code.size());
+      for (char c : code) {
+        if (!std::isspace(static_cast<unsigned char>(c))) squished += c;
+      }
+      if (squished.find("std::vector<std::string>") != std::string::npos) {
+        report(line_no, "no-hot-path-string-copy",
+               "std::vector<std::string> allocates per token on the hot "
+               "path; use TokenBuffer + string_view spans "
+               "(src/text/tokenizer.h)");
       }
     }
     if (!IsClockImplFile(rel) && HasToken(code, "now")) {
