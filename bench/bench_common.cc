@@ -52,7 +52,7 @@ RunResult RunZombieTrial(const Task& task, const GroupingResult& grouping,
                          const RewardFunction& reward,
                          const Learner& learner, const EngineOptions& opts) {
   ZombieEngine engine(&task.corpus, &task.pipeline, opts);
-  return engine.Run(grouping, policy, learner, reward);
+  return engine.Run(RunSpec(grouping, policy, learner, reward));
 }
 
 std::vector<RunResult> RunZombieTrials(const Task& task,

@@ -321,6 +321,8 @@ void BM_LogisticRegressionUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_LogisticRegressionUpdate);
 
+// Deliberately benchmarks the raw pipeline, not ExtractionService::Featurize:
+// this measures extraction cost itself, with no cache in the loop.
 void BM_PipelineExtract(benchmark::State& state) {
   Task task = MakeTask(TaskKind::kWebCat, 200, 1);
   size_t i = 0;

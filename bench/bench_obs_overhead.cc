@@ -98,7 +98,7 @@ int Main() {
     {
       EngineOptions opts = base;
       ZombieEngine engine(&task.corpus, &task.pipeline, opts);
-      RunResult r = engine.Run(grouping, policy, learner, reward);
+      RunResult r = engine.Run(RunSpec(grouping, policy, learner, reward));
       off_wall.push_back(static_cast<double>(r.wall_micros));
       off_fp = ResultFingerprint(r);
     }
@@ -111,7 +111,7 @@ int Main() {
       EngineOptions opts = base;
       opts.obs = &noop_obs;
       ZombieEngine engine(&task.corpus, &task.pipeline, opts);
-      RunResult r = engine.Run(grouping, policy, learner, reward);
+      RunResult r = engine.Run(RunSpec(grouping, policy, learner, reward));
       noop_wall.push_back(static_cast<double>(r.wall_micros));
       noop_fp = ResultFingerprint(r);
     }
@@ -119,7 +119,7 @@ int Main() {
       EngineOptions opts = base;
       opts.obs = &full_obs;
       ZombieEngine engine(&task.corpus, &task.pipeline, opts);
-      RunResult r = engine.Run(grouping, policy, learner, reward);
+      RunResult r = engine.Run(RunSpec(grouping, policy, learner, reward));
       full_wall.push_back(static_cast<double>(r.wall_micros));
       full_fp = ResultFingerprint(r);
     }

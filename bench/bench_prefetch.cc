@@ -1,0 +1,164 @@
+// bench_prefetch — speculative prefetch extraction A/B: the identical
+// cold-cache warm-start session (the E8 engineer workload) run with
+// speculation off and on. While the engine evaluates the holdout, idle
+// prefetch workers featurize the likeliest next arms' documents into the
+// cache, so the engine's next pulls find their extraction already done.
+// Prefetch is wall-clock-only: outcomes are ZCHECKed byte-identical on the
+// virtual clock, and the wall ratio (on/off, revision loop only) is the
+// headline number — target < 1.0.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "core/session.h"
+#include "data/generator.h"
+#include "data/webcat_generator.h"
+#include "featureeng/revision_script.h"
+#include "index/kmeans_grouper.h"
+#include "ml/naive_bayes.h"
+#include "obs/obs.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace zombie {
+namespace bench {
+namespace {
+
+bool SameOutcomes(const SessionResult& a, const SessionResult& b) {
+  if (a.revisions.size() != b.revisions.size()) return false;
+  if (a.total_virtual_micros != b.total_virtual_micros) return false;
+  if (a.best_quality != b.best_quality) return false;
+  for (size_t i = 0; i < a.revisions.size(); ++i) {
+    const RevisionOutcome& x = a.revisions[i];
+    const RevisionOutcome& y = b.revisions[i];
+    if (x.items_processed != y.items_processed) return false;
+    if (x.virtual_micros != y.virtual_micros) return false;
+    if (x.final_quality != y.final_quality) return false;
+  }
+  return true;
+}
+
+void Run() {
+  PrintPreamble(
+      "PREFETCH: speculative extraction A/B (WebCat session)",
+      "ROADMAP's overlap-compute-with-decision step: prefetch workers "
+      "featurize likely-next documents during holdout evaluation windows",
+      "identical virtual-clock outcomes; wall-clock ratio (on/off) < 1.0 "
+      "over the revision loop");
+
+  WebCatOptions wopts;
+  wopts.num_documents = BenchCorpusSize();
+  wopts.seed = 42;
+  wopts.mean_extraction_cost_ms = 25.0;
+  SyntheticCorpusConfig cfg = MakeWebCatConfig(wopts);
+  // Extraction-heavy documents: the wall-clock cost prefetch can hide must
+  // dominate, matching the paper's session scenario.
+  cfg.mean_doc_length = 480.0;
+  Corpus corpus = SyntheticCorpusGenerator(cfg).Generate();
+
+  RevisionScript script = MakeWebCatRevisionScript();
+  NaiveBayesLearner nb;
+  LabelReward reward;
+  EngineOptions base = BenchEngineOptions(1);
+
+  // A: speculation off. Fresh cold cache; obs attached for symmetric
+  // instrumentation overhead with the B side.
+  ObsContext obs_off;
+  EngineOptions opts_off = base;
+  opts_off.obs = &obs_off;
+  FeatureCache cache_off;
+  KMeansGrouper grouper_off(32, 7);
+  Stopwatch watch_off;
+  SessionResult off =
+      RunSession(corpus, script, SessionMode::kZombie, &grouper_off, nb,
+                 reward, opts_off, /*warm_start_bandit=*/true, &cache_off);
+  int64_t wall_off = watch_off.ElapsedMicros();
+
+  // B: speculation on. Same cold-cache workload; worker count follows the
+  // bench thread preset (ZOMBIE_BENCH_THREADS).
+  PrefetchOptions prefetch;
+  prefetch.threads = BenchThreads();
+  // Default speculation bounds (4 arms x 4 docs per window): wide enough to
+  // cover the exploited arms between eval windows, narrow enough that
+  // mispredicted arms waste little worker CPU.
+  ObsContext obs_on;
+  EngineOptions opts_on = base;
+  opts_on.obs = &obs_on;
+  FeatureCache cache_on;
+  KMeansGrouper grouper_on(32, 7);
+  Stopwatch watch_on;
+  SessionResult on = RunSession(corpus, script, SessionMode::kZombie,
+                                &grouper_on, nb, reward, opts_on,
+                                /*warm_start_bandit=*/true, &cache_on,
+                                prefetch);
+  int64_t wall_on = watch_on.ElapsedMicros();
+
+  // The contract everything rests on: speculation only moves wall time.
+  ZCHECK(SameOutcomes(off, on))
+      << "prefetch changed session outcomes (virtual clock or quality)";
+
+  uint64_t enqueued =
+      obs_on.metrics()->GetCounter("prefetch.enqueued")->value();
+  uint64_t issued = obs_on.metrics()->GetCounter("prefetch.issued")->value();
+  uint64_t useful = obs_on.metrics()->GetCounter("prefetch.useful")->value();
+  uint64_t wasted = obs_on.metrics()->GetCounter("prefetch.wasted")->value();
+  double hit_rate = obs_on.metrics()->GetGauge("prefetch.hit_rate")->value();
+
+  // Index construction is identical on both sides and untouched by
+  // prefetch; the speculation window only exists inside the revision loop.
+  int64_t loop_off = wall_off - off.index_wall_micros;
+  int64_t loop_on = wall_on - on.index_wall_micros;
+  double ratio = loop_off > 0 ? static_cast<double>(loop_on) /
+                                    static_cast<double>(loop_off)
+                              : 0.0;
+
+  std::printf("\nprefetch off: %s wall (%s excl. one-time index build)\n",
+              FormatDuration(wall_off).c_str(),
+              FormatDuration(loop_off).c_str());
+  std::printf("prefetch on:  %s wall (%s excl. one-time index build; "
+              "%zu workers)\n",
+              FormatDuration(wall_on).c_str(), FormatDuration(loop_on).c_str(),
+              prefetch.threads);
+  std::printf("speculation:  %llu enqueued, %llu issued, %llu useful, "
+              "%llu wasted (hit rate %.3f)\n",
+              static_cast<unsigned long long>(enqueued),
+              static_cast<unsigned long long>(issued),
+              static_cast<unsigned long long>(useful),
+              static_cast<unsigned long long>(wasted), hit_rate);
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("wall ratio:   %.3f over the revision loop (virtual-clock "
+              "outcomes byte-identical)\n", ratio);
+  if (cores >= 2) {
+    std::printf("target:       < 1.0 (%u cores: workers overlap the engine "
+                "thread)\n", cores);
+  } else {
+    std::printf("target:       n/a on %u core(s) — speculation needs a spare "
+                "core to hide extraction behind; expect ratio ~1.0 + wasted "
+                "work here\n", cores);
+  }
+
+  BenchReporter reporter("prefetch");
+  reporter.Add({"session/prefetch_off", static_cast<double>(wall_off),
+                static_cast<double>(off.total_virtual_micros), 0.0,
+                off.best_quality, cache_off.Stats().hit_rate()});
+  reporter.Add({"session/prefetch_on", static_cast<double>(wall_on),
+                static_cast<double>(on.total_virtual_micros), 0.0,
+                on.best_quality, cache_on.Stats().hit_rate()});
+  reporter.AddMetric("prefetch_wall_ratio", ratio);
+  reporter.AddMetric("prefetch_useful", static_cast<double>(useful));
+  reporter.AddMetric("prefetch_wasted", static_cast<double>(wasted));
+  reporter.AddMetric("prefetch_hit_rate", hit_rate);
+  reporter.AttachMetrics(*obs_on.metrics());
+  reporter.Finish();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace zombie
+
+int main() {
+  zombie::SetLogLevel(zombie::LogLevel::kWarning);
+  zombie::bench::Run();
+  return 0;
+}

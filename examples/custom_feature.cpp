@@ -87,7 +87,7 @@ int main() {
   NaiveBayesLearner learner;
   EpsilonGreedyPolicy policy;
   ConfidentMistakeReward reward;
-  RunResult zombie = engine.Run(grouping, policy, learner, reward);
+  RunResult zombie = engine.Run(RunSpec(grouping, policy, learner, reward));
 
   ZombieEngine baseline_engine(&base.corpus, &pipeline,
                                FullScanOptions(options));

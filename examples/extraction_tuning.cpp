@@ -44,7 +44,7 @@ int main() {
   NaiveBayesLearner learner;
   Ucb1Policy policy;  // UCB instead of the default epsilon-greedy
   UncertaintyReward reward;
-  RunResult zombie = engine.Run(grouping, policy, learner, reward);
+  RunResult zombie = engine.Run(RunSpec(grouping, policy, learner, reward));
 
   ZombieEngine baseline_engine(&task.corpus, &task.pipeline,
                                FullScanOptions(options));

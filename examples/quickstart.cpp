@@ -49,7 +49,7 @@ int main() {
   NaiveBayesLearner learner;
   EpsilonGreedyPolicy policy;
   LabelReward reward;
-  RunResult zombie = engine.Run(grouping, policy, learner, reward);
+  RunResult zombie = engine.Run(RunSpec(grouping, policy, learner, reward));
 
   ZombieEngine baseline_engine(&task.corpus, &task.pipeline,
                                FullScanOptions(options));

@@ -11,8 +11,9 @@ RunResult RunSequentialBaseline(const ZombieEngine& engine,
   grouping.method = "sequential";
   RoundRobinPolicy policy;
   ZeroReward reward;
-  RunResult r = engine.Run(grouping, policy, learner_prototype, reward,
-                           /*shuffle_groups=*/false);
+  RunSpec spec(grouping, policy, learner_prototype, reward);
+  spec.shuffle_groups = false;
+  RunResult r = engine.Run(spec);
   r.policy_name = "sequential";
   return r;
 }
@@ -23,8 +24,8 @@ RunResult RunRandomBaseline(const ZombieEngine& engine,
   grouping.method = "randomscan";
   RoundRobinPolicy policy;
   ZeroReward reward;
-  RunResult r = engine.Run(grouping, policy, learner_prototype, reward,
-                           /*shuffle_groups=*/true);
+  RunResult r = engine.Run(RunSpec(grouping, policy, learner_prototype,
+                                   reward));
   r.policy_name = "randomscan";
   return r;
 }
@@ -34,6 +35,16 @@ RunResult RunFixedSampleBaseline(const ZombieEngine& engine,
                                  size_t sample_size) {
   EngineOptions opts = FullScanOptions(engine.options());
   opts.stop.max_items = sample_size;
+  // Rebuild the engine with the tightened budget, keeping its extraction
+  // path: a borrowed service (shared cache/prefetch) carries over, a
+  // pipeline-pointer engine is rebuilt over the same pipeline.
+  if (engine.extraction_service() != nullptr) {
+    ZombieEngine budgeted(&engine.corpus(), engine.extraction_service(),
+                          opts);
+    RunResult r = RunRandomBaseline(budgeted, learner_prototype);
+    r.policy_name = "fixedsample";
+    return r;
+  }
   ZombieEngine budgeted(&engine.corpus(), &engine.pipeline(), opts);
   RunResult r = RunRandomBaseline(budgeted, learner_prototype);
   r.policy_name = "fixedsample";

@@ -75,11 +75,18 @@ struct EngineOptions {
   /// item — with heterogeneous item costs, cheap useful groups win.
   bool cost_aware_rewards = false;
   /// Optional feature-extraction memo (borrowed, thread-safe, may be
-  /// shared across concurrent runs). When set, the engine consults it
-  /// before every pipeline extraction, keyed on the pipeline fingerprint;
-  /// the virtual clock is still charged full extraction cost on a hit, so
-  /// results are byte-identical with the cache on or off — only wall-clock
-  /// time changes (featureeng/feature_cache.h).
+  /// shared across concurrent runs; must outlive every engine run using
+  /// it). When set, extraction is memoized keyed on the pipeline
+  /// fingerprint; the virtual clock is still charged full extraction cost
+  /// on a hit, so results are byte-identical with the cache on or off —
+  /// only wall-clock time changes (featureeng/feature_cache.h).
+  ///
+  /// Only meaningful for engines built over a raw pipeline pointer: the
+  /// engine wraps (pipeline, feature_cache, RunSpec::prefetch) in a
+  /// per-run ExtractionService. Engines built over a borrowed
+  /// ExtractionService — the session and experiment driver paths — carry
+  /// their cache inside the service, and this field must stay null there
+  /// (checked at engine construction).
   FeatureCache* feature_cache = nullptr;
   /// Optional observability sinks (borrowed, thread-safe; obs/obs.h). When
   /// set, the engine emits trace spans, metric series, and per-pull

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/convergence.h"
+#include "core/speculative_prefetcher.h"
 #include "featureeng/feature_cache.h"
 #include "index/grouped_corpus.h"
 #include "ml/dataset.h"
@@ -38,6 +39,21 @@ ZombieEngine::ZombieEngine(const Corpus* corpus,
   ZCHECK(!corpus->empty()) << "cannot run on an empty corpus";
 }
 
+ZombieEngine::ZombieEngine(const Corpus* corpus, ExtractionService* service,
+                           EngineOptions options)
+    : corpus_(corpus),
+      pipeline_(service != nullptr ? &service->pipeline() : nullptr),
+      service_(service),
+      options_(options) {
+  ZCHECK(corpus != nullptr);
+  ZCHECK(service != nullptr);
+  ZCHECK(options.feature_cache == nullptr)
+      << "with a borrowed ExtractionService the cache belongs to the "
+         "service, not EngineOptions";
+  ZCHECK_OK(options.Validate());
+  ZCHECK(!corpus->empty()) << "cannot run on an empty corpus";
+}
+
 namespace {
 
 int32_t BinaryLabel(int32_t raw) { return raw == 1 ? 1 : 0; }
@@ -50,6 +66,23 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
                             const RewardFunction& reward_prototype,
                             bool shuffle_groups,
                             const std::vector<ArmSummary>* warm_start) const {
+  RunSpec spec(grouping, policy_prototype, learner_prototype,
+               reward_prototype);
+  spec.shuffle_groups = shuffle_groups;
+  spec.warm_start = warm_start;
+  return Run(spec);
+}
+
+RunResult ZombieEngine::Run(const RunSpec& spec) const {
+  ZCHECK(spec.grouping != nullptr);
+  ZCHECK(spec.policy != nullptr);
+  ZCHECK(spec.learner != nullptr);
+  ZCHECK(spec.reward != nullptr);
+  const GroupingResult& grouping = *spec.grouping;
+  const BanditPolicy& policy_prototype = *spec.policy;
+  const Learner& learner_prototype = *spec.learner;
+  const RewardFunction& reward_prototype = *spec.reward;
+  const std::vector<ArmSummary>* warm_start = spec.warm_start;
   Stopwatch wall;
   Rng rng(options_.seed);
   VirtualClock clock;
@@ -87,40 +120,49 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
   }
   TraceSpan run_span(tracer, "engine.run", "engine");
 
-  // Memoized featurization: identical output to pipeline_->Extract (the
-  // cache's determinism contract), so everything downstream — learner
-  // updates, rewards, the virtual clock — is byte-identical with the cache
-  // on or off. Only the wall clock observes the difference.
-  FeatureCache* cache = options_.feature_cache;
-  const uint64_t pipeline_fp =
-      cache != nullptr ? pipeline_->Fingerprint() : 0;
+  // All featurization goes through the ExtractionService facade: either
+  // the caller's shared service, or a transient per-run one wrapping
+  // (pipeline, EngineOptions::feature_cache, RunSpec::prefetch). The
+  // service's memoization and speculation are wall-clock-only (see its
+  // equivalence contract), so everything downstream — learner updates,
+  // rewards, the virtual clock — is byte-identical whether extraction is
+  // raw, cached, or prefetched.
+  ExtractionService* service = service_;
+  std::unique_ptr<ExtractionService> run_service;
+  if (service == nullptr) {
+    run_service = std::make_unique<ExtractionService>(
+        pipeline_, options_.feature_cache, spec.prefetch, tracer);
+    service = run_service.get();
+  }
   CacheOutcome last_cache = CacheOutcome::kDisabled;
   auto featurize = [&](uint32_t doc_id, const Document& doc) {
     ScopedHistogramTimer extract_timer(extract_hist);
-    if (cache == nullptr) {
-      last_cache = CacheOutcome::kDisabled;
-      if (cache_bypass_counter != nullptr) cache_bypass_counter->Increment();
-      return pipeline_->Extract(doc, *corpus_);
+    SparseVector x = service->Featurize(doc, doc_id, *corpus_, &last_cache);
+    switch (last_cache) {
+      case CacheOutcome::kDisabled:
+        if (cache_bypass_counter != nullptr) {
+          cache_bypass_counter->Increment();
+        }
+        break;
+      case CacheOutcome::kHit:
+        if (cache_hit_counter != nullptr) cache_hit_counter->Increment();
+        break;
+      case CacheOutcome::kMiss:
+        if (cache_miss_counter != nullptr) cache_miss_counter->Increment();
+        break;
     }
-    if (std::shared_ptr<const FeatureCache::Entry> hit =
-            cache->Lookup(pipeline_fp, doc_id)) {
-      last_cache = CacheOutcome::kHit;
-      if (cache_hit_counter != nullptr) cache_hit_counter->Increment();
-      return hit->features;
-    }
-    last_cache = CacheOutcome::kMiss;
-    if (cache_miss_counter != nullptr) cache_miss_counter->Increment();
-    SparseVector x = pipeline_->Extract(doc, *corpus_);
-    cache->Insert(pipeline_fp, doc_id,
-                  FeatureCache::Entry{x, BinaryLabel(doc.label),
-                                      pipeline_->ExtractionCostMicros(doc)});
     return x;
   };
 
   GroupedCorpus grouped(corpus_, grouping, rng.Fork().NextUint64(),
-                        shuffle_groups);
+                        spec.shuffle_groups);
   const size_t num_groups = grouped.num_groups();
   ZCHECK_GE(num_groups, 1u);
+
+  // Speculative prefetch: overlaps each holdout evaluation window with
+  // background extraction of the top-ranked arms' upcoming documents.
+  // No-op unless the service has prefetch workers.
+  SpeculativePrefetcher prefetcher(service, &grouped, tracer);
 
   // --- Holdout: sample, exclude from training, featurize up front. --------
   size_t holdout_size =
@@ -405,6 +447,10 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
 
     // --- Cadence: evaluate and apply stop rules. ---------------------------
     if (items % options_.eval_every == 0) {
+      // Speculate right before the evaluation so the prefetch workers run
+      // while this thread is busy scoring the holdout. Candidate ranking
+      // draws no randomness and mutates nothing the run observes.
+      prefetcher.SpeculateBeforeEvaluation(*policy, stats);
       double q = evaluate(items);
       if (stop.target_quality >= 0.0 && q >= stop.target_quality) {
         result.stop_reason = StopReason::kTarget;
@@ -424,6 +470,12 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
       stopped = true;
     }
   }
+
+  // Loop exit: pending speculation is now useless for this run. A per-run
+  // service is cancelled outright; a borrowed (shared) one is left alone —
+  // other runs may have speculation in flight, and its owner cancels at
+  // teardown.
+  if (run_service != nullptr) run_service->CancelPrefetch();
 
   // Final evaluation if the last item batch wasn't evaluated.
   if (result.curve.empty() ||
@@ -447,6 +499,9 @@ RunResult ZombieEngine::Run(const GroupingResult& grouping,
   if (dlog != nullptr) {
     dlog->AppendRun(run_label, std::move(decisions));
   }
+  // Delta-tracked, so repeated exports from runs sharing a service (and a
+  // metrics registry) accumulate without double-counting.
+  service->ExportMetrics(metrics);
   return result;
 }
 

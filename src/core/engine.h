@@ -9,7 +9,9 @@
 #include "core/config.h"
 #include "core/reward.h"
 #include "core/run_result.h"
+#include "core/run_spec.h"
 #include "data/corpus.h"
+#include "featureeng/extraction_service.h"
 #include "featureeng/pipeline.h"
 #include "index/grouper.h"
 #include "ml/learner.h"
@@ -30,25 +32,34 @@ namespace zombie {
 ///  6. every `eval_every` items, measures quality on the fixed holdout and
 ///     applies the stop rules (plateau / target / budget).
 ///
-/// A run is fully deterministic given (corpus, grouping, options.seed).
+/// A run is fully deterministic given (corpus, grouping, options.seed);
+/// wall-clock accelerations (feature cache, speculative prefetch, parallel
+/// holdout evaluation) never change RunResult or the decision log.
 class ZombieEngine {
  public:
-  /// Both pointers are borrowed and must outlive the engine.
+  /// Both pointers are borrowed and must outlive the engine. Extraction
+  /// goes through a per-run ExtractionService built over `pipeline` and
+  /// EngineOptions::feature_cache (if any), honoring RunSpec::prefetch.
   ZombieEngine(const Corpus* corpus, const FeaturePipeline* pipeline,
                EngineOptions options = {});
 
-  /// Executes one run. `policy_prototype`, `learner_prototype`, and
-  /// `reward` are cloned, so the engine never mutates caller state and
-  /// repeated Run() calls are independent.
-  ///
-  /// `shuffle_groups` controls within-group item order (false = preserve
-  /// grouping order, used by the sequential-scan baseline).
-  ///
-  /// `warm_start` optionally carries per-arm knowledge from a previous run
-  /// over the *same grouping* (e.g. the prior feature revision in a
-  /// session): each arm is seeded with pseudo-observations of its previous
-  /// mean reward, so the bandit skips most of the re-exploration. Ignored
-  /// when the arm count does not match.
+  /// Extraction routed through a caller-owned service (shared cache policy
+  /// and speculation budget across runs — the session and experiment
+  /// driver use this). `service` is borrowed and must outlive the engine;
+  /// its prefetch configuration applies to every run, and
+  /// RunSpec::prefetch is ignored. EngineOptions::feature_cache must be
+  /// null here — the cache, if any, belongs to the service.
+  ZombieEngine(const Corpus* corpus, ExtractionService* service,
+               EngineOptions options = {});
+
+  /// Executes one run as described by `spec` (see run_spec.h for the
+  /// field-by-field contract). The spec's components are cloned, so the
+  /// engine never mutates caller state and repeated Run() calls are
+  /// independent.
+  RunResult Run(const RunSpec& spec) const;
+
+  /// Positional-parameter compatibility shim for pre-RunSpec callers.
+  [[deprecated("build a RunSpec and call Run(const RunSpec&)")]]
   RunResult Run(const GroupingResult& grouping,
                 const BanditPolicy& policy_prototype,
                 const Learner& learner_prototype,
@@ -59,10 +70,15 @@ class ZombieEngine {
   const EngineOptions& options() const { return options_; }
   const Corpus& corpus() const { return *corpus_; }
   const FeaturePipeline& pipeline() const { return *pipeline_; }
+  /// The borrowed service, or null when the engine builds one per run.
+  ExtractionService* extraction_service() const { return service_; }
 
  private:
   const Corpus* corpus_;
   const FeaturePipeline* pipeline_;
+  /// Borrowed from the caller (second constructor); null means Run()
+  /// constructs a transient service per run.
+  ExtractionService* service_ = nullptr;
   EngineOptions options_;
 };
 

@@ -71,6 +71,12 @@ ExperimentDriver::ExperimentDriver(const Corpus* corpus,
       num_threads_(ResolveThreads(options.num_threads)) {
   ZCHECK(corpus != nullptr);
   ZCHECK(pipeline != nullptr);
+  ZCHECK(options_.engine.feature_cache == nullptr)
+      << "pass the cache via ExperimentDriverOptions::cache";
+  ObsContext* obs = options_.engine.obs;
+  service_ = std::make_unique<ExtractionService>(
+      pipeline_, options_.cache, options_.prefetch,
+      obs != nullptr ? obs->trace() : nullptr);
 }
 
 StatusOr<std::vector<TrialResult>> ExperimentDriver::RunGrid(
@@ -119,15 +125,15 @@ StatusOr<std::vector<TrialResult>> ExperimentDriver::RunGrid(
                          "driver");
     EngineOptions opts = options_.engine;
     opts.seed = spec.seed;
-    opts.feature_cache = options_.cache;
-    ZombieEngine engine(corpus_, pipeline_, opts);
+    ZombieEngine engine(corpus_, service_.get(), opts);
     std::unique_ptr<BanditPolicy> policy = MakePolicy(spec.policy);
     if (policy == nullptr) {
       return Status::Internal(StrFormat("trial %zu: unknown policy", i));
     }
     TrialResult& out = results[i];
     out.spec = spec;
-    out.run = engine.Run(*spec.grouping, *policy, *spec.learner, *spec.reward);
+    out.run = engine.Run(
+        RunSpec(*spec.grouping, *policy, *spec.learner, *spec.reward));
     if (options_.cache != nullptr) out.cache = options_.cache->Stats();
     return Status::OK();
   });
@@ -151,8 +157,7 @@ std::vector<RunResult> ExperimentDriver::RunScanBaselines(
   ParallelFor(&pool, seeds.size(), [&](size_t i) {
     EngineOptions opts = options_.engine;
     opts.seed = seeds[i];
-    opts.feature_cache = options_.cache;
-    ZombieEngine engine(corpus_, pipeline_, FullScanOptions(opts));
+    ZombieEngine engine(corpus_, service_.get(), FullScanOptions(opts));
     results[i] = sequential
                      ? RunSequentialBaseline(engine, learner_prototype)
                      : RunRandomBaseline(engine, learner_prototype);

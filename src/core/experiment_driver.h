@@ -2,6 +2,7 @@
 #define ZOMBIE_CORE_EXPERIMENT_DRIVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/reward.h"
 #include "core/run_result.h"
 #include "data/corpus.h"
+#include "featureeng/extraction_service.h"
 #include "featureeng/feature_cache.h"
 #include "featureeng/pipeline.h"
 #include "index/grouper.h"
@@ -71,10 +73,16 @@ struct ExperimentDriverOptions {
   /// Engine configuration shared by every trial; `seed` and
   /// `feature_cache` are overridden per the grid/driver.
   EngineOptions engine;
-  /// Optional shared feature memo (borrowed, thread-safe). Trials of the
-  /// same pipeline hit each other's extractions, which changes wall-clock
-  /// time only — never results.
+  /// Optional shared feature memo (borrowed, thread-safe; must outlive the
+  /// driver). Trials of the same pipeline hit each other's extractions,
+  /// which changes wall-clock time only — never results. The driver wraps
+  /// it in one shared ExtractionService that every trial engine borrows,
+  /// so `engine.feature_cache` must stay null.
   FeatureCache* cache = nullptr;
+  /// Speculative prefetch shared by every trial (wall-clock-only; see
+  /// ExtractionService). Requires `cache` — speculation without a cache
+  /// has nowhere to put results and is silently disabled.
+  PrefetchOptions prefetch;
 };
 
 /// Executes experiment grids over one (corpus, pipeline) workload on a
@@ -84,7 +92,10 @@ struct ExperimentDriverOptions {
 /// property the determinism tests pin down.
 class ExperimentDriver {
  public:
-  /// Both pointers are borrowed and must outlive the driver.
+  /// Both pointers are borrowed and must outlive the driver. The driver
+  /// owns one ExtractionService over (pipeline, options.cache,
+  /// options.prefetch) shared by all trials; outstanding speculation is
+  /// cancelled and drained when the driver is destroyed.
   ExperimentDriver(const Corpus* corpus, const FeaturePipeline* pipeline,
                    ExperimentDriverOptions options = {});
 
@@ -103,11 +114,15 @@ class ExperimentDriver {
 
   const ExperimentDriverOptions& options() const { return options_; }
 
+  /// The shared extraction path (never null after construction).
+  ExtractionService* extraction_service() const { return service_.get(); }
+
  private:
   const Corpus* corpus_;
   const FeaturePipeline* pipeline_;
   ExperimentDriverOptions options_;
   size_t num_threads_;
+  std::unique_ptr<ExtractionService> service_;
 };
 
 }  // namespace zombie

@@ -5,6 +5,7 @@
 #include "bandit/epsilon_greedy.h"
 #include "core/baselines.h"
 #include "core/engine.h"
+#include "obs/obs.h"
 #include "util/clock.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -34,7 +35,10 @@ SessionResult RunSession(const Corpus& corpus, const RevisionScript& script,
                          const Learner& learner_prototype,
                          const RewardFunction& reward,
                          EngineOptions engine_options,
-                         bool warm_start_bandit, FeatureCache* cache) {
+                         bool warm_start_bandit, FeatureCache* cache,
+                         PrefetchOptions prefetch) {
+  ZCHECK(engine_options.feature_cache == nullptr)
+      << "pass the cache via RunSession's cache parameter";
   SessionResult session;
   session.mode = mode;
   std::vector<ArmSummary> previous_arms;
@@ -52,26 +56,34 @@ SessionResult RunSession(const Corpus& corpus, const RevisionScript& script,
     // Each revision gets an independent but deterministic seed.
     EngineOptions opts = engine_options;
     opts.seed = HashCombine(engine_options.seed, r);
-    opts.feature_cache = cache;
+    // One service per revision (the fingerprint is per-pipeline); the
+    // shared cache carries memoized extractions across revisions and
+    // sessions. The service drains its prefetch workers before the
+    // pipeline goes out of scope.
+    ExtractionService service(
+        &pipeline, cache, prefetch,
+        engine_options.obs != nullptr ? engine_options.obs->trace()
+                                      : nullptr);
 
     RevisionOutcome outcome;
     outcome.revision_name = script.name(r);
     if (mode == SessionMode::kFullScan) {
       EngineOptions full = FullScanOptions(opts);
-      ZombieEngine engine(&corpus, &pipeline, full);
+      ZombieEngine engine(&corpus, &service, full);
       RunResult run = RunRandomBaseline(engine, learner_prototype);
       outcome.items_processed = run.items_processed;
       outcome.virtual_micros = run.total_virtual_micros();
       outcome.final_quality = run.final_quality;
       outcome.stop_reason = run.stop_reason;
     } else {
-      ZombieEngine engine(&corpus, &pipeline, opts);
+      ZombieEngine engine(&corpus, &service, opts);
       EpsilonGreedyPolicy policy;
       const std::vector<ArmSummary>* warm =
           (warm_start_bandit && !previous_arms.empty()) ? &previous_arms
                                                         : nullptr;
-      RunResult run = engine.Run(grouping, policy, learner_prototype, reward,
-                                 /*shuffle_groups=*/true, warm);
+      RunSpec spec(grouping, policy, learner_prototype, reward);
+      spec.warm_start = warm;
+      RunResult run = engine.Run(spec);
       outcome.items_processed = run.items_processed;
       outcome.virtual_micros = run.total_virtual_micros();
       outcome.final_quality = run.final_quality;

@@ -10,6 +10,7 @@
 #include "core/reward.h"
 #include "core/run_result.h"
 #include "data/corpus.h"
+#include "featureeng/extraction_service.h"
 #include "featureeng/revision_script.h"
 #include "index/grouper.h"
 #include "ml/learner.h"
@@ -68,13 +69,21 @@ struct SessionResult {
 /// whose prefix is unchanged — the paper's edit-run-evaluate loop — skips
 /// re-extraction for those revisions entirely. Virtual-time and quality
 /// numbers are unchanged by the cache; only wall-clock time shrinks.
+///
+/// Ownership: the session routes each revision through its own
+/// ExtractionService built over (revision pipeline, cache, `prefetch`), so
+/// EngineOptions::feature_cache must be null here — pass the cache via the
+/// `cache` parameter and it outlives every service built on it. `prefetch`
+/// enables speculative prefetch extraction per revision (wall-clock-only;
+/// see ExtractionService).
 SessionResult RunSession(const Corpus& corpus, const RevisionScript& script,
                          SessionMode mode, Grouper* grouper,
                          const Learner& learner_prototype,
                          const RewardFunction& reward,
                          EngineOptions engine_options,
                          bool warm_start_bandit = false,
-                         FeatureCache* cache = nullptr);
+                         FeatureCache* cache = nullptr,
+                         PrefetchOptions prefetch = {});
 
 }  // namespace zombie
 

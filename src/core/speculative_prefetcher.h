@@ -1,0 +1,57 @@
+#ifndef ZOMBIE_CORE_SPECULATIVE_PREFETCHER_H_
+#define ZOMBIE_CORE_SPECULATIVE_PREFETCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bandit/policy.h"
+#include "featureeng/extraction_service.h"
+#include "index/grouped_corpus.h"
+#include "obs/trace.h"
+
+namespace zombie {
+
+/// Glue between the bandit and the ExtractionService's prefetch pool: while
+/// the engine is busy with a holdout evaluation window, speculate that the
+/// policy will keep pulling its currently top-ranked arms and featurize
+/// those arms' next unprocessed documents into the cache in the background.
+///
+/// Determinism: candidate selection runs on the engine thread using only
+/// BanditPolicy::RankArms (no RNG) and a const peek of the grouped corpus;
+/// workers receive plain doc-id copies and only ever touch the pipeline
+/// (stateless) and the cache (speculative inserts with as-if-no-prefetch
+/// promotion). Nothing observable by the run changes — see the
+/// ExtractionService equivalence contract.
+///
+/// All pointers are borrowed and must outlive the prefetcher. The service
+/// may be shared across runs (experiment driver); each run's prefetcher
+/// only enqueues, it never cancels shared speculation.
+class SpeculativePrefetcher {
+ public:
+  SpeculativePrefetcher(ExtractionService* service,
+                        const GroupedCorpus* grouped,
+                        TraceRecorder* trace = nullptr);
+
+  /// Ranks arms with the policy's current preferences and enqueues the top
+  /// arms' upcoming documents, bounded by the service's PrefetchOptions.
+  /// No-op when the service has speculation disabled. Call immediately
+  /// before a holdout evaluation so the speculative work overlaps it.
+  void SpeculateBeforeEvaluation(const BanditPolicy& policy,
+                                 const ArmStats& stats);
+
+  bool enabled() const { return service_->prefetch_enabled(); }
+
+ private:
+  ExtractionService* service_;
+  const GroupedCorpus* grouped_;
+  TraceRecorder* trace_;
+  // Reused scratch: speculation fires once per eval window on the engine
+  // thread, keep it allocation-quiet after warmup.
+  std::vector<size_t> ranked_arms_;
+  std::vector<uint32_t> peek_buffer_;
+  std::vector<uint32_t> candidates_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_CORE_SPECULATIVE_PREFETCHER_H_

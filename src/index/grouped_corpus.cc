@@ -48,6 +48,17 @@ bool GroupedCorpus::GroupExhausted(size_t g) {
   return cursor >= items.size();
 }
 
+void GroupedCorpus::PeekUnprocessed(size_t g, size_t max_items,
+                                    std::vector<uint32_t>* out) const {
+  ZCHECK_LT(g, groups_.size());
+  out->clear();
+  const auto& items = groups_[g];
+  for (size_t i = cursors_[g]; i < items.size() && out->size() < max_items;
+       ++i) {
+    if (!processed_[items[i]]) out->push_back(items[i]);
+  }
+}
+
 bool GroupedCorpus::AllExhausted() {
   for (size_t g = 0; g < groups_.size(); ++g) {
     if (!GroupExhausted(g)) return false;

@@ -65,7 +65,7 @@ class EngineHoldoutTest : public ::testing::Test {
     NaiveBayesLearner learner;
     LabelReward reward;
     ZombieEngine engine(&task_.corpus, &task_.pipeline, opts);
-    RunResult r = engine.Run(grouping_, policy, learner, reward);
+    RunResult r = engine.Run(RunSpec(grouping_, policy, learner, reward));
     return {Fingerprint(r), obs.decisions()->ToJsonl()};
   }
 
@@ -100,7 +100,7 @@ TEST_F(EngineHoldoutTest, HoldoutEvalHistogramRecordsEvals) {
   NaiveBayesLearner learner;
   LabelReward reward;
   ZombieEngine engine(&task_.corpus, &task_.pipeline, opts);
-  engine.Run(grouping_, policy, learner, reward);
+  engine.Run(RunSpec(grouping_, policy, learner, reward));
   HistogramSnapshot evals =
       obs.metrics()->GetHistogram("engine.holdout_eval_us")->Snapshot();
   // One sample per cadence evaluation plus one for the final-metrics

@@ -72,7 +72,7 @@ class EngineObsTest : public ::testing::Test {
     EngineOptions opts = opts_;
     opts.obs = obs;
     ZombieEngine engine(&task_.corpus, &task_.pipeline, opts);
-    return engine.Run(grouping_, policy_, learner_, reward_);
+    return engine.Run(RunSpec(grouping_, policy_, learner_, reward_));
   }
 
   Task task_;

@@ -35,7 +35,7 @@ TEST_P(EngineInvariantTest, AccountingAndMonotonicityHold) {
   EpsilonGreedyPolicy policy;
   NaiveBayesLearner nb;
   LabelReward reward;
-  RunResult r = engine.Run(grouping, policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(grouping, policy, nb, reward));
 
   // Items never exceed budget nor the trainable corpus.
   EXPECT_LE(r.items_processed, 600u);

@@ -43,8 +43,8 @@ TEST(EngineTest, DeterministicTraceForSeed) {
   EpsilonGreedyPolicy policy;
   NaiveBayesLearner nb;
   LabelReward reward;
-  RunResult a = engine.Run(grouping, policy, nb, reward);
-  RunResult b = engine.Run(grouping, policy, nb, reward);
+  RunResult a = engine.Run(RunSpec(grouping, policy, nb, reward));
+  RunResult b = engine.Run(RunSpec(grouping, policy, nb, reward));
   EXPECT_EQ(a.items_processed, b.items_processed);
   EXPECT_EQ(a.loop_virtual_micros, b.loop_virtual_micros);
   EXPECT_EQ(a.final_quality, b.final_quality);
@@ -66,9 +66,9 @@ TEST(EngineTest, DifferentSeedsDifferentTraces) {
   NaiveBayesLearner nb;
   LabelReward reward;
   RunResult a = ZombieEngine(&f.task.corpus, &f.task.pipeline, o1)
-                    .Run(grouping, policy, nb, reward);
+                    .Run(RunSpec(grouping, policy, nb, reward));
   RunResult b = ZombieEngine(&f.task.corpus, &f.task.pipeline, o2)
-                    .Run(grouping, policy, nb, reward);
+                    .Run(RunSpec(grouping, policy, nb, reward));
   EXPECT_NE(a.loop_virtual_micros, b.loop_virtual_micros);
 }
 
@@ -81,7 +81,7 @@ TEST(EngineTest, BudgetStopRespected) {
   EpsilonGreedyPolicy policy;
   NaiveBayesLearner nb;
   LabelReward reward;
-  RunResult r = engine.Run(f.Grouping(), policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(f.Grouping(), policy, nb, reward));
   EXPECT_EQ(r.items_processed, 150u);
   EXPECT_EQ(r.stop_reason, StopReason::kBudget);
 }
@@ -94,7 +94,7 @@ TEST(EngineTest, ExhaustionProcessesEverythingExceptHoldout) {
   RoundRobinPolicy policy;
   NaiveBayesLearner nb;
   ZeroReward reward;
-  RunResult r = engine.Run(f.Grouping(4), policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(f.Grouping(4), policy, nb, reward));
   EXPECT_EQ(r.stop_reason, StopReason::kExhausted);
   EXPECT_EQ(r.items_processed, 500u - opts.holdout_size);
 }
@@ -108,7 +108,7 @@ TEST(EngineTest, TargetQualityStopsEarly) {
   EpsilonGreedyPolicy policy;
   NaiveBayesLearner nb;
   LabelReward reward;
-  RunResult r = engine.Run(f.Grouping(), policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(f.Grouping(), policy, nb, reward));
   EXPECT_EQ(r.stop_reason, StopReason::kTarget);
   EXPECT_GE(r.final_quality, 0.0);
   EXPECT_LT(r.items_processed, 1900u);
@@ -120,7 +120,7 @@ TEST(EngineTest, PlateauStopsBeforeExhaustion) {
   EpsilonGreedyPolicy policy;
   NaiveBayesLearner nb;
   LabelReward reward;
-  RunResult r = engine.Run(f.Grouping(16), policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(f.Grouping(16), policy, nb, reward));
   EXPECT_EQ(r.stop_reason, StopReason::kPlateau);
   EXPECT_LT(r.items_processed, 3900u - 100u);
 }
@@ -137,8 +137,10 @@ TEST(EngineTest, VirtualCostMatchesPipelineFactor) {
   RoundRobinPolicy policy;
   NaiveBayesLearner nb;
   ZeroReward reward;
-  RunResult r = engine.Run(MakeSingleGroupGrouping(f.task.corpus.size()),
-                           policy, nb, reward, /*shuffle_groups=*/false);
+  GroupingResult single = MakeSingleGroupGrouping(f.task.corpus.size());
+  RunSpec spec(single, policy, nb, reward);
+  spec.shuffle_groups = false;
+  RunResult r = engine.Run(spec);
   EXPECT_EQ(r.holdout_virtual_micros, 0);
   // Recompute the expected charge over exactly the processed items: with
   // preserved order, those are the non-holdout items in corpus order.
@@ -162,7 +164,7 @@ TEST(EngineTest, HoldoutChargedWhenEnabled) {
   EpsilonGreedyPolicy policy;
   NaiveBayesLearner nb;
   LabelReward reward;
-  RunResult r = engine.Run(f.Grouping(), policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(f.Grouping(), policy, nb, reward));
   EXPECT_GT(r.holdout_virtual_micros, 0);
   EXPECT_EQ(r.total_virtual_micros(),
             r.loop_virtual_micros + r.holdout_virtual_micros);
@@ -179,7 +181,7 @@ TEST(EngineTest, StratifiedHoldoutHitsTargetFraction) {
   EpsilonGreedyPolicy policy;
   NaiveBayesLearner nb;
   LabelReward reward;
-  RunResult r = engine.Run(f.Grouping(), policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(f.Grouping(), policy, nb, reward));
   // The holdout composition is visible through the curve's confusion
   // totals: tp+fn = positives in holdout.
   const CurvePoint& p = r.curve.point(0);
@@ -199,7 +201,7 @@ TEST(EngineTest, NaturalHoldoutTracksBaseRate) {
   EpsilonGreedyPolicy policy;
   NaiveBayesLearner nb;
   LabelReward reward;
-  RunResult r = engine.Run(f.Grouping(), policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(f.Grouping(), policy, nb, reward));
   const CurvePoint& p = r.curve.point(0);
   double holdout_rate =
       static_cast<double>(p.metrics.confusion.tp + p.metrics.confusion.fn) /
@@ -215,7 +217,7 @@ TEST(EngineTest, ArmSummariesConsistent) {
   NaiveBayesLearner nb;
   LabelReward reward;
   GroupingResult grouping = f.Grouping(8);
-  RunResult r = engine.Run(grouping, policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(grouping, policy, nb, reward));
   ASSERT_EQ(r.arms.size(), grouping.num_groups());
   size_t total_pulls = 0;
   size_t total_pos = 0;
@@ -235,7 +237,7 @@ TEST(EngineTest, CurveStartsAtZeroItemsAndEndsAtFinal) {
   EpsilonGreedyPolicy policy;
   NaiveBayesLearner nb;
   LabelReward reward;
-  RunResult r = engine.Run(f.Grouping(), policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(f.Grouping(), policy, nb, reward));
   ASSERT_GE(r.curve.size(), 2u);
   EXPECT_EQ(r.curve.point(0).items_processed, 0u);
   EXPECT_EQ(r.curve.point(r.curve.size() - 1).items_processed,
@@ -252,7 +254,7 @@ TEST(EngineTest, ProbeRewardRuns) {
   EpsilonGreedyPolicy policy;
   NaiveBayesLearner nb;
   ImprovementReward reward;
-  RunResult r = engine.Run(f.Grouping(), policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(f.Grouping(), policy, nb, reward));
   EXPECT_EQ(r.reward_name, "improvement");
   EXPECT_EQ(r.items_processed, 120u);
 }
@@ -264,7 +266,7 @@ TEST(EngineTest, MetadataInResultNames) {
   NaiveBayesLearner nb;
   LabelReward reward;
   GroupingResult g = f.Grouping();
-  RunResult r = engine.Run(g, policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(g, policy, nb, reward));
   EXPECT_EQ(r.grouper_name, g.method);
   EXPECT_EQ(r.learner_name, "nb");
   EXPECT_EQ(r.reward_name, "label");
@@ -287,7 +289,7 @@ TEST(EngineTest, DeclineRuleStopsDriftingRuns) {
   EpsilonGreedyPolicy policy;
   LogisticRegressionLearner lr;
   LabelReward reward;
-  RunResult r = engine.Run(f.Grouping(16), policy, lr, reward);
+  RunResult r = engine.Run(RunSpec(f.Grouping(16), policy, lr, reward));
   if (r.stop_reason == StopReason::kDecline) {
     // The peak must sit clearly above where we stopped.
     EXPECT_GT(r.curve.PeakQuality(), r.final_quality);
@@ -308,7 +310,7 @@ TEST(EngineTest, DeclineDisabledRunsToExhaustion) {
   EpsilonGreedyPolicy policy;
   LogisticRegressionLearner lr;
   LabelReward reward;
-  RunResult r = engine.Run(f.Grouping(8), policy, lr, reward);
+  RunResult r = engine.Run(RunSpec(f.Grouping(8), policy, lr, reward));
   EXPECT_EQ(r.stop_reason, StopReason::kExhausted);
 }
 
@@ -323,10 +325,10 @@ TEST(EngineTest, TunedThresholdQualityAtLeastZeroThreshold) {
   GroupingResult grouping = f.Grouping();
   opts.tune_threshold = false;
   RunResult plain = ZombieEngine(&f.task.corpus, &f.task.pipeline, opts)
-                        .Run(grouping, policy, nb, reward);
+                        .Run(RunSpec(grouping, policy, nb, reward));
   opts.tune_threshold = true;
   RunResult tuned = ZombieEngine(&f.task.corpus, &f.task.pipeline, opts)
-                        .Run(grouping, policy, nb, reward);
+                        .Run(RunSpec(grouping, policy, nb, reward));
   // Same trace (seeded identically), but every evaluation picks the best
   // threshold, so quality can only improve.
   EXPECT_EQ(plain.items_processed, tuned.items_processed);
@@ -345,12 +347,13 @@ TEST(EngineTest, WarmStartBiasesEarlySelection) {
 
   // Cold run discovers the rich arms.
   ZombieEngine engine(&f.task.corpus, &f.task.pipeline, opts);
-  RunResult cold = engine.Run(grouping, policy, nb, reward);
+  RunResult cold = engine.Run(RunSpec(grouping, policy, nb, reward));
 
   // Warm run is seeded with the cold run's arm knowledge and must find
   // at least as many positives early.
-  RunResult warm = engine.Run(grouping, policy, nb, reward,
-                              /*shuffle_groups=*/true, &cold.arms);
+  RunSpec warm_spec(grouping, policy, nb, reward);
+  warm_spec.warm_start = &cold.arms;
+  RunResult warm = engine.Run(warm_spec);
   EXPECT_GE(warm.positives_processed + 5, cold.positives_processed);
   // Arm accounting excludes pseudo-observations.
   size_t total_pulls = 0;
@@ -368,9 +371,60 @@ TEST(EngineTest, WarmStartWithWrongArmCountIsIgnored) {
   LabelReward reward;
   GroupingResult grouping = f.Grouping(8);
   std::vector<ArmSummary> wrong(3);  // mismatched arm count
+  for (auto& a : wrong) {
+    a.pulls = 10;
+    a.total_reward = 10.0;  // would heavily bias selection if applied
+  }
   ZombieEngine engine(&f.task.corpus, &f.task.pipeline, opts);
-  RunResult r = engine.Run(grouping, policy, nb, reward, true, &wrong);
+  RunSpec mismatched(grouping, policy, nb, reward);
+  mismatched.warm_start = &wrong;
+  RunResult r = engine.Run(mismatched);
   EXPECT_EQ(r.items_processed, 60u);
+
+  // The contract is "ignored", not "degraded": the run must be identical
+  // to one with no warm start at all — same selections, same rewards,
+  // same curve.
+  RunResult plain = engine.Run(RunSpec(grouping, policy, nb, reward));
+  EXPECT_EQ(r.items_processed, plain.items_processed);
+  EXPECT_EQ(r.positives_processed, plain.positives_processed);
+  EXPECT_EQ(r.loop_virtual_micros, plain.loop_virtual_micros);
+  EXPECT_EQ(r.final_quality, plain.final_quality);
+  ASSERT_EQ(r.arms.size(), plain.arms.size());
+  for (size_t a = 0; a < r.arms.size(); ++a) {
+    EXPECT_EQ(r.arms[a].pulls, plain.arms[a].pulls);
+    EXPECT_EQ(r.arms[a].total_reward, plain.arms[a].total_reward);
+    EXPECT_EQ(r.arms[a].positives_seen, plain.arms[a].positives_seen);
+  }
+}
+
+TEST(EngineTest, RunSpecDefaultsMatchDeprecatedOverload) {
+  // The positional overload is a pure forwarder: a default-constructed
+  // RunSpec must reproduce it field for field.
+  Fixture f(1000);
+  EngineOptions opts = f.SmallOptions();
+  opts.stop.max_items = 80;
+  opts.stop.plateau_enabled = false;
+  GroupingResult grouping = f.Grouping(6);
+  ZombieEngine engine(&f.task.corpus, &f.task.pipeline, opts);
+  EpsilonGreedyPolicy policy;
+  NaiveBayesLearner nb;
+  LabelReward reward;
+  RunResult via_spec = engine.Run(RunSpec(grouping, policy, nb, reward));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  RunResult via_legacy = engine.Run(grouping, policy, nb, reward);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(via_spec.items_processed, via_legacy.items_processed);
+  EXPECT_EQ(via_spec.positives_processed, via_legacy.positives_processed);
+  EXPECT_EQ(via_spec.loop_virtual_micros, via_legacy.loop_virtual_micros);
+  EXPECT_EQ(via_spec.holdout_virtual_micros,
+            via_legacy.holdout_virtual_micros);
+  EXPECT_EQ(via_spec.final_quality, via_legacy.final_quality);
+  ASSERT_EQ(via_spec.curve.size(), via_legacy.curve.size());
+  for (size_t i = 0; i < via_spec.curve.size(); ++i) {
+    EXPECT_EQ(via_spec.curve.point(i).quality,
+              via_legacy.curve.point(i).quality);
+  }
 }
 
 TEST(EngineTest, CostAwareRewardsPreferCheapGroups) {
@@ -412,7 +466,7 @@ TEST(EngineTest, CostAwareRewardsPreferCheapGroups) {
   EpsilonGreedyPolicy policy;
   NaiveBayesLearner nb;
   LabelReward reward;
-  RunResult r = engine.Run(grouping, policy, nb, reward);
+  RunResult r = engine.Run(RunSpec(grouping, policy, nb, reward));
   ASSERT_EQ(r.arms.size(), 2u);
   EXPECT_GT(r.arms[1].pulls, 2 * r.arms[0].pulls);
 
@@ -420,7 +474,7 @@ TEST(EngineTest, CostAwareRewardsPreferCheapGroups) {
   // tie-break favors the first (expensive) arm: the preference flips.
   opts.cost_aware_rewards = false;
   ZombieEngine plain(&corpus, &pipeline, opts);
-  RunResult p = plain.Run(grouping, policy, nb, reward);
+  RunResult p = plain.Run(RunSpec(grouping, policy, nb, reward));
   EXPECT_GE(p.arms[0].pulls, p.arms[1].pulls);
 }
 

@@ -41,7 +41,7 @@ Outcome RunPair(const Task& task, const GroupingResult& grouping,
   LabelReward reward;
   Outcome out{
       ZombieEngine(&task.corpus, &task.pipeline, TestOptions(seed))
-          .Run(grouping, policy, nb, reward),
+          .Run(RunSpec(grouping, policy, nb, reward)),
       RunRandomBaseline(ZombieEngine(&task.corpus, &task.pipeline,
                                      FullScanOptions(TestOptions(seed))),
                         nb)};
@@ -106,7 +106,7 @@ TEST(IntegrationTest, BetterGroupingsSelectMorePositives) {
     opts.stop.max_items = 600;
     opts.stop.plateau_enabled = false;
     RunResult r = ZombieEngine(&task.corpus, &task.pipeline, opts)
-                      .Run(grouping, policy, nb, reward);
+                      .Run(RunSpec(grouping, policy, nb, reward));
     return static_cast<double>(r.positives_processed) /
            static_cast<double>(r.items_processed);
   };
@@ -130,7 +130,7 @@ TEST(IntegrationTest, EarlyStopSavesMostOfTheCorpus) {
   EpsilonGreedyPolicy policy;
   LabelReward reward;
   RunResult r = ZombieEngine(&task.corpus, &task.pipeline, TestOptions(2))
-                    .Run(grouper.Group(task.corpus), policy, nb, reward);
+                    .Run(RunSpec(grouper.Group(task.corpus), policy, nb, reward));
   EXPECT_EQ(r.stop_reason, StopReason::kPlateau);
   EXPECT_LT(r.items_processed, task.corpus.size() / 4);
 }
@@ -161,9 +161,9 @@ TEST(IntegrationTest, PersistedCorpusReproducesIdenticalTraces) {
   EpsilonGreedyPolicy policy;
   LabelReward reward;
   RunResult a = ZombieEngine(&task.corpus, &pipeline_a, opts)
-                    .Run(grouping_a, policy, nb, reward);
+                    .Run(RunSpec(grouping_a, policy, nb, reward));
   RunResult b = ZombieEngine(&loaded.value(), &pipeline_b, opts)
-                    .Run(grouping_b, policy, nb, reward);
+                    .Run(RunSpec(grouping_b, policy, nb, reward));
   EXPECT_EQ(a.items_processed, b.items_processed);
   EXPECT_EQ(a.loop_virtual_micros, b.loop_virtual_micros);
   EXPECT_EQ(a.final_quality, b.final_quality);
@@ -184,7 +184,7 @@ TEST(IntegrationTest, BanditConcentratesPullsOnRichArms) {
   opts.stop.max_items = 800;
   opts.stop.plateau_enabled = false;
   RunResult r = ZombieEngine(&task.corpus, &task.pipeline, opts)
-                    .Run(grouping, policy, nb, reward);
+                    .Run(RunSpec(grouping, policy, nb, reward));
   // The most-pulled arm should be one of the positive-rich groups.
   size_t best_arm = 0;
   for (size_t a = 1; a < r.arms.size(); ++a) {

@@ -278,6 +278,58 @@ TEST_F(ZombieLintTest, AllowCommentSuppressesStringVector) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST_F(ZombieLintTest, RejectsRawExtractOutsideFeatureeng) {
+  WriteFile("src/core/direct.cc",
+            "namespace zombie {\n"
+            "void A(P* p, const D& d, const C& c) { p->Extract(d, c); }\n"
+            "void B(P& p, const D& d, const C& c) { p.Extract(d, c); }\n"
+            "void C2(P& p, const D& d, const C& c) { p . Extract (d, c); }\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-raw-extract-outside-service"),
+            std::string::npos)
+      << run.output;
+  // All three spellings (->, ., whitespace-spaced) must be caught.
+  EXPECT_NE(run.output.find("direct.cc:2"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("direct.cc:3"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("direct.cc:4"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, RawExtractInsideFeatureengIsFine) {
+  // The extraction layer implements the service; it may call Extract.
+  WriteFile("src/featureeng/service.cc",
+            "namespace zombie {\n"
+            "void F(P* p, const D& d, const C& c) { p->Extract(d, c); }\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, ExtractLikeIdentifiersDoNotTrigger) {
+  // Prefixed/suffixed method names and non-call uses are not findings.
+  WriteFile("src/core/lookalikes.cc",
+            "namespace zombie {\n"
+            "void A(W& w) { w.ExtractAll(); }\n"
+            "void B(W& w) { w.ReExtract(); }\n"
+            "void C(W& w) { auto f = &W::Extract; (void)f; (void)w; }\n"
+            "// comment may say pipeline->Extract(doc) freely\n"
+            "const char* D() { return \"call .Extract( here\"; }\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, AllowCommentSuppressesRawExtract) {
+  WriteFile("src/core/special_extract.cc",
+            "namespace zombie {\n"
+            "void F(P* p, const D& d, const C& c) { p->Extract(d, c); }"
+            "  // zombie-lint: allow(no-raw-extract-outside-service)\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST_F(ZombieLintTest, HeaderGuardMustMatchPath) {
   WriteFile("src/util/widget.h",
             "#ifndef WRONG_GUARD_H\n"

@@ -6,10 +6,12 @@
 //                       --grouper=kmeans --groups=32 --policy=egreedy
 //                       --reward=label --learner=nb [--baseline] [--csv=out.csv]
 //                       [--trials=N] [--threads=N] [--eval-threads=N]
-//                       [--cache]
+//                       [--cache] [--prefetch-threads=N] [--prefetch-arms=N]
 //                       [--trace-out=trace.json] [--metrics-out=metrics.json]
 //                       [--decisions-out=decisions.jsonl]
 //   zombie_cli session  --task=webcat --docs=12000 [--warm] [--cache]
+//                       [--eval-threads=N]
+//                       [--prefetch-threads=N] [--prefetch-arms=N]
 //                       [--trace-out=...] [--metrics-out=...]
 //                       [--decisions-out=...]
 //
@@ -35,6 +37,7 @@
 #include "core/experiment_driver.h"
 #include "core/reward.h"
 #include "core/session.h"
+#include "featureeng/extraction_service.h"
 #include "featureeng/feature_cache.h"
 #include "core/task_factory.h"
 #include "data/serialization.h"
@@ -207,6 +210,24 @@ EngineOptions MakeEngineOptionsFromFlags(const Flags& flags) {
   return opts;
 }
 
+/// Speculative prefetch knobs (wall-clock-only; featureeng/
+/// extraction_service.h). Prefetch needs the feature cache to store into,
+/// so --prefetch-threads without --cache is reported and disabled.
+PrefetchOptions MakePrefetchOptionsFromFlags(const Flags& flags,
+                                             bool use_cache) {
+  PrefetchOptions prefetch;
+  int64_t threads = flags.GetInt("prefetch-threads", 0);
+  int64_t arms = flags.GetInt("prefetch-arms", 4);
+  if (threads > 0) prefetch.threads = static_cast<size_t>(threads);
+  if (arms > 0) prefetch.max_arms = static_cast<size_t>(arms);
+  if (prefetch.threads > 0 && !use_cache) {
+    std::fprintf(stderr,
+                 "--prefetch-threads requires --cache; prefetch disabled\n");
+    prefetch.threads = 0;
+  }
+  return prefetch;
+}
+
 // ---------------------------------------------------------------------------
 // Observability plumbing shared by run/session
 // ---------------------------------------------------------------------------
@@ -336,6 +357,7 @@ int CmdRun(const Flags& flags) {
   EngineOptions opts = MakeEngineOptionsFromFlags(flags);
   bool with_baseline = flags.GetBool("baseline");
   bool use_cache = flags.GetBool("cache");
+  PrefetchOptions prefetch = MakePrefetchOptionsFromFlags(flags, use_cache);
   size_t trials = static_cast<size_t>(flags.GetInt("trials", 1));
   size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
   std::string csv = flags.GetString("csv", "");
@@ -362,6 +384,7 @@ int CmdRun(const Flags& flags) {
   dopts.engine = opts;
   dopts.engine.obs = obs.get();
   dopts.cache = use_cache ? &cache : nullptr;
+  dopts.prefetch = prefetch;
   ExperimentDriver driver(&corpus, &pipeline, dopts);
   ExperimentGrid grid;
   grid.policies = {policy_kind.value()};
@@ -420,6 +443,7 @@ int CmdSession(const Flags& flags) {
   Corpus corpus = std::move(corpus_or).value();
   bool warm = flags.GetBool("warm");
   bool use_cache = flags.GetBool("cache");
+  PrefetchOptions prefetch = MakePrefetchOptionsFromFlags(flags, use_cache);
   EngineOptions opts = MakeEngineOptionsFromFlags(flags);
   size_t groups = static_cast<size_t>(flags.GetInt("groups", 32));
   ObsOutputs obs_out = GetObsOutputs(flags);
@@ -441,7 +465,7 @@ int CmdSession(const Flags& flags) {
   KMeansGrouper grouper(groups, 7);
   SessionResult fast = RunSession(corpus, script, SessionMode::kZombie,
                                   &grouper, learner, reward, opts, warm,
-                                  cache_ptr);
+                                  cache_ptr, prefetch);
   std::printf("%s\n%s\n", full.ToString().c_str(), fast.ToString().c_str());
   if (use_cache) {
     FeatureCacheStats cs = cache.Stats();

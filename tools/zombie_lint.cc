@@ -29,6 +29,14 @@
 //                   as owning string collections that allocate per token.
 //                   `std::vector<std::string>` is banned in src/featureeng/
 //                   and src/core/ (whitespace-tolerant match).
+//   no-raw-extract-outside-service
+//                   Feature extraction flows through
+//                   ExtractionService::Featurize so caching, speculative-
+//                   prefetch accounting, and metrics stay on one path.
+//                   Direct `.Extract(` / `->Extract(` calls are banned in
+//                   src/ outside src/featureeng/ (whitespace-tolerant
+//                   match; the extraction layer itself is the one place
+//                   allowed to touch FeaturePipeline::Extract).
 //
 // A finding on a line can be suppressed in place with a trailing comment:
 //
@@ -215,6 +223,14 @@ bool IsHotPathFile(const fs::path& rel) {
   return s.rfind("src/featureeng/", 0) == 0 || s.rfind("src/core/", 0) == 0;
 }
 
+// Files covered by no-raw-extract-outside-service: all of src/ except the
+// extraction layer itself, which implements the service and its backing
+// pipeline and so is the one place allowed to call Extract directly.
+bool IsRawExtractBannedFile(const fs::path& rel) {
+  std::string s = rel.generic_string();
+  return s.rfind("src/", 0) == 0 && s.rfind("src/featureeng/", 0) != 0;
+}
+
 void LintFile(const fs::path& path, const fs::path& rel,
               std::vector<Finding>* findings) {
   std::ifstream in(path, std::ios::binary);
@@ -269,7 +285,7 @@ void LintFile(const fs::path& path, const fs::path& rel,
                    "' in library code; use ZLOG (src/util/logging.h)");
       }
     }
-    if (IsHotPathFile(rel)) {
+    if (IsHotPathFile(rel) || IsRawExtractBannedFile(rel)) {
       // Whitespace-tolerant: `std::vector< std::string >` etc. must match,
       // so compare against the line's code with all whitespace removed.
       std::string squished;
@@ -277,11 +293,21 @@ void LintFile(const fs::path& path, const fs::path& rel,
       for (char c : code) {
         if (!std::isspace(static_cast<unsigned char>(c))) squished += c;
       }
-      if (squished.find("std::vector<std::string>") != std::string::npos) {
+      if (IsHotPathFile(rel) &&
+          squished.find("std::vector<std::string>") != std::string::npos) {
         report(line_no, "no-hot-path-string-copy",
                "std::vector<std::string> allocates per token on the hot "
                "path; use TokenBuffer + string_view spans "
                "(src/text/tokenizer.h)");
+      }
+      if (IsRawExtractBannedFile(rel) &&
+          (squished.find(".Extract(") != std::string::npos ||
+           squished.find("->Extract(") != std::string::npos)) {
+        report(line_no, "no-raw-extract-outside-service",
+               "direct FeaturePipeline::Extract call outside "
+               "src/featureeng/; route extraction through "
+               "ExtractionService::Featurize "
+               "(src/featureeng/extraction_service.h)");
       }
     }
     if (!IsClockImplFile(rel) && HasToken(code, "now")) {
