@@ -139,7 +139,7 @@ PrefetchStats ExtractionService::prefetch_stats() const {
 
 void ExtractionService::ExportMetrics(MetricsRegistry* metrics) const {
   if (metrics == nullptr || pool_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(export_mu_);
+  MutexLock lock(&export_mu_);
   PrefetchStats now = prefetch_stats();
   // Counters are increment-only, so export the delta since the previous
   // export; repeated exports (one per engine run on a shared service)

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "data/corpus.h"
@@ -13,6 +12,7 @@
 #include "ml/sparse_vector.h"
 #include "obs/decision_log.h"
 #include "obs/trace.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace zombie {
@@ -141,7 +141,8 @@ class ExtractionService {
   /// "prefetch.enqueued" / "prefetch.cancelled" counters (delta-tracked, so
   /// repeated exports never double-count) and a "prefetch.hit_rate" gauge.
   /// No-op when `metrics` is null or speculation is disabled.
-  void ExportMetrics(MetricsRegistry* metrics) const;
+  void ExportMetrics(MetricsRegistry* metrics) const
+      ZOMBIE_EXCLUDES(export_mu_);
 
   /// Virtual extraction cost passthrough (see FeaturePipeline).
   int64_t ExtractionCostMicros(const Document& doc) const;
@@ -172,8 +173,8 @@ class ExtractionService {
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> skipped_{0};
   /// Serializes ExportMetrics' read-delta-increment sequence.
-  mutable std::mutex export_mu_;
-  mutable PrefetchStats exported_;
+  mutable Mutex export_mu_;
+  mutable PrefetchStats exported_ ZOMBIE_GUARDED_BY(export_mu_);
 };
 
 }  // namespace zombie

@@ -1,7 +1,6 @@
 #include "featureeng/feature_cache.h"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -23,7 +22,7 @@ std::shared_ptr<const FeatureCache::Entry> FeatureCache::Lookup(
     uint64_t pipeline_fingerprint, uint32_t doc_id) {
   uint64_t now = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = map_.find(Key{pipeline_fingerprint, doc_id});
     if (it != map_.end()) {
       it->second->last_used.store(now, std::memory_order_relaxed);
@@ -41,7 +40,7 @@ std::shared_ptr<const FeatureCache::Entry> FeatureCache::LookupForExtraction(
   *speculative_first_touch = false;
   uint64_t now = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto it = map_.find(Key{pipeline_fingerprint, doc_id});
     if (it != map_.end()) {
       it->second->last_used.store(now, std::memory_order_relaxed);
@@ -68,7 +67,7 @@ void FeatureCache::Insert(uint64_t pipeline_fingerprint, uint32_t doc_id,
   uint64_t now = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   auto slot = std::make_unique<Slot>(
       std::make_shared<const Entry>(std::move(entry)), now);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   auto [it, inserted] =
       map_.try_emplace(Key{pipeline_fingerprint, doc_id}, nullptr);
   if (!inserted) {
@@ -87,7 +86,7 @@ bool FeatureCache::InsertSpeculative(uint64_t pipeline_fingerprint,
   auto slot = std::make_unique<Slot>(
       std::make_shared<const Entry>(std::move(entry)), now,
       /*spec=*/true);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   // Speculation never evicts: a full cache simply rejects the insert, so
   // background prefetch cannot push out entries a real Insert committed —
   // evicting them would change future hit/miss outcomes and break the
@@ -113,7 +112,7 @@ bool FeatureCache::InsertSpeculative(uint64_t pipeline_fingerprint,
 
 bool FeatureCache::Contains(uint64_t pipeline_fingerprint,
                             uint32_t doc_id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return map_.find(Key{pipeline_fingerprint, doc_id}) != map_.end();
 }
 
@@ -125,7 +124,12 @@ void FeatureCache::EvictLocked() {
   if (map_.size() <= target) return;
   std::vector<std::pair<uint64_t, Key>> recency;
   recency.reserve(map_.size());
-  for (const auto& [key, slot] : map_) {
+  // Iteration order is hash-seed-dependent, but only the *set* of stalest
+  // entries matters here and nth_element orders by recency tick; eviction
+  // affects wall-clock hit rates, never virtual-time results (an
+  // overcommitted cache already voids DecisionLog replay — see the
+  // ExtractionService equivalence contract).
+  for (const auto& [key, slot] : map_) {  // zombie-lint: allow(no-unordered-iteration)
     recency.emplace_back(slot->last_used.load(std::memory_order_relaxed),
                          key);
   }
@@ -142,7 +146,7 @@ void FeatureCache::EvictLocked() {
 }
 
 void FeatureCache::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   evictions_.fetch_add(map_.size(), std::memory_order_relaxed);
   map_.clear();
 }
@@ -153,7 +157,7 @@ FeatureCacheStats FeatureCache::Stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   s.entries = map_.size();
   return s;
 }

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "ml/sparse_vector.h"
+#include "util/thread_annotations.h"
 
 namespace zombie {
 
@@ -75,7 +75,7 @@ class FeatureCache {
 
   /// Returns the cached entry, or nullptr on miss. Counts a hit/miss.
   std::shared_ptr<const Entry> Lookup(uint64_t pipeline_fingerprint,
-                                      uint32_t doc_id);
+                                      uint32_t doc_id) ZOMBIE_EXCLUDES(mu_);
 
   /// Lookup variant for the extraction hot path (ExtractionService). It
   /// behaves exactly like Lookup() except for entries planted by
@@ -90,13 +90,14 @@ class FeatureCache {
   /// would have Insert()ed the entry.
   std::shared_ptr<const Entry> LookupForExtraction(
       uint64_t pipeline_fingerprint, uint32_t doc_id,
-      bool* speculative_first_touch);
+      bool* speculative_first_touch) ZOMBIE_EXCLUDES(mu_);
 
   /// Inserts (or keeps the existing entry for) the key; may evict. The
   /// first writer wins on a duplicate key — values for a given key are
   /// identical by the determinism contract, so which copy survives is
   /// irrelevant.
-  void Insert(uint64_t pipeline_fingerprint, uint32_t doc_id, Entry entry);
+  void Insert(uint64_t pipeline_fingerprint, uint32_t doc_id, Entry entry)
+      ZOMBIE_EXCLUDES(mu_);
 
   /// Insert performed by a prefetch worker: the entry is marked speculative
   /// so that LookupForExtraction can account for its first touch as a miss
@@ -104,17 +105,18 @@ class FeatureCache {
   /// (never downgraded to speculative). Returns true when a new speculative
   /// entry was actually created.
   bool InsertSpeculative(uint64_t pipeline_fingerprint, uint32_t doc_id,
-                         Entry entry);
+                         Entry entry) ZOMBIE_EXCLUDES(mu_);
 
   /// True when the key is present (speculative or not). Touches no counters
   /// and no recency stamp — used by prefetchers to skip known work without
   /// perturbing the hit/miss accounting.
-  bool Contains(uint64_t pipeline_fingerprint, uint32_t doc_id) const;
+  bool Contains(uint64_t pipeline_fingerprint, uint32_t doc_id) const
+      ZOMBIE_EXCLUDES(mu_);
 
   /// Drops every entry (counts as evictions).
-  void Clear();
+  void Clear() ZOMBIE_EXCLUDES(mu_);
 
-  FeatureCacheStats Stats() const;
+  FeatureCacheStats Stats() const ZOMBIE_EXCLUDES(mu_);
 
   /// Publishes the current Stats() into `metrics` as gauges under
   /// "featureeng.cache.*" (entries, inserts, evictions, hit_rate, plus
@@ -153,11 +155,12 @@ class FeatureCache {
 
   /// Removes the oldest entries until size <= capacity * 7/8. Caller holds
   /// the exclusive lock.
-  void EvictLocked();
+  void EvictLocked() ZOMBIE_REQUIRES(mu_);
 
   FeatureCacheOptions options_;
-  mutable std::shared_mutex mu_;
-  std::unordered_map<Key, std::unique_ptr<Slot>, KeyHash> map_;
+  mutable SharedMutex mu_;
+  std::unordered_map<Key, std::unique_ptr<Slot>, KeyHash> map_
+      ZOMBIE_GUARDED_BY(mu_);
   std::atomic<uint64_t> tick_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

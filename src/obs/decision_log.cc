@@ -21,7 +21,7 @@ const char* CacheOutcomeName(CacheOutcome outcome) {
 
 void DecisionLog::AppendRun(const std::string& run_label,
                             std::vector<DecisionRecord> records) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<DecisionRecord>& dest = runs_[run_label];
   if (dest.empty()) {
     dest = std::move(records);
@@ -32,19 +32,19 @@ void DecisionLog::AppendRun(const std::string& run_label,
 }
 
 size_t DecisionLog::num_runs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return runs_.size();
 }
 
 size_t DecisionLog::num_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t n = 0;
   for (const auto& [label, records] : runs_) n += records.size();
   return n;
 }
 
 std::vector<std::string> DecisionLog::Labels() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> labels;
   labels.reserve(runs_.size());
   for (const auto& [label, records] : runs_) labels.push_back(label);
@@ -53,7 +53,7 @@ std::vector<std::string> DecisionLog::Labels() const {
 
 std::vector<DecisionRecord> DecisionLog::Records(
     const std::string& run_label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = runs_.find(run_label);
   return it == runs_.end() ? std::vector<DecisionRecord>() : it->second;
 }
@@ -61,7 +61,7 @@ std::vector<DecisionRecord> DecisionLog::Records(
 std::string DecisionLog::ToJsonl() const {
   using obs_internal::AppendJsonNumber;
   using obs_internal::JsonEscape;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   for (const auto& [label, records] : runs_) {
     std::string escaped = JsonEscape(label);

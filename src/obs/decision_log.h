@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace zombie {
 
@@ -52,16 +52,17 @@ class DecisionLog {
   /// Commits one run's records under `run_label` (appends when the label
   /// already exists, e.g. re-running an identical spec).
   void AppendRun(const std::string& run_label,
-                 std::vector<DecisionRecord> records);
+                 std::vector<DecisionRecord> records) ZOMBIE_EXCLUDES(mu_);
 
-  size_t num_runs() const;
-  size_t num_records() const;
+  size_t num_runs() const ZOMBIE_EXCLUDES(mu_);
+  size_t num_records() const ZOMBIE_EXCLUDES(mu_);
 
   /// Run labels in serialization (lexicographic) order.
-  std::vector<std::string> Labels() const;
+  std::vector<std::string> Labels() const ZOMBIE_EXCLUDES(mu_);
 
   /// Records for one run label (empty when absent).
-  std::vector<DecisionRecord> Records(const std::string& run_label) const;
+  std::vector<DecisionRecord> Records(const std::string& run_label) const
+      ZOMBIE_EXCLUDES(mu_);
 
   /// JSON Lines: one object per record, runs in label order, records in
   /// pull order. Deterministic byte-for-byte for deterministic runs.
@@ -70,8 +71,9 @@ class DecisionLog {
   [[nodiscard]] Status WriteJsonl(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<DecisionRecord>> runs_;
+  mutable Mutex mu_;
+  std::map<std::string, std::vector<DecisionRecord>> runs_
+      ZOMBIE_GUARDED_BY(mu_);
 };
 
 }  // namespace zombie

@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "util/clock.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace zombie {
 
@@ -105,7 +105,7 @@ class ScopedHistogramTimer {
   }
 
   ~ScopedHistogramTimer() {
-    if (hist_ != nullptr) {
+    if (watch_.has_value()) {
       hist_->Observe(static_cast<double>(watch_->ElapsedMicros()));
     }
   }
@@ -137,14 +137,15 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) ZOMBIE_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) ZOMBIE_EXCLUDES(mu_);
   /// `bounds` applies only when the histogram is created by this call;
   /// later lookups with different bounds return the existing histogram.
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<double> bounds = {});
+                          std::vector<double> bounds = {})
+      ZOMBIE_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const ZOMBIE_EXCLUDES(mu_);
 
   /// Serializes a Snapshot() as a stable, pretty-printed JSON object:
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
@@ -154,10 +155,12 @@ class MetricsRegistry {
   [[nodiscard]] Status WriteJson(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      ZOMBIE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ ZOMBIE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      ZOMBIE_GUARDED_BY(mu_);
 };
 
 }  // namespace zombie

@@ -30,7 +30,7 @@ uint32_t TraceRecorder::CurrentTid() const {
 
 void TraceRecorder::Append(const char* name, const char* category,
                            int64_t ts_micros, int64_t dur_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   TraceEvent e;
   e.name = name;
   e.category = category;
@@ -41,12 +41,12 @@ void TraceRecorder::Append(const char* name, const char* category,
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_.size();
 }
 
 std::vector<TraceEvent> TraceRecorder::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_;
 }
 

@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/clock.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace zombie {
 
@@ -44,10 +44,10 @@ class TraceRecorder {
 
   /// Appends a complete event (thread-safe).
   void Append(const char* name, const char* category, int64_t ts_micros,
-              int64_t dur_micros);
+              int64_t dur_micros) ZOMBIE_EXCLUDES(mu_);
 
-  size_t size() const;
-  std::vector<TraceEvent> Events() const;
+  size_t size() const ZOMBIE_EXCLUDES(mu_);
+  std::vector<TraceEvent> Events() const ZOMBIE_EXCLUDES(mu_);
 
   /// {"traceEvents": [...], "displayTimeUnit": "ms"} — the schema both
   /// Perfetto and chrome://tracing accept.
@@ -56,13 +56,15 @@ class TraceRecorder {
   [[nodiscard]] Status WriteJson(const std::string& path) const;
 
  private:
-  uint32_t CurrentTid() const;
+  uint32_t CurrentTid() const ZOMBIE_REQUIRES(mu_);
 
   std::function<int64_t()> now_fn_;
   Stopwatch epoch_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  mutable std::vector<std::pair<uint64_t, uint32_t>> tids_;  // hash -> dense id
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ ZOMBIE_GUARDED_BY(mu_);
+  /// hash -> dense id
+  mutable std::vector<std::pair<uint64_t, uint32_t>> tids_
+      ZOMBIE_GUARDED_BY(mu_);
 };
 
 /// RAII span: records [construction, destruction) as one trace event.

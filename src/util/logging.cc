@@ -7,7 +7,10 @@
 namespace zombie {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+// Process-wide log threshold. Deliberately global (the ZLOG macros cannot
+// thread a registry through every call site) and atomic; it steers only
+// logging verbosity, never results.
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};  // zombie-lint: allow(no-mutable-global)
 
 const char* LevelName(LogLevel level) {
   switch (level) {

@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(size_t num_threads, ThreadPoolStatsHooks hooks)
 ThreadPool::~ThreadPool() {
   accepting_.store(false, std::memory_order_release);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -33,28 +33,28 @@ void ThreadPool::Submit(std::function<void()> task) {
   if (hooks_.on_dequeue) queued.enqueue_micros = epoch_.ElapsedMicros();
   size_t depth = 0;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ZCHECK(!shutdown_) << "ThreadPool::Submit after shutdown";
     queue_.push(std::move(queued));
     ++in_flight_;
     depth = queue_.size();
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   // Outside the lock: hooks may be arbitrarily slow metric adapters.
   if (hooks_.on_submit) hooks_.on_submit(depth);
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (in_flight_ != 0) idle_cv_.Wait(&lock);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     QueuedTask task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(&lock);
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -73,9 +73,9 @@ void ThreadPool::WorkerLoop() {
       task.fn();
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (in_flight_ == 0) idle_cv_.notify_all();
+      if (in_flight_ == 0) idle_cv_.NotifyAll();
     }
   }
 }
@@ -90,14 +90,14 @@ void ParallelFor(ThreadPool* pool, size_t n,
 
 Status ParallelForStatus(ThreadPool* pool, size_t n,
                          const std::function<Status(size_t)>& fn) {
-  std::mutex first_mu;
+  Mutex first_mu;
   std::optional<size_t> first_index;
   Status first_status = Status::OK();
   for (size_t i = 0; i < n; ++i) {
     pool->Submit([&, i] {
       Status st = fn(i);
       if (st.ok()) return;
-      std::unique_lock<std::mutex> lock(first_mu);
+      MutexLock lock(&first_mu);
       if (!first_index.has_value() || i < *first_index) {
         first_index = i;
         first_status = std::move(st);

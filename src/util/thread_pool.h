@@ -2,16 +2,15 @@
 #define ZOMBIE_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "util/clock.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace zombie {
 
@@ -52,16 +51,16 @@ class ThreadPool {
   /// checked fatal error (the flag is flipped before the workers are
   /// joined, so a racing Submit dies loudly instead of corrupting the
   /// queue). Submitting from within a running task is safe.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) ZOMBIE_EXCLUDES(mu_);
 
   /// Blocks until every submitted task (including tasks submitted by tasks)
   /// has completed.
-  void Wait();
+  void Wait() ZOMBIE_EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ZOMBIE_EXCLUDES(mu_);
 
   struct QueuedTask {
     std::function<void()> fn;
@@ -73,12 +72,13 @@ class ThreadPool {
   ThreadPoolStatsHooks hooks_;
   /// Time base for the queue-wait hook; only read when hooks are set.
   Stopwatch epoch_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals workers
-  std::condition_variable idle_cv_;   // signals Wait()
-  std::queue<QueuedTask> queue_;
-  size_t in_flight_ = 0;  // queued + currently running
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;   // signals workers
+  CondVar idle_cv_;   // signals Wait()
+  std::queue<QueuedTask> queue_ ZOMBIE_GUARDED_BY(mu_);
+  /// Queued + currently running tasks.
+  size_t in_flight_ ZOMBIE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ ZOMBIE_GUARDED_BY(mu_) = false;
   /// Set (before `mu_` is even taken) at the top of the destructor;
   /// Submit checks it first so a use-after-shutdown fails fast even when
   /// the mutex state is already suspect.

@@ -1,0 +1,26 @@
+// MUST NOT COMPILE (-Werror=thread-safety): calling a ZOMBIE_EXCLUDES
+// function while already holding the excluded (non-reentrant) mutex.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Insert() ZOMBIE_EXCLUDES(mu_) {
+    zombie::MutexLock lock(&mu_);
+    ++size_;
+    Insert();  // re-entry with mu_ held: thread-safety error
+  }
+
+ private:
+  zombie::Mutex mu_;
+  int size_ ZOMBIE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void TouchForOdr() {
+  Registry r;
+  r.Insert();
+}

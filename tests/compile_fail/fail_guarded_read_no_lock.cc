@@ -1,0 +1,22 @@
+// MUST NOT COMPILE (-Werror=thread-safety): reading a ZOMBIE_GUARDED_BY
+// member without holding its mutex.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int Peek() { return value_; }  // read without mu_: thread-safety error
+
+ private:
+  zombie::Mutex mu_;
+  int value_ ZOMBIE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int TouchForOdr() {
+  Counter c;
+  return c.Peek();
+}

@@ -1,0 +1,25 @@
+// MUST NOT COMPILE (-Werror=thread-safety): writing a ZOMBIE_GUARDED_BY
+// member while holding only the shared (reader) side of its SharedMutex.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Cache {
+ public:
+  void Bump() {
+    zombie::ReaderMutexLock lock(&mu_);
+    ++entries_;  // write under a shared lock: thread-safety error
+  }
+
+ private:
+  zombie::SharedMutex mu_;
+  int entries_ ZOMBIE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void TouchForOdr() {
+  Cache c;
+  c.Bump();
+}

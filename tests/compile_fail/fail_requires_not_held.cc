@@ -1,0 +1,23 @@
+// MUST NOT COMPILE (-Werror=thread-safety): calling a ZOMBIE_REQUIRES
+// function without holding the required mutex.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Evictor {
+ public:
+  void Evict() { EvictLocked(); }  // mu_ not held: thread-safety error
+
+ private:
+  void EvictLocked() ZOMBIE_REQUIRES(mu_) {}
+
+  zombie::Mutex mu_;
+};
+
+}  // namespace
+
+void TouchForOdr() {
+  Evictor e;
+  e.Evict();
+}

@@ -1,0 +1,55 @@
+// MUST COMPILE: the fully annotated locking discipline — guards held for
+// every access, REQUIRES satisfied, condition-variable wait in a predicate
+// loop. If this file fails, the harness flags (not the annotations under
+// test) are broken, and every fail_* result is meaningless.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push() ZOMBIE_EXCLUDES(mu_) {
+    {
+      zombie::MutexLock lock(&mu_);
+      ++size_;
+      TrimLocked();
+    }
+    cv_.NotifyOne();
+  }
+
+  void AwaitNonEmpty() ZOMBIE_EXCLUDES(mu_) {
+    zombie::MutexLock lock(&mu_);
+    while (size_ == 0) cv_.Wait(&lock);
+  }
+
+  int Snapshot() const ZOMBIE_EXCLUDES(shared_mu_) {
+    zombie::ReaderMutexLock lock(&shared_mu_);
+    return snapshot_;
+  }
+
+  void Publish(int v) ZOMBIE_EXCLUDES(shared_mu_) {
+    zombie::WriterMutexLock lock(&shared_mu_);
+    snapshot_ = v;
+  }
+
+ private:
+  void TrimLocked() ZOMBIE_REQUIRES(mu_) {
+    if (size_ > 8) size_ = 8;
+  }
+
+  zombie::Mutex mu_;
+  zombie::CondVar cv_;
+  int size_ ZOMBIE_GUARDED_BY(mu_) = 0;
+  mutable zombie::SharedMutex shared_mu_;
+  int snapshot_ ZOMBIE_GUARDED_BY(shared_mu_) = 0;
+};
+
+}  // namespace
+
+void TouchForOdr() {
+  Queue q;
+  q.Push();
+  q.AwaitNonEmpty();
+  q.Publish(q.Snapshot());
+}

@@ -1,0 +1,12 @@
+#include <thread>
+
+namespace zombie {
+
+void FireAndForget() {
+  // BAD: raw std::thread outside src/util/thread_pool.
+  std::thread worker([] {});
+  // BAD: detach abandons the thread past every join/shutdown invariant.
+  worker.detach();
+}
+
+}  // namespace zombie

@@ -1,0 +1,11 @@
+#include <cstddef>
+#include <thread>
+
+namespace zombie {
+
+// Type-level std::thread uses are not thread construction.
+std::thread::id MainId() { return std::thread::id{}; }
+
+size_t Parallelism() { return std::thread::hardware_concurrency(); }
+
+}  // namespace zombie

@@ -1,0 +1,11 @@
+#include <thread>
+#include <vector>
+
+namespace zombie {
+
+// src/util/thread_pool.* is the one home for raw std::thread construction.
+void Spawn(std::vector<std::thread>* threads) {
+  threads->emplace_back([] {});
+}
+
+}  // namespace zombie

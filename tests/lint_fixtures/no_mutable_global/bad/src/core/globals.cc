@@ -1,0 +1,21 @@
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace zombie {
+
+// BAD: plain mutable global.
+int g_pull_count = 0;
+
+// BAD: atomics are thread-safe but still hidden process state.
+std::atomic<uint64_t> g_epoch{0};
+
+namespace detail {
+// BAD: nested namespaces do not launder globals.
+std::string g_last_label;
+}  // namespace detail
+
+}  // namespace zombie
+
+// BAD: file-scope counts as namespace scope too.
+double g_budget = 1.5;

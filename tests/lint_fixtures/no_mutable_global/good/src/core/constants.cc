@@ -1,0 +1,35 @@
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zombie {
+
+// const/constexpr/constinit globals carry no hidden mutable state.
+constexpr int kMaxArms = 64;
+const char* const kDefaultLabel = "run";
+constinit std::atomic<uint64_t> kEpochBase{0};
+
+// Function declarations and definitions are not variables.
+int PullCount();
+int PullCount() { return 0; }
+
+// The registered-singleton pattern: a function-local static behind an
+// accessor, constructed on first use.
+std::vector<int>& RegisteredIds() {
+  static std::vector<int> ids;
+  return ids;
+}
+
+// Locals and class members are out of the rule's scope.
+struct Session {
+  int pulls = 0;
+};
+
+// Aliases/using declarations are not variables.
+using Label = std::string;
+
+// The escape hatch names the exact rule.
+std::atomic<int> g_verbosity{1};  // zombie-lint: allow(no-mutable-global)
+
+}  // namespace zombie

@@ -1,0 +1,19 @@
+#include <execution>
+#include <numeric>
+#include <vector>
+
+#pragma float_control(precise, off)
+
+namespace zombie {
+
+// BAD on three counts: <execution> include, fast-math-style pragma above,
+// and std::reduce's unspecified accumulation order below.
+double Sum(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end(), 0.0);
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::transform_reduce(a.begin(), a.end(), b.begin(), 0.0);
+}
+
+}  // namespace zombie

@@ -1,0 +1,19 @@
+#include <numeric>
+#include <vector>
+
+// Turning contraction OFF tightens determinism; only relaxations are
+// findings.
+#pragma STDC FP_CONTRACT OFF
+
+namespace zombie {
+
+// std::accumulate is sequential left-to-right: exactly the FP-order
+// contract.
+double Sum(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+// An identifier merely *named* reduce is not std::reduce.
+double reduce(double a, double b) { return a + b; }
+
+}  // namespace zombie

@@ -1,0 +1,31 @@
+#include "core/state.h"
+
+namespace zombie {
+
+uint64_t ArmState::Total() const {
+  uint64_t sum = 0;
+  // BAD: range-for over an unordered member declared in the header.
+  for (const auto& kv : pulls_) {
+    sum += kv.second;
+  }
+  return sum;
+}
+
+void ArmState::Tick() {
+  // BAD: explicit iterator loop over an unordered member.
+  for (auto it = seen_.begin(); it != seen_.end(); ++it) {
+    (void)*it;
+  }
+}
+
+uint64_t SumLocal() {
+  std::unordered_map<int, int> local{{1, 2}};
+  uint64_t sum = 0;
+  // BAD: range-for over a locally declared unordered map.
+  for (const auto& kv : local) {
+    sum += static_cast<uint64_t>(kv.second);
+  }
+  return sum;
+}
+
+}  // namespace zombie

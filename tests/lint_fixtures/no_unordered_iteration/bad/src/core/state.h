@@ -1,0 +1,24 @@
+#ifndef ZOMBIE_CORE_STATE_H_
+#define ZOMBIE_CORE_STATE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace zombie {
+
+// The member types live in this header; the iteration lives in the .cc —
+// the rule must connect them through the include graph.
+class ArmState {
+ public:
+  uint64_t Total() const;
+  void Tick();
+
+ private:
+  std::unordered_map<uint32_t, uint64_t> pulls_;
+  std::unordered_set<uint32_t> seen_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_CORE_STATE_H_

@@ -1,0 +1,46 @@
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace zombie {
+
+// Lookup (no traversal) on an unordered container is fine.
+uint64_t LookupOnly(const std::unordered_map<uint32_t, uint64_t>& pulls,
+                    uint32_t arm) {
+  auto it = pulls.find(arm);
+  return it == pulls.end() ? 0 : it->second;
+}
+
+// Copy-keys-and-sort is the sanctioned traversal recipe: order comes from
+// the sort, not the hash seed.
+std::vector<uint32_t> SortedKeys(
+    const std::unordered_map<uint32_t, uint64_t>& pulls,
+    const std::vector<uint32_t>& universe) {
+  std::vector<uint32_t> keys;
+  for (uint32_t arm : universe) {
+    if (pulls.count(arm) != 0) keys.push_back(arm);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Ordered containers iterate deterministically; no finding. (Named
+// distinctly from the unordered params above: the symbol table is
+// file-wide by design, so reusing an unordered-declared name for an
+// ordered container would — intentionally — still flag.)
+uint64_t SumOrdered(const std::map<uint32_t, uint64_t>& by_arm) {
+  uint64_t sum = 0;
+  for (const auto& kv : by_arm) sum += kv.second;
+  return sum;
+}
+
+// The escape hatch still works when order provably cannot reach results.
+uint64_t SumSuppressed(const std::unordered_map<uint32_t, uint64_t>& pulls) {
+  uint64_t sum = 0;
+  for (const auto& kv : pulls) sum += kv.second;  // zombie-lint: allow(no-unordered-iteration)
+  return sum;
+}
+
+}  // namespace zombie

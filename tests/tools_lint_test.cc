@@ -130,12 +130,16 @@ TEST_F(ZombieLintTest, TokensInCommentsAndStringsDoNotTrigger) {
 
 TEST_F(ZombieLintTest, SubstringIdentifiersDoNotTrigger) {
   // "operand", "entry", "catchup" contain banned tokens as substrings only.
+  // (Locals, not globals, so no-mutable-global stays quiet too.)
   WriteFile("src/substrings.cc",
             "namespace zombie {\n"
-            "int operand = 0;\n"
-            "int entry = 1;\n"
-            "int catchup = 2;\n"
-            "int sprintf_like = 3;\n"
+            "int Sum() {\n"
+            "  int operand = 0;\n"
+            "  int entry = 1;\n"
+            "  int catchup = 2;\n"
+            "  int sprintf_like = 3;\n"
+            "  return operand + entry + catchup + sprintf_like;\n"
+            "}\n"
             "}  // namespace zombie\n");
   LintRun run = RunLint(src());
   EXPECT_EQ(run.exit_code, 0) << run.output;
@@ -249,9 +253,11 @@ TEST_F(ZombieLintTest, StringVectorMatchToleratesWhitespace) {
             "}  // namespace zombie\n");
   LintRun run = RunLint(src());
   EXPECT_EQ(run.exit_code, 1) << run.output;
-  // The single-line spelling must be caught despite the extra spaces. (A
-  // declaration wrapped across lines is beyond the per-line matcher.)
+  // The single-line spelling must be caught despite the extra spaces, and —
+  // since the linter matches token sequences, not lines — the declaration
+  // wrapped across lines 5-7 must be caught too.
   EXPECT_NE(run.output.find("spaced.cc:4"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("spaced.cc:5"), std::string::npos) << run.output;
 }
 
 TEST_F(ZombieLintTest, StringVectorOutsideHotPathIsFine) {
@@ -358,6 +364,308 @@ TEST_F(ZombieLintTest, MissingHeaderGuardIsReported) {
   EXPECT_NE(run.output.find("missing #ifndef"), std::string::npos)
       << run.output;
 }
+
+// --- suppression matching is exact per rule token -------------------------
+
+TEST_F(ZombieLintTest, SuppressionRequiresExactRuleToken) {
+  // A longer rule name sharing the real one as a prefix must not suppress.
+  WriteFile("src/prefix_rule.cc",
+            "namespace zombie {\n"
+            "int Roll(int (*rand)());  // zombie-lint: allow(no-raw-random-x)\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-raw-random"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, SuppressionPrefixOfRuleDoesNotSuppress) {
+  // A shorter prefix of the rule name must not suppress either.
+  WriteFile("src/short_rule.cc",
+            "namespace zombie {\n"
+            "int Roll(int (*rand)());  // zombie-lint: allow(no-raw)\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-raw-random"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, SuppressionAcceptsCommaList) {
+  WriteFile("src/multi_rule.cc",
+            "namespace zombie {\n"
+            "int Roll(int (*rand)()) { return 0; }"
+            "  // zombie-lint: allow(no-stdout, no-raw-random)\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// --- no-unordered-iteration -----------------------------------------------
+
+TEST_F(ZombieLintTest, RejectsRangeForOverUnorderedMap) {
+  WriteFile("src/core/iter.cc",
+            "#include <unordered_map>\n"
+            "namespace zombie {\n"
+            "int Sum(const std::unordered_map<int, int>& m) {\n"
+            "  int s = 0;\n"
+            "  for (const auto& kv : m) s += kv.second;\n"
+            "  return s;\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-unordered-iteration"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("iter.cc:5"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, UnorderedMemberDeclaredInHeaderIsCaughtInCc) {
+  // The declaration and the iteration live in different files; the include
+  // graph must connect them.
+  WriteFile("src/core/tally.h",
+            "#ifndef ZOMBIE_CORE_TALLY_H_\n"
+            "#define ZOMBIE_CORE_TALLY_H_\n"
+            "#include <unordered_map>\n"
+            "namespace zombie {\n"
+            "class Tally {\n"
+            " public:\n"
+            "  int Sum() const;\n"
+            " private:\n"
+            "  std::unordered_map<int, int> counts_;\n"
+            "};\n"
+            "}  // namespace zombie\n"
+            "#endif  // ZOMBIE_CORE_TALLY_H_\n");
+  WriteFile("src/core/tally.cc",
+            "#include \"core/tally.h\"\n"
+            "namespace zombie {\n"
+            "int Tally::Sum() const {\n"
+            "  int s = 0;\n"
+            "  for (const auto& kv : counts_) s += kv.second;\n"
+            "  return s;\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-unordered-iteration"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("tally.cc:5"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, UnorderedIterationOutsideRestrictedDirsIsFine) {
+  WriteFile("src/util/freq.cc",
+            "#include <unordered_map>\n"
+            "namespace zombie {\n"
+            "int Sum(const std::unordered_map<int, int>& m) {\n"
+            "  int s = 0;\n"
+            "  for (const auto& kv : m) s += kv.second;\n"
+            "  return s;\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, UnorderedLookupWithoutIterationIsFine) {
+  WriteFile("src/core/lookup.cc",
+            "#include <unordered_map>\n"
+            "namespace zombie {\n"
+            "int Get(const std::unordered_map<int, int>& m, int k) {\n"
+            "  auto it = m.find(k);\n"
+            "  return it == m.end() ? 0 : it->second;\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// --- no-detached-thread ----------------------------------------------------
+
+TEST_F(ZombieLintTest, RejectsRawThreadAndDetach) {
+  WriteFile("src/core/spawner.cc",
+            "#include <thread>\n"
+            "namespace zombie {\n"
+            "void Go() {\n"
+            "  std::thread t([] {});\n"
+            "  t.detach();\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-detached-thread"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("spawner.cc:4"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("spawner.cc:5"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, ThreadPoolFilesMayConstructThreads) {
+  WriteFile("src/util/thread_pool.cc",
+            "#include <thread>\n"
+            "#include <vector>\n"
+            "namespace zombie {\n"
+            "void Spawn(std::vector<std::thread>* ts) {"
+            " ts->emplace_back([] {}); }\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, ThreadTypeLevelUsesAreFine) {
+  WriteFile("src/core/par.cc",
+            "#include <thread>\n"
+            "namespace zombie {\n"
+            "unsigned N() { return std::thread::hardware_concurrency(); }\n"
+            "std::thread::id Id() { return std::thread::id{}; }\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// --- no-nondet-float -------------------------------------------------------
+
+TEST_F(ZombieLintTest, RejectsStdReduceAndFastMathPragma) {
+  WriteFile("src/ml/fast.cc",
+            "#include <numeric>\n"
+            "#include <vector>\n"
+            "#pragma float_control(precise, off)\n"
+            "namespace zombie {\n"
+            "double Sum(const std::vector<double>& v) {\n"
+            "  return std::reduce(v.begin(), v.end(), 0.0);\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-nondet-float"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("fast.cc:3"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("fast.cc:6"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, AccumulateAndContractOffAreFine) {
+  WriteFile("src/ml/seq.cc",
+            "#include <numeric>\n"
+            "#include <vector>\n"
+            "#pragma STDC FP_CONTRACT OFF\n"
+            "namespace zombie {\n"
+            "double Sum(const std::vector<double>& v) {\n"
+            "  return std::accumulate(v.begin(), v.end(), 0.0);\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, RejectsExecutionHeaderInclude) {
+  WriteFile("src/ml/parstl.cc",
+            "#include <execution>\n"
+            "namespace zombie {\n"
+            "int Noop() { return 0; }\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-nondet-float"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("parstl.cc:1"), std::string::npos) << run.output;
+}
+
+// --- no-mutable-global -----------------------------------------------------
+
+TEST_F(ZombieLintTest, RejectsMutableNamespaceScopeVariable) {
+  WriteFile("src/core/state.cc",
+            "namespace zombie {\n"
+            "int g_counter = 0;\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-mutable-global"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("g_counter"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, RejectsMutableGlobalInAnonymousNamespace) {
+  // Anonymous namespaces and brace-initialized atomics do not launder
+  // hidden state.
+  WriteFile("src/core/anon.cc",
+            "#include <atomic>\n"
+            "namespace zombie {\n"
+            "namespace {\n"
+            "std::atomic<int> g_level{2};\n"
+            "}  // namespace\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-mutable-global"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("anon.cc:4"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, ConstGlobalsAndLocalStaticsAreFine) {
+  WriteFile("src/core/consts.cc",
+            "namespace zombie {\n"
+            "constexpr int kMax = 8;\n"
+            "const char* const kName = \"x\";\n"
+            "int& Counter() {\n"
+            "  static int count = 0;\n"
+            "  return count;\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, FunctionAndClassDeclarationsAreNotGlobals) {
+  WriteFile("src/core/decls.cc",
+            "#include <string>\n"
+            "namespace zombie {\n"
+            "int Add(int a, int b);\n"
+            "struct Options { int depth = 3; };\n"
+            "using Label = std::string;\n"
+            "int Add(int a, int b) { return a + b; }\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// --- checked-in fixture trees ---------------------------------------------
+
+#ifndef ZOMBIE_LINT_FIXTURES
+#error "ZOMBIE_LINT_FIXTURES must be defined by the build"
+#endif
+
+struct FixtureCase {
+  const char* dir;
+  const char* rule;
+};
+
+class ZombieLintFixtureTest : public ::testing::TestWithParam<FixtureCase> {};
+
+TEST_P(ZombieLintFixtureTest, BadTreeFails) {
+  fs::path tree =
+      fs::path(ZOMBIE_LINT_FIXTURES) / GetParam().dir / "bad" / "src";
+  ASSERT_TRUE(fs::is_directory(tree)) << tree;
+  LintRun run = RunLint(tree);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find(std::string("[") + GetParam().rule + "]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST_P(ZombieLintFixtureTest, GoodTreeIsClean) {
+  fs::path tree =
+      fs::path(ZOMBIE_LINT_FIXTURES) / GetParam().dir / "good" / "src";
+  ASSERT_TRUE(fs::is_directory(tree)) << tree;
+  LintRun run = RunLint(tree);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeterminismRules, ZombieLintFixtureTest,
+    ::testing::Values(
+        FixtureCase{"no_unordered_iteration", "no-unordered-iteration"},
+        FixtureCase{"no_detached_thread", "no-detached-thread"},
+        FixtureCase{"no_nondet_float", "no-nondet-float"},
+        FixtureCase{"no_mutable_global", "no-mutable-global"}),
+    [](const ::testing::TestParamInfo<FixtureCase>& fixture) {
+      return std::string(fixture.param.dir);
+    });
 
 }  // namespace
 }  // namespace zombie
