@@ -1,0 +1,208 @@
+// bench_store — persistent feature store warm-vs-cold A/B: the identical
+// cold-memory-cache warm-start session (the E8 engineer workload) run
+// three times — store off, store cold (first run populates the on-disk
+// store), and store warm (a fresh process-equivalent reopen serves every
+// unchanged revision's extraction from disk). The store is
+// wall-clock-only: outcomes are ZCHECKed byte-identical on the virtual
+// clock across all three arms, and the warm/cold wall ratio over the
+// revision loop is the headline number — target < 1.0 (warm restart
+// skips the extraction the cold run had to do).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.h"
+#include "core/session.h"
+#include "data/generator.h"
+#include "data/webcat_generator.h"
+#include "featureeng/persistent_feature_store.h"
+#include "featureeng/revision_script.h"
+#include "index/kmeans_grouper.h"
+#include "ml/naive_bayes.h"
+#include "obs/obs.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace zombie {
+namespace bench {
+namespace {
+
+bool SameOutcomes(const SessionResult& a, const SessionResult& b) {
+  if (a.revisions.size() != b.revisions.size()) return false;
+  if (a.total_virtual_micros != b.total_virtual_micros) return false;
+  if (a.best_quality != b.best_quality) return false;
+  for (size_t i = 0; i < a.revisions.size(); ++i) {
+    const RevisionOutcome& x = a.revisions[i];
+    const RevisionOutcome& y = b.revisions[i];
+    if (x.items_processed != y.items_processed) return false;
+    if (x.virtual_micros != y.virtual_micros) return false;
+    if (x.final_quality != y.final_quality) return false;
+  }
+  return true;
+}
+
+void RemoveStoreFiles(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+struct ArmResult {
+  SessionResult session;
+  int64_t wall_micros = 0;
+};
+
+/// One full session from a cold memory cache, optionally store-backed.
+ArmResult RunArm(const Corpus& corpus, const RevisionScript& script,
+                 const NaiveBayesLearner& nb, const LabelReward& reward,
+                 const EngineOptions& base, ObsContext* obs,
+                 PersistentFeatureStore* store) {
+  EngineOptions opts = base;
+  opts.obs = obs;
+  FeatureCache cache;
+  KMeansGrouper grouper(32, 7);
+  Stopwatch watch;
+  ArmResult out;
+  out.session =
+      RunSession(corpus, script, SessionMode::kZombie, &grouper, nb, reward,
+                 opts, /*warm_start_bandit=*/true, &cache, {}, store);
+  out.wall_micros = watch.ElapsedMicros();
+  return out;
+}
+
+void Run() {
+  PrintPreamble(
+      "STORE: persistent feature store warm-restart A/B (WebCat session)",
+      "cross-process extraction reuse: an mmap-backed store carries "
+      "featurizations across engine restarts, so a warm rerun of the "
+      "session skips extraction for every unchanged revision",
+      "identical virtual-clock outcomes across off/cold/warm; wall-clock "
+      "ratio (warm/cold) < 1.0 over the revision loop");
+
+  WebCatOptions wopts;
+  wopts.num_documents = BenchCorpusSize();
+  wopts.seed = 42;
+  wopts.mean_extraction_cost_ms = 25.0;
+  SyntheticCorpusConfig cfg = MakeWebCatConfig(wopts);
+  // Extraction-heavy documents: the wall-clock cost the store short-
+  // circuits must dominate, matching the paper's session scenario.
+  cfg.mean_doc_length = 480.0;
+  Corpus corpus = SyntheticCorpusGenerator(cfg).Generate();
+
+  RevisionScript script = MakeWebCatRevisionScript();
+  NaiveBayesLearner nb;
+  LabelReward reward;
+  EngineOptions base = BenchEngineOptions(1);
+
+  const char* json_dir = std::getenv("ZOMBIE_BENCH_JSON_DIR");
+  std::string store_path =
+      (json_dir != nullptr ? std::string(json_dir) : std::string("."));
+  store_path += "/bench_store.zfs";
+  RemoveStoreFiles(store_path);
+
+  // A: no store. Fresh cold memory cache; obs attached for symmetric
+  // instrumentation overhead with the other arms.
+  ObsContext obs_off;
+  ArmResult off = RunArm(corpus, script, nb, reward, base, &obs_off, nullptr);
+
+  // B: cold store. The session extracts everything once and appends each
+  // record to the fresh file — this arm pays the store's write overhead.
+  ObsContext obs_cold;
+  ArmResult cold;
+  PersistentFeatureStoreStats cold_stats;
+  {
+    StatusOr<std::unique_ptr<PersistentFeatureStore>> store =
+        PersistentFeatureStore::Open(store_path);
+    ZCHECK(store.ok()) << store.status().ToString();
+    ZCHECK(store.value()->writable())
+        << "cold arm must own the writer role on " << store_path;
+    cold = RunArm(corpus, script, nb, reward, base, &obs_cold,
+                  store.value().get());
+    cold_stats = store.value()->Stats();
+  }
+
+  // C: warm store. A fresh open (the restart) recovers the cold run's
+  // records; every unchanged revision's extraction is served from disk.
+  ObsContext obs_warm;
+  ArmResult warm;
+  PersistentFeatureStoreStats warm_stats;
+  {
+    StatusOr<std::unique_ptr<PersistentFeatureStore>> store =
+        PersistentFeatureStore::Open(store_path);
+    ZCHECK(store.ok()) << store.status().ToString();
+    warm = RunArm(corpus, script, nb, reward, base, &obs_warm,
+                  store.value().get());
+    warm_stats = store.value()->Stats();
+    store.value()->ExportMetrics(obs_warm.metrics());
+  }
+
+  // The contract everything rests on: the store only moves wall time.
+  ZCHECK(SameOutcomes(off.session, cold.session))
+      << "cold store changed session outcomes (virtual clock or quality)";
+  ZCHECK(SameOutcomes(off.session, warm.session))
+      << "warm store changed session outcomes (virtual clock or quality)";
+  ZCHECK(cold_stats.appends > 0) << "cold run did not populate the store";
+  ZCHECK(warm_stats.hits > 0) << "warm run did not hit the store";
+
+  // Index construction is identical on every arm and untouched by the
+  // store; only the revision loop can be shortened by a warm restart.
+  int64_t loop_off = off.wall_micros - off.session.index_wall_micros;
+  int64_t loop_cold = cold.wall_micros - cold.session.index_wall_micros;
+  int64_t loop_warm = warm.wall_micros - warm.session.index_wall_micros;
+  double warm_ratio = loop_cold > 0 ? static_cast<double>(loop_warm) /
+                                          static_cast<double>(loop_cold)
+                                    : 0.0;
+  double cold_ratio = loop_off > 0 ? static_cast<double>(loop_cold) /
+                                         static_cast<double>(loop_off)
+                                   : 0.0;
+
+  std::printf("\nstore off:  %s wall (%s excl. one-time index build)\n",
+              FormatDuration(off.wall_micros).c_str(),
+              FormatDuration(loop_off).c_str());
+  std::printf("store cold: %s wall (%s excl. index; %llu records appended)\n",
+              FormatDuration(cold.wall_micros).c_str(),
+              FormatDuration(loop_cold).c_str(),
+              static_cast<unsigned long long>(cold_stats.appends));
+  std::printf("store warm: %s wall (%s excl. index; %llu recovered, "
+              "hit rate %.3f)\n",
+              FormatDuration(warm.wall_micros).c_str(),
+              FormatDuration(loop_warm).c_str(),
+              static_cast<unsigned long long>(warm_stats.recovered),
+              warm_stats.hit_rate());
+  std::printf("wall ratio: %.3f warm/cold over the revision loop "
+              "(virtual-clock outcomes byte-identical); cold/off %.3f "
+              "(write overhead)\n",
+              warm_ratio, cold_ratio);
+  std::printf("target:     warm/cold < 1.0 — a warm restart reads "
+              "extractions from disk instead of recomputing them\n");
+
+  BenchReporter reporter("store");
+  reporter.Add({"session/store_off", static_cast<double>(off.wall_micros),
+                static_cast<double>(off.session.total_virtual_micros), 0.0,
+                off.session.best_quality, -1.0});
+  reporter.Add({"session/store_cold", static_cast<double>(cold.wall_micros),
+                static_cast<double>(cold.session.total_virtual_micros), 0.0,
+                cold.session.best_quality, -1.0});
+  reporter.Add({"session/store_warm", static_cast<double>(warm.wall_micros),
+                static_cast<double>(warm.session.total_virtual_micros), 0.0,
+                warm.session.best_quality, warm_stats.hit_rate()});
+  reporter.AddMetric("store_warm_wall_ratio", warm_ratio);
+  reporter.AddMetric("store_cold_wall_ratio", cold_ratio);
+  reporter.AddMetric("store_hits",
+                     static_cast<double>(warm_stats.hits));
+  reporter.AddMetric("store_hit_rate", warm_stats.hit_rate());
+  reporter.AttachMetrics(*obs_warm.metrics());
+  reporter.Finish();
+
+  RemoveStoreFiles(store_path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace zombie
+
+int main() {
+  zombie::SetLogLevel(zombie::LogLevel::kWarning);
+  zombie::bench::Run();
+  return 0;
+}

@@ -14,6 +14,7 @@ namespace zombie {
 
 class FeatureCache;
 class ObsContext;
+class PersistentFeatureStore;
 
 /// When the inner loop ends. Rules combine with OR: the first satisfied
 /// rule stops the run. Exhausting the corpus always stops it.
@@ -88,6 +89,14 @@ struct EngineOptions {
   /// their cache inside the service, and this field must stay null there
   /// (checked at engine construction).
   FeatureCache* feature_cache = nullptr;
+  /// Optional persistent second cache tier behind `feature_cache`
+  /// (borrowed; featureeng/persistent_feature_store.h). Same as-if-no-store
+  /// accounting as the cache: a store hit only skips wall-clock extraction,
+  /// the virtual clock is still charged in full, so results are
+  /// byte-identical with the store disabled, cold, or warm. Subject to the
+  /// same raw-pipeline-engines-only rule as `feature_cache` (checked at
+  /// engine construction); usable with or without a memory cache in front.
+  PersistentFeatureStore* feature_store = nullptr;
   /// Optional observability sinks (borrowed, thread-safe; obs/obs.h). When
   /// set, the engine emits trace spans, metric series, and per-pull
   /// decision records into whichever sinks the context enables. Never

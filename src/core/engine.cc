@@ -50,6 +50,9 @@ ZombieEngine::ZombieEngine(const Corpus* corpus, ExtractionService* service,
   ZCHECK(options.feature_cache == nullptr)
       << "with a borrowed ExtractionService the cache belongs to the "
          "service, not EngineOptions";
+  ZCHECK(options.feature_store == nullptr)
+      << "with a borrowed ExtractionService the feature store belongs to "
+         "the service, not EngineOptions";
   ZCHECK_OK(options.Validate());
   ZCHECK(!corpus->empty()) << "cannot run on an empty corpus";
 }
@@ -131,7 +134,8 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
   std::unique_ptr<ExtractionService> run_service;
   if (service == nullptr) {
     run_service = std::make_unique<ExtractionService>(
-        pipeline_, options_.feature_cache, spec.prefetch, tracer);
+        pipeline_, options_.feature_cache, spec.prefetch, tracer,
+        options_.feature_store);
     service = run_service.get();
   }
   CacheOutcome last_cache = CacheOutcome::kDisabled;

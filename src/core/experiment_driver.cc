@@ -73,10 +73,12 @@ ExperimentDriver::ExperimentDriver(const Corpus* corpus,
   ZCHECK(pipeline != nullptr);
   ZCHECK(options_.engine.feature_cache == nullptr)
       << "pass the cache via ExperimentDriverOptions::cache";
+  ZCHECK(options_.engine.feature_store == nullptr)
+      << "pass the store via ExperimentDriverOptions::store";
   ObsContext* obs = options_.engine.obs;
   service_ = std::make_unique<ExtractionService>(
       pipeline_, options_.cache, options_.prefetch,
-      obs != nullptr ? obs->trace() : nullptr);
+      obs != nullptr ? obs->trace() : nullptr, options_.store);
 }
 
 StatusOr<std::vector<TrialResult>> ExperimentDriver::RunGrid(

@@ -83,6 +83,10 @@ struct ExperimentDriverOptions {
   /// ExtractionService). Requires `cache` — speculation without a cache
   /// has nowhere to put results and is silently disabled.
   PrefetchOptions prefetch;
+  /// Optional persistent second cache tier shared by every trial (borrowed,
+  /// thread-safe; must outlive the driver). Wall-clock-only, like `cache`;
+  /// `engine.feature_store` must stay null.
+  PersistentFeatureStore* store = nullptr;
 };
 
 /// Executes experiment grids over one (corpus, pipeline) workload on a

@@ -36,9 +36,12 @@ SessionResult RunSession(const Corpus& corpus, const RevisionScript& script,
                          const RewardFunction& reward,
                          EngineOptions engine_options,
                          bool warm_start_bandit, FeatureCache* cache,
-                         PrefetchOptions prefetch) {
+                         PrefetchOptions prefetch,
+                         PersistentFeatureStore* store) {
   ZCHECK(engine_options.feature_cache == nullptr)
       << "pass the cache via RunSession's cache parameter";
+  ZCHECK(engine_options.feature_store == nullptr)
+      << "pass the store via RunSession's store parameter";
   SessionResult session;
   session.mode = mode;
   std::vector<ArmSummary> previous_arms;
@@ -62,8 +65,8 @@ SessionResult RunSession(const Corpus& corpus, const RevisionScript& script,
     // pipeline goes out of scope.
     ExtractionService service(
         &pipeline, cache, prefetch,
-        engine_options.obs != nullptr ? engine_options.obs->trace()
-                                      : nullptr);
+        engine_options.obs != nullptr ? engine_options.obs->trace() : nullptr,
+        store);
 
     RevisionOutcome outcome;
     outcome.revision_name = script.name(r);

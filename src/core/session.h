@@ -71,11 +71,15 @@ struct SessionResult {
 /// numbers are unchanged by the cache; only wall-clock time shrinks.
 ///
 /// Ownership: the session routes each revision through its own
-/// ExtractionService built over (revision pipeline, cache, `prefetch`), so
-/// EngineOptions::feature_cache must be null here — pass the cache via the
-/// `cache` parameter and it outlives every service built on it. `prefetch`
-/// enables speculative prefetch extraction per revision (wall-clock-only;
-/// see ExtractionService).
+/// ExtractionService built over (revision pipeline, cache, `prefetch`,
+/// `store`), so EngineOptions::feature_cache and feature_store must be null
+/// here — pass both via the parameters and they outlive every service
+/// built on them. `prefetch` enables speculative prefetch extraction per
+/// revision; `store` attaches a persistent second cache tier that carries
+/// extractions across *processes* and restarts (both wall-clock-only; see
+/// ExtractionService). Each revision hits the store under its own pipeline
+/// fingerprint, so a warm store skips re-extraction for exactly the
+/// revisions whose feature code is unchanged.
 SessionResult RunSession(const Corpus& corpus, const RevisionScript& script,
                          SessionMode mode, Grouper* grouper,
                          const Learner& learner_prototype,
@@ -83,7 +87,8 @@ SessionResult RunSession(const Corpus& corpus, const RevisionScript& script,
                          EngineOptions engine_options,
                          bool warm_start_bandit = false,
                          FeatureCache* cache = nullptr,
-                         PrefetchOptions prefetch = {});
+                         PrefetchOptions prefetch = {},
+                         PersistentFeatureStore* store = nullptr);
 
 }  // namespace zombie
 

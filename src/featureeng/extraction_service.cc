@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "featureeng/persistent_feature_store.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -16,10 +17,17 @@ int32_t BinaryLabel(int32_t raw) { return raw == 1 ? 1 : 0; }
 ExtractionService::ExtractionService(const FeaturePipeline* pipeline,
                                      FeatureCache* cache,
                                      PrefetchOptions prefetch,
-                                     TraceRecorder* trace)
-    : pipeline_(pipeline), cache_(cache), prefetch_(prefetch), trace_(trace) {
+                                     TraceRecorder* trace,
+                                     PersistentFeatureStore* store)
+    : pipeline_(pipeline),
+      cache_(cache),
+      prefetch_(prefetch),
+      trace_(trace),
+      store_(store) {
   ZCHECK(pipeline_ != nullptr) << "ExtractionService needs a pipeline";
-  if (cache_ != nullptr) fingerprint_ = pipeline_->Fingerprint();
+  if (cache_ != nullptr || store_ != nullptr) {
+    fingerprint_ = pipeline_->Fingerprint();
+  }
   // Speculation needs both workers and a cache to put results into.
   if (prefetch_.threads > 0 && cache_ != nullptr) {
     pool_ = std::make_unique<ThreadPool>(prefetch_.threads);
@@ -39,7 +47,20 @@ SparseVector ExtractionService::Featurize(const Document& doc,
                                           const Corpus& corpus,
                                           CacheOutcome* outcome) {
   if (cache_ == nullptr) {
+    // No memory tier: the store alone still short-circuits wall-clock
+    // extraction, while the reported outcome stays kDisabled — exactly
+    // what the caller would see with no cache attached at all.
     if (outcome != nullptr) *outcome = CacheOutcome::kDisabled;
+    if (store_ != nullptr) {
+      if (auto stored = store_->Lookup(fingerprint_, doc_id)) {
+        return stored->features;
+      }
+      SparseVector x = pipeline_->Extract(doc, corpus);
+      store_->Append(fingerprint_, doc_id,
+                     FeatureCache::Entry{x, BinaryLabel(doc.label),
+                                         pipeline_->ExtractionCostMicros(doc)});
+      return x;
+    }
     return pipeline_->Extract(doc, corpus);
   }
   bool speculative_first_touch = false;
@@ -57,10 +78,21 @@ SparseVector ExtractionService::Featurize(const Document& doc,
     return hit->features;
   }
   if (outcome != nullptr) *outcome = CacheOutcome::kMiss;
+  if (store_ != nullptr) {
+    if (auto stored = store_->Lookup(fingerprint_, doc_id)) {
+      // Second-tier hit: fill the memory cache with the stored entry via
+      // the same non-speculative Insert the store-off world would have
+      // performed after extracting, so cache-state evolution (and any
+      // later eviction behavior) is identical either way.
+      cache_->Insert(fingerprint_, doc_id, *stored);
+      return std::move(stored->features);
+    }
+  }
   SparseVector x = pipeline_->Extract(doc, corpus);
-  cache_->Insert(fingerprint_, doc_id,
-                 FeatureCache::Entry{x, BinaryLabel(doc.label),
-                                     pipeline_->ExtractionCostMicros(doc)});
+  FeatureCache::Entry entry{x, BinaryLabel(doc.label),
+                            pipeline_->ExtractionCostMicros(doc)};
+  cache_->Insert(fingerprint_, doc_id, entry);
+  if (store_ != nullptr) store_->Append(fingerprint_, doc_id, entry);
   return x;
 }
 
@@ -97,13 +129,30 @@ size_t ExtractionService::EnqueuePrefetch(
         in_flight_.fetch_sub(1, std::memory_order_relaxed);
         return;
       }
+      bool created;
+      if (store_ != nullptr) {
+        if (auto stored = store_->Lookup(fingerprint_, doc_id)) {
+          // Second-tier hit: promote to a speculative memory entry with no
+          // extraction (and no trace span — no pipeline work ran).
+          created = cache_->InsertSpeculative(fingerprint_, doc_id,
+                                              std::move(*stored));
+          if (created) {
+            issued_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            skipped_.fetch_add(1, std::memory_order_relaxed);
+          }
+          in_flight_.fetch_sub(1, std::memory_order_relaxed);
+          return;
+        }
+      }
       TraceSpan span(trace_, "prefetch.extract", "prefetch");
       const Document& doc = corpus_ptr->doc(doc_id);
       SparseVector x = pipeline_->Extract(doc, *corpus_ptr);
-      bool created = cache_->InsertSpeculative(
-          fingerprint_, doc_id,
-          FeatureCache::Entry{std::move(x), BinaryLabel(doc.label),
-                              pipeline_->ExtractionCostMicros(doc)});
+      FeatureCache::Entry entry{std::move(x), BinaryLabel(doc.label),
+                                pipeline_->ExtractionCostMicros(doc)};
+      if (store_ != nullptr) store_->Append(fingerprint_, doc_id, entry);
+      created =
+          cache_->InsertSpeculative(fingerprint_, doc_id, std::move(entry));
       if (created) {
         issued_.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -138,7 +187,9 @@ PrefetchStats ExtractionService::prefetch_stats() const {
 }
 
 void ExtractionService::ExportMetrics(MetricsRegistry* metrics) const {
-  if (metrics == nullptr || pool_ == nullptr) return;
+  if (metrics == nullptr) return;
+  if (store_ != nullptr) store_->ExportMetrics(metrics);
+  if (pool_ == nullptr) return;
   MutexLock lock(&export_mu_);
   PrefetchStats now = prefetch_stats();
   // Counters are increment-only, so export the delta since the previous

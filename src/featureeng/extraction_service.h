@@ -18,6 +18,7 @@
 namespace zombie {
 
 class MetricsRegistry;
+class PersistentFeatureStore;
 
 /// Bounds for speculative prefetch extraction. All limits are hard caps;
 /// speculation beyond them is silently dropped (never queued unbounded).
@@ -59,18 +60,27 @@ struct PrefetchStats {
 };
 
 /// The single entry point for feature extraction: a facade over the
-/// pipeline, the optional FeatureCache, and an optional speculative
-/// prefetch pool. Everything that featurizes a document — engine inner
-/// loop, holdout setup, experiment driver, benches — goes through
-/// Featurize() so cache policy and speculation live in exactly one place
-/// (enforced by zombie_lint's no-raw-extract-outside-service rule).
+/// pipeline, the optional FeatureCache, an optional PersistentFeatureStore,
+/// and an optional speculative prefetch pool. Everything that featurizes a
+/// document — engine inner loop, holdout setup, experiment driver, benches
+/// — goes through Featurize() so cache policy and speculation live in
+/// exactly one place (enforced by zombie_lint's
+/// no-raw-extract-outside-service rule).
 ///
-/// Ownership contract: the service *borrows* the pipeline and cache; both
-/// must outlive it, and the corpus passed to Featurize/EnqueuePrefetch must
-/// stay alive until the service is destroyed (prefetch workers read it
-/// asynchronously). The service *owns* its worker pool; the destructor
-/// cancels outstanding speculation and drains the workers before returning,
-/// so no task outlives the service.
+/// Tiering: the in-memory FeatureCache is the first tier, the persistent
+/// store the second. A memory miss consults the store; a store hit fills
+/// the memory cache with the stored entry (the same non-speculative Insert
+/// the store-off world would have performed after extracting) and is still
+/// reported as CacheOutcome::kMiss — the store, like prefetch, only ever
+/// short-circuits wall-clock extraction work, never accounting. A
+/// miss-in-both extracts and writes through to both tiers.
+///
+/// Ownership contract: the service *borrows* the pipeline, cache, and
+/// store; all must outlive it, and the corpus passed to
+/// Featurize/EnqueuePrefetch must stay alive until the service is
+/// destroyed (prefetch workers read it asynchronously). The service *owns*
+/// its worker pool; the destructor cancels outstanding speculation and
+/// drains the workers before returning, so no task outlives the service.
 ///
 /// Equivalence contract (extends the FeatureCache contract): speculation is
 /// wall-clock-only. Prefetched entries are inserted speculatively and
@@ -98,7 +108,8 @@ class ExtractionService {
   explicit ExtractionService(const FeaturePipeline* pipeline,
                              FeatureCache* cache = nullptr,
                              PrefetchOptions prefetch = {},
-                             TraceRecorder* trace = nullptr);
+                             TraceRecorder* trace = nullptr,
+                             PersistentFeatureStore* store = nullptr);
 
   /// Cancels outstanding speculation and drains the worker pool.
   ~ExtractionService();
@@ -136,11 +147,13 @@ class ExtractionService {
 
   PrefetchStats prefetch_stats() const;
 
-  /// Publishes prefetch counters into `metrics`: monotonic
-  /// "prefetch.issued" / "prefetch.useful" / "prefetch.wasted" /
-  /// "prefetch.enqueued" / "prefetch.cancelled" counters (delta-tracked, so
-  /// repeated exports never double-count) and a "prefetch.hit_rate" gauge.
-  /// No-op when `metrics` is null or speculation is disabled.
+  /// Publishes prefetch counters into `metrics` when speculation is
+  /// enabled: monotonic "prefetch.issued" / "prefetch.useful" /
+  /// "prefetch.wasted" / "prefetch.enqueued" / "prefetch.cancelled"
+  /// counters (delta-tracked, so repeated exports never double-count) and a
+  /// "prefetch.hit_rate" gauge. Also forwards to the attached store's
+  /// ExportMetrics ("store.*" gauges) when one is attached. No-op when
+  /// `metrics` is null.
   void ExportMetrics(MetricsRegistry* metrics) const
       ZOMBIE_EXCLUDES(export_mu_);
 
@@ -149,6 +162,7 @@ class ExtractionService {
 
   const FeaturePipeline& pipeline() const { return *pipeline_; }
   FeatureCache* cache() const { return cache_; }
+  PersistentFeatureStore* store() const { return store_; }
   const PrefetchOptions& prefetch_options() const { return prefetch_; }
   uint64_t pipeline_fingerprint() const { return fingerprint_; }
 
@@ -157,6 +171,9 @@ class ExtractionService {
   FeatureCache* cache_;
   PrefetchOptions prefetch_;
   TraceRecorder* trace_;
+  /// Optional second cache tier (borrowed); consulted on memory miss,
+  /// written through on extraction.
+  PersistentFeatureStore* store_;
   /// Computed once: FeaturePipeline::Fingerprint hashes every extractor.
   uint64_t fingerprint_ = 0;
   /// Null unless prefetch.threads > 0 and a cache is attached (speculation

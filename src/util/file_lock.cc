@@ -1,0 +1,75 @@
+#include "util/file_lock.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace zombie {
+
+const char* FileLockModeName(FileLockMode mode) {
+  switch (mode) {
+    case FileLockMode::kShared:
+      return "shared";
+    case FileLockMode::kExclusive:
+      return "exclusive";
+  }
+  return "?";
+}
+
+StatusOr<FileLock> FileLock::Acquire(const std::string& path,
+                                     FileLockMode mode, bool blocking) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  int op = mode == FileLockMode::kExclusive ? LOCK_EX : LOCK_SH;
+  if (!blocking) op |= LOCK_NB;
+  int rc;
+  do {
+    rc = ::flock(fd, op);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    int saved = errno;
+    ::close(fd);
+    if (saved == EWOULDBLOCK) {
+      return Status::FailedPrecondition(
+          std::string(FileLockModeName(mode)) + " lock on " + path +
+          " is held by another process");
+    }
+    return Status::IOError("flock " + path + ": " + std::strerror(saved));
+  }
+  return FileLock(fd, mode, path);
+}
+
+FileLock::~FileLock() { Release(); }
+
+FileLock::FileLock(FileLock&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      mode_(other.mode_),
+      path_(std::move(other.path_)) {}
+
+FileLock& FileLock::operator=(FileLock&& other) noexcept {
+  if (this != &other) {
+    Release();
+    fd_ = std::exchange(other.fd_, -1);
+    mode_ = other.mode_;
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void FileLock::Release() {
+  if (fd_ >= 0) {
+    // close() drops the flock with the file description; no explicit
+    // LOCK_UN needed (and none would survive a SIGKILL anyway).
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+}
+
+}  // namespace zombie

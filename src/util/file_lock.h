@@ -1,0 +1,69 @@
+#ifndef ZOMBIE_UTIL_FILE_LOCK_H_
+#define ZOMBIE_UTIL_FILE_LOCK_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace zombie {
+
+/// Lock flavor for FileLock::Acquire. Classic single-writer/shared-reader
+/// semantics: any number of kShared holders coexist, kExclusive excludes
+/// everyone else.
+enum class FileLockMode {
+  kShared,
+  kExclusive,
+};
+
+const char* FileLockModeName(FileLockMode mode);
+
+/// RAII advisory file lock (BSD flock) for cross-process coordination.
+///
+/// The persistent feature store uses one of these per store file: the
+/// single writer holds kExclusive, concurrent readers hold kShared, and a
+/// process that cannot get the mode it wants degrades (writer -> reader,
+/// reader -> lock-free reads) instead of blocking. Advisory means exactly
+/// that — the lock only coordinates processes that also take it.
+///
+/// The lock is attached to the open file description, so it is released
+/// automatically when the holder exits or is SIGKILLed (the kernel closes
+/// the fd) — no stale-lock recovery is ever needed. Two Acquire calls in
+/// the same process use separate file descriptions and therefore contend
+/// with each other like two processes would.
+class FileLock {
+ public:
+  /// Opens `path` (creating it if needed) and takes a lock in `mode`.
+  /// Non-blocking unless `blocking`: when the lock is held incompatibly,
+  /// returns FailedPrecondition instead of waiting.
+  static StatusOr<FileLock> Acquire(const std::string& path,
+                                    FileLockMode mode, bool blocking = false);
+
+  /// An empty holder (held() == false).
+  FileLock() = default;
+  /// Releases the lock (closes the descriptor).
+  ~FileLock();
+
+  FileLock(FileLock&& other) noexcept;
+  FileLock& operator=(FileLock&& other) noexcept;
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  bool held() const { return fd_ >= 0; }
+  FileLockMode mode() const { return mode_; }
+  const std::string& path() const { return path_; }
+
+  /// Releases early; held() becomes false. Safe to call repeatedly.
+  void Release();
+
+ private:
+  FileLock(int fd, FileLockMode mode, std::string path)
+      : fd_(fd), mode_(mode), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  FileLockMode mode_ = FileLockMode::kShared;
+  std::string path_;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_UTIL_FILE_LOCK_H_

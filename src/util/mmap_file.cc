@@ -1,0 +1,144 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace zombie {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+StatusOr<MmapFile> MmapFile::OpenOrCreate(const std::string& path,
+                                          uint64_t min_size) {
+  if (min_size == 0) {
+    return Status::InvalidArgument("mmap min_size must be > 0: " + path);
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("fstat", path));
+  }
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size < min_size) {
+    if (::ftruncate(fd, static_cast<off_t>(min_size)) != 0) {
+      ::close(fd);
+      return Status::IOError(ErrnoMessage("ftruncate", path));
+    }
+    size = min_size;
+  }
+  void* map = ::mmap(nullptr, static_cast<size_t>(size),
+                     PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("mmap", path));
+  }
+  return MmapFile(fd, static_cast<uint8_t*>(map), size, /*writable=*/true);
+}
+
+StatusOr<MmapFile> MmapFile::OpenReadOnly(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IOError(ErrnoMessage("open", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("fstat", path));
+  }
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::IOError("cannot map empty file: " + path);
+  }
+  void* map = ::mmap(nullptr, static_cast<size_t>(size), PROT_READ,
+                     MAP_SHARED, fd, 0);
+  if (map == MAP_FAILED) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("mmap", path));
+  }
+  return MmapFile(fd, static_cast<uint8_t*>(map), size, /*writable=*/false);
+}
+
+MmapFile::~MmapFile() { Close(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : fd_(other.fd_),
+      data_(other.data_),
+      size_(other.size_),
+      writable_(other.writable_) {
+  other.fd_ = -1;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.writable_ = false;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, uint64_t{0});
+    writable_ = std::exchange(other.writable_, false);
+  }
+  return *this;
+}
+
+Status MmapFile::Grow(uint64_t new_size) {
+  if (!valid()) return Status::FailedPrecondition("Grow on unmapped file");
+  if (!writable_) return Status::FailedPrecondition("Grow on read-only map");
+  if (new_size <= size_) return Status::OK();
+  if (::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    return Status::IOError(std::string("ftruncate: ") + std::strerror(errno));
+  }
+  // munmap + mmap instead of mremap: the mapping may move either way, and
+  // plain mmap keeps this wrapper portable across libc flavors.
+  ::munmap(data_, static_cast<size_t>(size_));
+  void* map = ::mmap(nullptr, static_cast<size_t>(new_size),
+                     PROT_READ | PROT_WRITE, MAP_SHARED, fd_, 0);
+  if (map == MAP_FAILED) {
+    data_ = nullptr;
+    size_ = 0;
+    return Status::IOError(std::string("mmap: ") + std::strerror(errno));
+  }
+  data_ = static_cast<uint8_t*>(map);
+  size_ = new_size;
+  return Status::OK();
+}
+
+Status MmapFile::Sync() {
+  if (!valid()) return Status::FailedPrecondition("Sync on unmapped file");
+  if (!writable_) return Status::OK();
+  if (::msync(data_, static_cast<size_t>(size_), MS_SYNC) != 0) {
+    return Status::IOError(std::string("msync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void MmapFile::Close() {
+  if (data_ != nullptr) {
+    ::munmap(data_, static_cast<size_t>(size_));
+    data_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+  writable_ = false;
+}
+
+}  // namespace zombie

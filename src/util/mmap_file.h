@@ -1,0 +1,76 @@
+#ifndef ZOMBIE_UTIL_MMAP_FILE_H_
+#define ZOMBIE_UTIL_MMAP_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace zombie {
+
+/// Checked memory-mapped file. This is the one place in the library that
+/// calls mmap/munmap/msync directly (enforced by zombie_lint's no-raw-mmap
+/// rule): every consumer — the persistent feature store above all — goes
+/// through this wrapper so bounds, growth, and teardown are handled once.
+///
+/// Mapping contract: the mapping always covers exactly [0, size()) of the
+/// underlying file (MAP_SHARED), so stores through data() land in the
+/// kernel page cache and survive a SIGKILL of this process without any
+/// explicit sync; Sync() is only needed to survive a machine crash.
+/// Writable mappings are created (or extended) with ftruncate first, so
+/// in-bounds access never faults on a short file.
+///
+/// Not internally synchronized: Grow() remaps and may move data(), so
+/// callers that share an MmapFile across threads must serialize Grow()
+/// against all access (the feature store holds its writer lock across it).
+class MmapFile {
+ public:
+  /// Opens `path` read-write, creating it if needed, and extends it to at
+  /// least `min_size` bytes before mapping. `min_size` must be > 0.
+  static StatusOr<MmapFile> OpenOrCreate(const std::string& path,
+                                         uint64_t min_size);
+
+  /// Maps an existing file read-only. Fails with NotFound if it does not
+  /// exist and IOError if it is empty (nothing to map).
+  static StatusOr<MmapFile> OpenReadOnly(const std::string& path);
+
+  /// An empty, unmapped placeholder (valid() == false).
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  bool valid() const { return data_ != nullptr; }
+  bool writable() const { return writable_; }
+  uint64_t size() const { return size_; }
+
+  /// Base of the mapping; stable until Grow() or destruction.
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+
+  /// Extends the file to `new_size` (no-op if already that large) and
+  /// remaps; data() may move. Writable mappings only.
+  Status Grow(uint64_t new_size);
+
+  /// Flushes dirty pages to stable storage (synchronous).
+  Status Sync();
+
+  /// Unmaps and closes; valid() becomes false. Safe to call repeatedly.
+  void Close();
+
+ private:
+  MmapFile(int fd, uint8_t* data, uint64_t size, bool writable)
+      : fd_(fd), data_(data), size_(size), writable_(writable) {}
+
+  int fd_ = -1;
+  uint8_t* data_ = nullptr;
+  uint64_t size_ = 0;
+  bool writable_ = false;
+};
+
+}  // namespace zombie
+
+#endif  // ZOMBIE_UTIL_MMAP_FILE_H_

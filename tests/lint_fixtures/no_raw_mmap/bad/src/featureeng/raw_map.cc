@@ -1,0 +1,15 @@
+#include <sys/mman.h>
+
+namespace zombie {
+
+void* MapScratch(int fd, unsigned long size) {
+  // BAD: raw mmap outside src/util/; MmapFile owns the mapping syscalls.
+  void* p = mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  // BAD: raw msync outside src/util/.
+  msync(p, size, MS_SYNC);
+  // BAD: raw munmap outside src/util/.
+  munmap(p, size);
+  return p;
+}
+
+}  // namespace zombie

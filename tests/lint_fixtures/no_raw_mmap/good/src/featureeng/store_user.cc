@@ -1,0 +1,15 @@
+namespace zombie {
+
+class MmapFile;
+
+// Using the wrapper (util/mmap_file.h) is the sanctioned path; the words
+// appear only as type/member names, never as the banned syscalls.
+unsigned long MappedSize(const MmapFile* file);
+
+unsigned long StoreBytes(const MmapFile* file) {
+  // A vetted direct call can opt out in place:
+  // (void)msync(nullptr, 0, 0);  // zombie-lint: allow(no-raw-mmap)
+  return MappedSize(file);
+}
+
+}  // namespace zombie

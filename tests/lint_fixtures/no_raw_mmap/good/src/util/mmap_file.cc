@@ -1,0 +1,15 @@
+#include <sys/mman.h>
+
+namespace zombie {
+
+// src/util/ is the one home for the raw mapping syscalls (MmapFile).
+void* MapFile(int fd, unsigned long size) {
+  return mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+}
+
+void UnmapFile(void* p, unsigned long size) {
+  msync(p, size, MS_SYNC);
+  munmap(p, size);
+}
+
+}  // namespace zombie

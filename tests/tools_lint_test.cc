@@ -624,6 +624,38 @@ TEST_F(ZombieLintTest, FunctionAndClassDeclarationsAreNotGlobals) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST_F(ZombieLintTest, RawMmapOutsideUtilFlagged) {
+  WriteFile("src/featureeng/raw_map.cc",
+            "#include <sys/mman.h>\n"
+            "namespace zombie {\n"
+            "void* Map(int fd, unsigned long n) {\n"
+            "  return mmap(nullptr, n, 3, 1, fd, 0);\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-raw-mmap"), std::string::npos) << run.output;
+}
+
+TEST_F(ZombieLintTest, RawMmapInUtilAndAllowEscapeAreFine) {
+  // src/util/ implements the wrapper, so the syscalls are legal there; a
+  // vetted call elsewhere can opt out in place with allow().
+  WriteFile("src/util/mmap_file.cc",
+            "#include <sys/mman.h>\n"
+            "namespace zombie {\n"
+            "void Drop(void* p, unsigned long n) { munmap(p, n); }\n"
+            "}  // namespace zombie\n");
+  WriteFile("src/core/vetted.cc",
+            "#include <sys/mman.h>\n"
+            "namespace zombie {\n"
+            "void Sync(void* p, unsigned long n) {\n"
+            "  msync(p, n, 4);  // zombie-lint: allow(no-raw-mmap)\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 // --- checked-in fixture trees ---------------------------------------------
 
 #ifndef ZOMBIE_LINT_FIXTURES
@@ -662,7 +694,8 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"no_unordered_iteration", "no-unordered-iteration"},
         FixtureCase{"no_detached_thread", "no-detached-thread"},
         FixtureCase{"no_nondet_float", "no-nondet-float"},
-        FixtureCase{"no_mutable_global", "no-mutable-global"}),
+        FixtureCase{"no_mutable_global", "no-mutable-global"},
+        FixtureCase{"no_raw_mmap", "no-raw-mmap"}),
     [](const ::testing::TestParamInfo<FixtureCase>& fixture) {
       return std::string(fixture.param.dir);
     });

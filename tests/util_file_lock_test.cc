@@ -1,0 +1,92 @@
+// FileLock semantics the persistent feature store's role election depends
+// on: exclusive excludes exclusive, shared coexists with shared, and
+// exclusive is refused while shared is held. flock attaches to the open
+// file description, so two Acquire calls in one process contend exactly
+// like two processes — which is what makes these tests (and the store's
+// in-process reader/writer tests) possible without forking.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/file_lock.h"
+
+namespace zombie {
+namespace {
+
+std::string LockPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(FileLockTest, ExclusiveExcludesExclusive) {
+  std::string path = LockPath("fl_ex_ex.lock");
+  StatusOr<FileLock> first =
+      FileLock::Acquire(path, FileLockMode::kExclusive);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first.value().held());
+  EXPECT_EQ(first.value().mode(), FileLockMode::kExclusive);
+
+  StatusOr<FileLock> second =
+      FileLock::Acquire(path, FileLockMode::kExclusive);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FileLockTest, SharedCoexistsWithShared) {
+  std::string path = LockPath("fl_sh_sh.lock");
+  StatusOr<FileLock> first = FileLock::Acquire(path, FileLockMode::kShared);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  StatusOr<FileLock> second = FileLock::Acquire(path, FileLockMode::kShared);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(first.value().held());
+  EXPECT_TRUE(second.value().held());
+}
+
+TEST(FileLockTest, ExclusiveRefusedWhileSharedHeld) {
+  std::string path = LockPath("fl_sh_ex.lock");
+  StatusOr<FileLock> reader = FileLock::Acquire(path, FileLockMode::kShared);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  StatusOr<FileLock> writer =
+      FileLock::Acquire(path, FileLockMode::kExclusive);
+  ASSERT_FALSE(writer.ok());
+  EXPECT_EQ(writer.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FileLockTest, ReleaseAllowsReacquisition) {
+  std::string path = LockPath("fl_release.lock");
+  StatusOr<FileLock> first =
+      FileLock::Acquire(path, FileLockMode::kExclusive);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  first.value().Release();
+  EXPECT_FALSE(first.value().held());
+  StatusOr<FileLock> second =
+      FileLock::Acquire(path, FileLockMode::kExclusive);
+  EXPECT_TRUE(second.ok()) << second.status().ToString();
+}
+
+TEST(FileLockTest, DestructorReleases) {
+  std::string path = LockPath("fl_dtor.lock");
+  {
+    StatusOr<FileLock> held =
+        FileLock::Acquire(path, FileLockMode::kExclusive);
+    ASSERT_TRUE(held.ok()) << held.status().ToString();
+  }
+  StatusOr<FileLock> again =
+      FileLock::Acquire(path, FileLockMode::kExclusive);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST(FileLockTest, MoveTransfersOwnership) {
+  std::string path = LockPath("fl_move.lock");
+  StatusOr<FileLock> first =
+      FileLock::Acquire(path, FileLockMode::kExclusive);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  FileLock moved = std::move(first).value();
+  EXPECT_TRUE(moved.held());
+  // Still exclusively held (by `moved`), so a second acquire fails.
+  StatusOr<FileLock> second =
+      FileLock::Acquire(path, FileLockMode::kExclusive);
+  EXPECT_FALSE(second.ok());
+}
+
+}  // namespace
+}  // namespace zombie

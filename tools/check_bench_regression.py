@@ -76,6 +76,52 @@ def kernel_ratio_rows(metrics):
     return rows
 
 
+def evaluate_metric_gates(gates, metrics):
+    """Checks baseline "metric_gates" against collected bench metrics.
+
+    Each gate maps "<bench>/<metric>" to {"max": x} and/or {"min": y}
+    (plus an optional "why" note).  Gated metrics are machine-independent
+    by construction (wall ratios, hit rates), so they are compared raw —
+    no median normalization.  Returns (rows, failures, missing) where
+    rows = [(name, value, bound_desc, ok)].
+    """
+    rows = []
+    failures = []
+    missing = []
+    for name, gate in sorted(gates.items()):
+        if name not in metrics:
+            missing.append(name)
+            continue
+        value = metrics[name]
+        bounds = []
+        ok = True
+        if "max" in gate:
+            bounds.append(f"<= {gate['max']}")
+            if value > gate["max"]:
+                ok = False
+        if "min" in gate:
+            bounds.append(f">= {gate['min']}")
+            if value < gate["min"]:
+                ok = False
+        row = (name, value, " and ".join(bounds), ok)
+        rows.append(row)
+        if not ok:
+            failures.append(row)
+    return rows, failures, missing
+
+
+def print_metric_gates(rows, missing):
+    if not rows and not missing:
+        return
+    print(f"\n{len(rows)} metric gates:")
+    for name, value, bounds, ok in rows:
+        flag = "" if ok else "  <-- GATE FAILED"
+        print(f"  {name}: {value:.3f} (bound {bounds}){flag}")
+    if missing:
+        print(f"  note: {len(missing)} gated metrics missing from results "
+              "(bench not run in this job): " + ", ".join(missing))
+
+
 def print_kernel_ratios(rows):
     if not rows:
         return
@@ -86,7 +132,8 @@ def print_kernel_ratios(rows):
     print(f"  median: {median(speedups):.2f}x")
 
 
-def write_step_summary(scale, tolerance, table_rows, failures, kernel_rows):
+def write_step_summary(scale, tolerance, table_rows, failures, kernel_rows,
+                       gate_rows=(), gate_missing=()):
     """Appends a markdown ratio table to $GITHUB_STEP_SUMMARY if set."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -122,6 +169,18 @@ def write_step_summary(scale, tolerance, table_rows, failures, kernel_rows):
             lines.append(f"| `{name}` | {speedup:.2f}x |")
         speedups = [s for _, s in kernel_rows]
         lines.append(f"| **median** | **{median(speedups):.2f}x** |")
+    if gate_rows or gate_missing:
+        lines += ["", "## Metric gates", "",
+                  "Machine-independent bench metrics (ratios, rates) "
+                  "compared raw against the bounds in baseline.json's "
+                  "`metric_gates`.", "",
+                  "| metric | value | bound | status |",
+                  "|---|---|---|---|"]
+        for name, value, bounds, ok in gate_rows:
+            status = ":white_check_mark:" if ok else ":x: gate failed"
+            lines.append(f"| `{name}` | {value:.3f} | {bounds} | {status} |")
+        for name in gate_missing:
+            lines.append(f"| `{name}` | — | — | skipped (not run) |")
     with open(path, "a") as f:
         f.write("\n".join(lines) + "\n")
 
@@ -147,6 +206,8 @@ def main():
     baseline = baseline_doc["entries"]
     current, metrics = load_results(args.results)
     kernel_rows = kernel_ratio_rows(metrics)
+    gate_rows, gate_failures, gate_missing = evaluate_metric_gates(
+        baseline_doc.get("metric_gates", {}), metrics)
 
     ratios = {}
     skipped = []
@@ -183,8 +244,9 @@ def main():
         print(f"  {name}: raw {ratio:.2f}x, normalized {normalized:.2f}x{flag}")
 
     print_kernel_ratios(kernel_rows)
+    print_metric_gates(gate_rows, gate_missing)
     write_step_summary(scale, args.tolerance, table_rows, failures,
-                       kernel_rows)
+                       kernel_rows, gate_rows, gate_missing)
 
     if failures:
         print(f"\nFAIL: {len(failures)} entr{'y' if len(failures) == 1 else 'ies'} "
@@ -193,7 +255,15 @@ def main():
         for name, normalized in failures:
             print(f"  {name}: {normalized:.2f}x", file=sys.stderr)
         sys.exit(1)
-    print("OK: no wall-clock regressions beyond tolerance")
+    if gate_failures:
+        print(f"\nFAIL: {len(gate_failures)} metric gate"
+              f"{'' if len(gate_failures) == 1 else 's'} out of bounds:",
+              file=sys.stderr)
+        for name, value, bounds, _ in gate_failures:
+            print(f"  {name}: {value:.3f} (bound {bounds})", file=sys.stderr)
+        sys.exit(1)
+    print("OK: no wall-clock regressions beyond tolerance; all metric "
+          "gates in bounds")
 
 
 if __name__ == "__main__":

@@ -7,11 +7,13 @@
 //                       --reward=label --learner=nb [--baseline] [--csv=out.csv]
 //                       [--trials=N] [--threads=N] [--eval-threads=N]
 //                       [--cache] [--prefetch-threads=N] [--prefetch-arms=N]
+//                       [--store-path=feat.zfs] [--store-gc]
 //                       [--trace-out=trace.json] [--metrics-out=metrics.json]
 //                       [--decisions-out=decisions.jsonl]
 //   zombie_cli session  --task=webcat --docs=12000 [--warm] [--cache]
 //                       [--eval-threads=N]
 //                       [--prefetch-threads=N] [--prefetch-arms=N]
+//                       [--store-path=feat.zfs]
 //                       [--trace-out=...] [--metrics-out=...]
 //                       [--decisions-out=...]
 //
@@ -21,6 +23,13 @@
 // run and write it on exit: --trace-out produces Chrome/Perfetto-loadable
 // trace JSON, --metrics-out a metrics snapshot, --decisions-out the
 // per-pull bandit decision log as JSONL.
+//
+// --store-path attaches the persistent mmap-backed feature store at that
+// path (created on first use) as a second cache tier: extractions persist
+// across processes and restarts, results stay byte-identical (the store is
+// wall-clock-only, like --cache). One process writes, concurrent ones read.
+// --store-gc (run only) drops store records from other pipeline
+// fingerprints at open (versioned invalidation).
 
 #include <cstdio>
 #include <cstring>
@@ -39,6 +48,7 @@
 #include "core/session.h"
 #include "featureeng/extraction_service.h"
 #include "featureeng/feature_cache.h"
+#include "featureeng/persistent_feature_store.h"
 #include "core/task_factory.h"
 #include "data/serialization.h"
 #include "featureeng/revision_script.h"
@@ -228,6 +238,44 @@ PrefetchOptions MakePrefetchOptionsFromFlags(const Flags& flags,
   return prefetch;
 }
 
+/// Opens the persistent feature store named by `path` (--store-path).
+/// `retain` non-empty enables versioned invalidation at open (--store-gc).
+/// Reports and returns null on failure; the caller treats null as
+/// "no store" (an empty path is not an error).
+std::unique_ptr<PersistentFeatureStore> OpenStore(
+    const std::string& path, std::vector<uint64_t> retain) {
+  if (path.empty()) return nullptr;
+  PersistentFeatureStoreOptions sopts;
+  sopts.retain_fingerprints = std::move(retain);
+  StatusOr<std::unique_ptr<PersistentFeatureStore>> store =
+      PersistentFeatureStore::Open(path, std::move(sopts));
+  if (!store.ok()) {
+    std::fprintf(stderr, "cannot open store: %s\n",
+                 store.status().ToString().c_str());
+    return nullptr;
+  }
+  if (!store.value()->writable()) {
+    std::printf("store: %s opened read-only (another writer is active)\n",
+                path.c_str());
+  }
+  return std::move(store).value();
+}
+
+void PrintStoreStats(const PersistentFeatureStore& store) {
+  PersistentFeatureStoreStats s = store.Stats();
+  std::printf(
+      "store: %llu entries (%llu recovered, %llu appended), hit rate %.3f "
+      "(%llu hits / %llu lookups), %llu invalidated, %llu corrupt skipped%s\n",
+      static_cast<unsigned long long>(s.entries),
+      static_cast<unsigned long long>(s.recovered),
+      static_cast<unsigned long long>(s.appends), s.hit_rate(),
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.hits + s.misses),
+      static_cast<unsigned long long>(s.invalidated),
+      static_cast<unsigned long long>(s.corrupt_skipped),
+      s.writable ? "" : " [read-only]");
+}
+
 // ---------------------------------------------------------------------------
 // Observability plumbing shared by run/session
 // ---------------------------------------------------------------------------
@@ -361,6 +409,8 @@ int CmdRun(const Flags& flags) {
   size_t trials = static_cast<size_t>(flags.GetInt("trials", 1));
   size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
   std::string csv = flags.GetString("csv", "");
+  std::string store_path = flags.GetString("store-path", "");
+  bool store_gc = flags.GetBool("store-gc");
   ObsOutputs obs_out = GetObsOutputs(flags);
   Status st = flags.CheckAllConsumed();
   if (!st.ok()) {
@@ -368,6 +418,14 @@ int CmdRun(const Flags& flags) {
     return 1;
   }
   if (trials == 0) trials = 1;
+
+  // The store retains everything by default; --store-gc keeps only this
+  // run's pipeline fingerprint (drops records from other feature code).
+  std::vector<uint64_t> retain;
+  if (store_gc) retain.push_back(pipeline.Fingerprint());
+  std::unique_ptr<PersistentFeatureStore> store =
+      OpenStore(store_path, std::move(retain));
+  if (!store_path.empty() && store == nullptr) return 1;
 
   GroupingResult grouping = grouper->Group(corpus);
   std::printf("index: %zu groups via %s (%s wall)\n", grouping.num_groups(),
@@ -385,6 +443,7 @@ int CmdRun(const Flags& flags) {
   dopts.engine.obs = obs.get();
   dopts.cache = use_cache ? &cache : nullptr;
   dopts.prefetch = prefetch;
+  dopts.store = store.get();
   ExperimentDriver driver(&corpus, &pipeline, dopts);
   ExperimentGrid grid;
   grid.policies = {policy_kind.value()};
@@ -409,6 +468,7 @@ int CmdRun(const Flags& flags) {
                 cs.entries, cs.hit_rate(), cs.hits, cs.hits + cs.misses,
                 cs.evictions);
   }
+  if (store != nullptr) PrintStoreStats(*store);
   const RunResult& zombie = trials_or.value().front().run;
 
   if (with_baseline) {
@@ -446,12 +506,18 @@ int CmdSession(const Flags& flags) {
   PrefetchOptions prefetch = MakePrefetchOptionsFromFlags(flags, use_cache);
   EngineOptions opts = MakeEngineOptionsFromFlags(flags);
   size_t groups = static_cast<size_t>(flags.GetInt("groups", 32));
+  std::string store_path = flags.GetString("store-path", "");
   ObsOutputs obs_out = GetObsOutputs(flags);
   Status st = flags.CheckAllConsumed();
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
+
+  // A session spans many pipeline fingerprints (one per revision), so it
+  // always retains everything.
+  std::unique_ptr<PersistentFeatureStore> store = OpenStore(store_path, {});
+  if (!store_path.empty() && store == nullptr) return 1;
 
   std::unique_ptr<ObsContext> obs = MakeObsContext(obs_out);
   opts.obs = obs.get();
@@ -465,7 +531,7 @@ int CmdSession(const Flags& flags) {
   KMeansGrouper grouper(groups, 7);
   SessionResult fast = RunSession(corpus, script, SessionMode::kZombie,
                                   &grouper, learner, reward, opts, warm,
-                                  cache_ptr, prefetch);
+                                  cache_ptr, prefetch, store.get());
   std::printf("%s\n%s\n", full.ToString().c_str(), fast.ToString().c_str());
   if (use_cache) {
     FeatureCacheStats cs = cache.Stats();
@@ -474,6 +540,7 @@ int CmdSession(const Flags& flags) {
                 cs.entries, cs.hit_rate(), cs.hits, cs.hits + cs.misses,
                 cs.evictions);
   }
+  if (store != nullptr) PrintStoreStats(*store);
   double ratio = fast.total_virtual_micros > 0
                      ? static_cast<double>(full.total_virtual_micros) /
                            static_cast<double>(fast.total_virtual_micros)
@@ -482,6 +549,12 @@ int CmdSession(const Flags& flags) {
   if (obs != nullptr) {
     if (use_cache && obs->metrics() != nullptr) {
       cache.ExportMetrics(obs->metrics());
+    }
+    if (store != nullptr && obs->metrics() != nullptr) {
+      // Final snapshot: the per-run exports inside the engine already set
+      // the store.* gauges, but the session's last lookups may postdate
+      // the last run's export.
+      store->ExportMetrics(obs->metrics());
     }
     if (!WriteObsOutputs(obs_out, *obs)) return 1;
   }

@@ -41,6 +41,11 @@
 //                   prefetch accounting, and metrics stay on one path.
 //                   Direct `.Extract(` / `->Extract(` calls are banned in
 //                   src/ outside src/featureeng/.
+//   no-raw-mmap     Memory mapping flows through util/mmap_file.h (and the
+//                   advisory locks through util/file_lock.h) so growth,
+//                   remap invalidation, and error handling live in one
+//                   audited place. Calls to `mmap`, `munmap`, `mremap`,
+//                   and `msync` are banned in src/ outside src/util/.
 //
 // Determinism rules (v2). The paper's speedup claims rest on byte-identical
 // results across cache / prefetch / thread-count configurations; these rules
@@ -374,6 +379,13 @@ bool IsRawExtractBannedFile(const std::string& rel) {
   return rel.rfind("src/", 0) == 0 && rel.rfind("src/featureeng/", 0) != 0;
 }
 
+// Files covered by no-raw-mmap: all of src/ except src/util/, where
+// MmapFile (util/mmap_file.h) and FileLock (util/file_lock.h) own the raw
+// mapping syscalls.
+bool IsRawMmapBannedFile(const std::string& rel) {
+  return rel.rfind("src/", 0) == 0 && rel.rfind("src/util/", 0) != 0;
+}
+
 // Result-affecting layers where unordered-container iteration order could
 // leak into paper numbers (no-unordered-iteration scope).
 bool IsUnorderedIterationBannedFile(const std::string& rel) {
@@ -555,6 +567,8 @@ class FileAnalyzer {
     static const std::set<std::string> kStdoutTokens = {"cout", "printf"};
     static const std::set<std::string> kClockTokens = {
         "steady_clock", "system_clock", "high_resolution_clock"};
+    static const std::set<std::string> kMmapTokens = {"mmap", "munmap",
+                                                      "mremap", "msync"};
 
     bool in_directive = false;
     size_t directive_line = 0;
@@ -605,6 +619,14 @@ class FileAnalyzer {
                "std::vector<std::string> allocates per token on the hot "
                "path; use TokenBuffer + string_view spans "
                "(src/text/tokenizer.h)");
+      }
+      if (IsRawMmapBannedFile(f_.rel) && kMmapTokens.count(id) != 0 &&
+          TokIs(i + 1, "(")) {
+        Report(t.line, "no-raw-mmap",
+               "'" + id +
+                   "' outside src/util/; map files through MmapFile "
+                   "(src/util/mmap_file.h) so growth, remap invalidation, "
+                   "and error handling stay in one audited place");
       }
       if (IsRawExtractBannedFile(f_.rel) && id == "Extract" && i > 0 &&
           (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
