@@ -30,4 +30,18 @@ std::string RunResult::ToString() const {
       StopReasonName(stop_reason));
 }
 
+std::string RunResult::Fingerprint() const {
+  std::string s = StrFormat(
+      "items=%zu loop=%lld holdout=%lld q=%.17g stop=%s pos=%zu\n",
+      items_processed, static_cast<long long>(loop_virtual_micros),
+      static_cast<long long>(holdout_virtual_micros), final_quality,
+      StopReasonName(stop_reason), positives_processed);
+  for (const ArmSummary& a : arms) {
+    s += StrFormat("arm %zu %zu %.17g %zu\n", a.group_size, a.pulls,
+                   a.total_reward, a.positives_seen);
+  }
+  s += curve.ToCsv();
+  return s;
+}
+
 }  // namespace zombie

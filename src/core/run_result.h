@@ -61,6 +61,15 @@ struct RunResult {
 
   /// One-line summary for logs.
   std::string ToString() const;
+
+  /// Canonical rendering of every deterministic field (wall_micros is
+  /// deliberately excluded): items/virtual-times/quality/stop/positives,
+  /// one line per arm, then the full learning curve CSV with %.17g doubles.
+  /// Byte-equality of fingerprints == run-level determinism; the store
+  /// round-trip tests and the forced-ISA CI matrix (which asserts scalar,
+  /// AVX2 and AVX-512 dispatch produce identical engine runs) both compare
+  /// these.
+  std::string Fingerprint() const;
 };
 
 }  // namespace zombie

@@ -1,0 +1,43 @@
+#ifndef ZOMBIE_ML_SIMD_KERNEL_ENTRIES_H_
+#define ZOMBIE_ML_SIMD_KERNEL_ENTRIES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Entry-point declarations shared between dispatch.cc and the per-ISA TUs.
+// Deliberately minimal: this is the only project header the -mavx2/-mavx512*
+// TUs include. Anything more (std containers, inline helpers) would risk the
+// linker picking an AVX-compiled instantiation of a weak symbol that scalar
+// callers also use — an ODR trap that turns "runs on any x86-64" into
+// SIGILL on pre-AVX hardware. All helpers inside the per-ISA TUs live in
+// anonymous namespaces for the same reason.
+
+namespace zombie {
+namespace simd {
+
+#if defined(ZOMBIE_SIMD_HAVE_AVX2)
+double Avx2DotSparseDense(const uint32_t* indices, const double* values,
+                          size_t n, const double* dense);
+double Avx2DotSparseSparse(const uint32_t* ai, const double* av, size_t na,
+                           const uint32_t* bi, const double* bv, size_t nb);
+void Avx2AddScaledTo(const uint32_t* indices, const double* values, size_t n,
+                     double scale, double* out);
+double Avx2SquaredDistance(const uint32_t* ai, const double* av, size_t na,
+                           const uint32_t* bi, const double* bv, size_t nb);
+#endif
+
+#if defined(ZOMBIE_SIMD_HAVE_AVX512)
+double Avx512DotSparseDense(const uint32_t* indices, const double* values,
+                            size_t n, const double* dense);
+double Avx512DotSparseSparse(const uint32_t* ai, const double* av, size_t na,
+                             const uint32_t* bi, const double* bv, size_t nb);
+void Avx512AddScaledTo(const uint32_t* indices, const double* values,
+                       size_t n, double scale, double* out);
+double Avx512SquaredDistance(const uint32_t* ai, const double* av, size_t na,
+                             const uint32_t* bi, const double* bv, size_t nb);
+#endif
+
+}  // namespace simd
+}  // namespace zombie
+
+#endif  // ZOMBIE_ML_SIMD_KERNEL_ENTRIES_H_

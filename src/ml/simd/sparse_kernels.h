@@ -1,0 +1,77 @@
+#ifndef ZOMBIE_ML_SIMD_SPARSE_KERNELS_H_
+#define ZOMBIE_ML_SIMD_SPARSE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/simd/simd_level.h"
+
+// Runtime ISA dispatch for the four hot sparse kernels. The contract every
+// table entry obeys: bit-identical results to the scalar reference in
+// sparse_kernels_scalar.h — same FP additions, same operands, same order.
+// SIMD implementations may only vectorize *index* work (scanning mismatch
+// runs, bound compares, gathers of independent slots); every accumulator
+// update stays serial and in scalar program order. Compiled with
+// -ffp-contract=off so no path silently fuses a mul+add the scalar code
+// performs as two roundings.
+//
+// This header is intrinsics-free on purpose: callers (sparse_vector.h, the
+// benches, the tests) see only raw-pointer function signatures, and the
+// per-ISA TUs are the sole files allowed to include <immintrin.h> (enforced
+// by the no-raw-intrinsics lint rule).
+
+namespace zombie {
+namespace simd {
+
+using DotSparseDenseFn = double (*)(const uint32_t* indices,
+                                    const double* values, size_t n,
+                                    const double* dense);
+using DotSparseSparseFn = double (*)(const uint32_t* ai, const double* av,
+                                     size_t na, const uint32_t* bi,
+                                     const double* bv, size_t nb);
+using AddScaledToFn = void (*)(const uint32_t* indices, const double* values,
+                               size_t n, double scale, double* out);
+using SquaredDistanceFn = double (*)(const uint32_t* ai, const double* av,
+                                     size_t na, const uint32_t* bi,
+                                     const double* bv, size_t nb);
+
+/// One dispatch table per ISA level. Preconditions (enforced by the
+/// sparse_vector.h wrappers, which keep the cutoff/resize/empty logic):
+///   dot_sparse_dense:  every indices[i] < size of `dense`
+///   dot_sparse_sparse: na > 0 && nb > 0
+///   add_scaled_to:     `out` spans [0, indices[n-1]]
+///   squared_distance:  none (empty sides flow through the tails)
+struct SparseKernels {
+  DotSparseDenseFn dot_sparse_dense;
+  DotSparseSparseFn dot_sparse_sparse;
+  AddScaledToFn add_scaled_to;
+  SquaredDistanceFn squared_distance;
+};
+
+/// Table for the level resolved once from cpuid + compiled support +
+/// ZOMBIE_SIMD_LEVEL (see ActiveSimdLevel()). The reference the hot path
+/// calls through; the pointer never changes after first use.
+const SparseKernels& ActiveKernels();
+
+/// Table for an explicit level, or nullptr if this binary was not compiled
+/// with kernels for it. Returns compiled tables regardless of what the
+/// running CPU supports — callers that intend to *execute* (tests, benches)
+/// must pick levels from AvailableLevels() instead.
+const SparseKernels* KernelsForLevel(SimdLevel level);
+
+/// Levels that are both compiled in and runnable on this CPU, ascending.
+/// Always contains kScalar. This is what the differential tests and the
+/// per-ISA benches iterate over.
+std::vector<SimdLevel> AvailableLevels();
+
+/// Below this many touched entries the wrappers skip the function-pointer
+/// hop and inline the scalar loop directly: tiny vectors are common in the
+/// feature pipeline, the call indirection costs more than SIMD saves, and
+/// both paths are bit-identical by contract so the cutover is unobservable.
+constexpr size_t kSimdMinEntries = 16;
+
+}  // namespace simd
+}  // namespace zombie
+
+#endif  // ZOMBIE_ML_SIMD_SPARSE_KERNELS_H_

@@ -1,0 +1,150 @@
+// AVX-512 implementations of the four sparse kernels. Compiled with
+// "-mavx512f -mavx512bw -mavx512dq -mavx512vl -mavx512cd -ffp-contract=off"
+// and reached only through the dispatch table after cpuid confirms the full
+// feature set (see simd_level.cc). Same isolation and bit-identity rules as
+// the AVX2 TU: anonymous-namespace helpers, raw entry points, SIMD on index
+// scans and independent multiplies only, every accumulator add serial and
+// in scalar order.
+
+#include <cstddef>
+#include <cstdint>
+#include <immintrin.h>
+
+#include "ml/simd/kernel_entries.h"
+
+#if defined(ZOMBIE_SIMD_HAVE_AVX512)
+
+namespace zombie {
+namespace simd {
+namespace {
+
+// First position >= i whose index is >= bound, or n. 16 indices per
+// compare; AVX-512 has a native unsigned compare, so no sign-bias trick is
+// needed for UINT32_MAX-adjacent indices. Scalar probe prefix as in the
+// AVX2 TU: runs of ~2 (balanced merges) stay at scalar cost, long runs
+// (unbalanced merges) retire 16 indices per compare.
+inline size_t AdvanceTo(const uint32_t* idx, size_t i, size_t n,
+                        uint32_t bound) {
+  for (int probe = 0; probe < 4; ++probe) {
+    if (i == n || idx[i] >= bound) return i;
+    ++i;
+  }
+  const __m512i vbound = _mm512_set1_epi32(static_cast<int32_t>(bound));
+  for (; i + 16 <= n; i += 16) {
+    const __m512i lanes = _mm512_loadu_si512(idx + i);
+    const unsigned below = _mm512_cmplt_epu32_mask(lanes, vbound);
+    if (below != 0xffffu) {
+      return i + static_cast<size_t>(__builtin_ctz(~below & 0x1ffffu));
+    }
+  }
+  while (i < n && idx[i] < bound) ++i;
+  return i;
+}
+
+// s += v[k]^2 for k in [i, end), in order: 8-wide squares, serial adds.
+inline double AccumulateSquares(const double* v, size_t i, size_t end,
+                                double s) {
+  alignas(64) double sq[8];
+  for (; i + 8 <= end; i += 8) {
+    const __m512d lanes = _mm512_loadu_pd(v + i);
+    _mm512_store_pd(sq, _mm512_mul_pd(lanes, lanes));
+    for (int k = 0; k < 8; ++k) s += sq[k];
+  }
+  for (; i < end; ++i) s += v[i] * v[i];
+  return s;
+}
+
+}  // namespace
+
+double Avx512DotSparseDense(const uint32_t* indices, const double* values,
+                            size_t n, const double* dense) {
+  double sum = 0.0;
+  size_t i = 0;
+  // _mm512_i32gather_pd sign-extends its 32-bit indices; sorted input, so
+  // the last index bounds them all.
+  if (n >= 8 && indices[n - 1] <= static_cast<uint32_t>(INT32_MAX)) {
+    alignas(64) double prod[8];
+    for (; i + 8 <= n; i += 8) {
+      const __m256i vidx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(indices + i));
+      // Masked form with an explicit zero source: the plain gather
+      // intrinsic's "uninitialized pass-through" idiom trips
+      // -Wmaybe-uninitialized under -Werror builds.
+      const __m512d gathered = _mm512_mask_i32gather_pd(
+          _mm512_setzero_pd(), static_cast<__mmask8>(0xff), vidx, dense, 8);
+      _mm512_store_pd(prod,
+                      _mm512_mul_pd(_mm512_loadu_pd(values + i), gathered));
+      for (int k = 0; k < 8; ++k) sum += prod[k];
+    }
+  }
+  for (; i < n; ++i) sum += values[i] * dense[indices[i]];
+  return sum;
+}
+
+double Avx512DotSparseSparse(const uint32_t* ai, const double* av, size_t na,
+                             const uint32_t* bi, const double* bv,
+                             size_t nb) {
+  double sum = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (true) {
+    i = AdvanceTo(ai, i, na, bi[j]);
+    if (i == na) return sum;
+    j = AdvanceTo(bi, j, nb, ai[i]);
+    if (j == nb) return sum;
+    if (bi[j] == ai[i]) {
+      sum += av[i] * bv[j];
+      if (++i == na || ++j == nb) return sum;
+    }
+  }
+}
+
+void Avx512AddScaledTo(const uint32_t* indices, const double* values,
+                       size_t n, double scale, double* out) {
+  // See the AVX2 TU: distinct slots, vectorized multiply, serial RMW.
+  const __m512d vscale = _mm512_set1_pd(scale);
+  alignas(64) double prod[8];
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_store_pd(prod,
+                    _mm512_mul_pd(vscale, _mm512_loadu_pd(values + i)));
+    for (int k = 0; k < 8; ++k) {
+      out[indices[i + static_cast<size_t>(k)]] += prod[k];
+    }
+  }
+  for (; i < n; ++i) out[indices[i]] += scale * values[i];
+}
+
+double Avx512SquaredDistance(const uint32_t* ai, const double* av, size_t na,
+                             const uint32_t* bi, const double* bv,
+                             size_t nb) {
+  double s = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < na && j < nb) {
+    const uint32_t a = ai[i];
+    const uint32_t b = bi[j];
+    if (a == b) {
+      const double d = av[i] - bv[j];
+      s += d * d;
+      ++i;
+      ++j;
+    } else if (a < b) {
+      const size_t end = AdvanceTo(ai, i, na, b);
+      s = AccumulateSquares(av, i, end, s);
+      i = end;
+    } else {
+      const size_t end = AdvanceTo(bi, j, nb, a);
+      s = AccumulateSquares(bv, j, end, s);
+      j = end;
+    }
+  }
+  s = AccumulateSquares(av, i, na, s);
+  s = AccumulateSquares(bv, j, nb, s);
+  return s;
+}
+
+}  // namespace simd
+}  // namespace zombie
+
+#endif  // ZOMBIE_SIMD_HAVE_AVX512

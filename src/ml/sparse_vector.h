@@ -9,6 +9,9 @@
 #include <utility>
 #include <vector>
 
+#include "ml/simd/sparse_kernels.h"
+#include "ml/simd/sparse_kernels_scalar.h"
+
 namespace zombie {
 
 /// Non-owning view of a sparse feature vector: parallel (index, value)
@@ -159,13 +162,21 @@ class SparseVector {
 };
 
 // ---------------------------------------------------------------------------
-// Hot-path kernels (inline). Every kernel must produce bit-identical results
-// to the straightforward scalar merge-join it replaced — tests assert A/B
-// equality through whole engine runs — so floating-point additions may only
-// happen for the same operands in the same order as the original loops.
+// Hot-path kernels (inline wrappers). Every kernel must produce bit-identical
+// results to the straightforward scalar merge-join it replaced — tests assert
+// A/B equality through whole engine runs — so floating-point additions may
+// only happen for the same operands in the same order as the original loops.
 // (`sum += cond ? x : 0.0` is NOT equivalent: adding +0.0 to a -0.0
 // accumulator flips its sign bit.) The rewrites therefore move *index*
 // bookkeeping, never accumulation.
+//
+// The loop bodies live in ml/simd/sparse_kernels_scalar.h; when the binary
+// is built with ZOMBIE_SIMD the wrappers route large inputs through the
+// runtime ISA dispatch table (ml/simd/sparse_kernels.h), whose AVX2/AVX-512
+// entries are bit-identical to scalar by the same contract. Small inputs
+// keep the directly-inlined scalar loop: the function-pointer hop costs more
+// than SIMD saves there, and since both paths agree bit-for-bit the
+// threshold is unobservable in results.
 // ---------------------------------------------------------------------------
 
 inline double SparseVectorView::Dot(const std::vector<double>& dense) const {
@@ -179,60 +190,39 @@ inline double SparseVectorView::Dot(const std::vector<double>& dense) const {
     limit = static_cast<size_t>(
         std::lower_bound(indices_, indices_ + size_, bound) - indices_);
   }
-  const double* dense_data = dense.data();
-  double sum = 0.0;
-  for (size_t i = 0; i < limit; ++i) {
-    sum += values_[i] * dense_data[indices_[i]];
+#if defined(ZOMBIE_SIMD_ENABLED)
+  if (limit >= simd::kSimdMinEntries) {
+    return simd::ActiveKernels().dot_sparse_dense(indices_, values_, limit,
+                                                  dense.data());
   }
-  return sum;
+#endif
+  return simd::ScalarDotSparseDense(indices_, values_, limit, dense.data());
 }
 
 inline double SparseVectorView::Dot(SparseVectorView other) const {
-  const uint32_t* ai = indices_;
-  const uint32_t* bi = other.indices_;
-  const double* av = values_;
-  const double* bv = other.values_;
-  const size_t na = size_;
-  const size_t nb = other.size_;
-  if (na == 0 || nb == 0) return 0.0;
-  // Run-skipping merge: only matches touch the accumulator (matches arrive
-  // in the same ascending-index order as a classic three-way merge, so the
-  // FP addition sequence is unchanged), while mismatch runs burn through a
-  // tight scan loop whose only work is one compare + increment. On vector
-  // pairs the branch predictor has not seen before — the production case —
-  // this is ~1.6x faster than the three-way merge, whose per-element branch
-  // outcomes are data-random. (Single-pair microbenchmarks hide that:
-  // repeating one pair lets the predictor memorize the whole merge
-  // sequence, which flatters the branchy form. bench_micro therefore
-  // cycles a pool of pairs.) A cmov-style conditional-increment merge is
-  // ~2x slower either way: it serializes the load→compare→advance chain.
-  double sum = 0.0;
-  size_t i = 0;
-  size_t j = 0;
-  while (true) {
-    const uint32_t b = bi[j];
-    while (ai[i] < b) {
-      if (++i == na) return sum;
-    }
-    const uint32_t a = ai[i];
-    while (bi[j] < a) {
-      if (++j == nb) return sum;
-    }
-    if (bi[j] == a) {
-      sum += av[i] * bv[j];
-      if (++i == na || ++j == nb) return sum;
-    }
+  if (size_ == 0 || other.size_ == 0) return 0.0;
+#if defined(ZOMBIE_SIMD_ENABLED)
+  if (size_ + other.size_ >= 2 * simd::kSimdMinEntries) {
+    return simd::ActiveKernels().dot_sparse_sparse(
+        indices_, values_, size_, other.indices_, other.values_, other.size_);
   }
+#endif
+  return simd::ScalarDotSparseSparse(indices_, values_, size_, other.indices_,
+                                     other.values_, other.size_);
 }
 
 inline void SparseVectorView::AddScaledTo(double scale,
                                           std::vector<double>* dense) const {
   if (size_ == 0) return;
   if (dense->size() < dimension()) dense->resize(dimension(), 0.0);
-  double* out = dense->data();
-  for (size_t i = 0; i < size_; ++i) {
-    out[indices_[i]] += scale * values_[i];
+#if defined(ZOMBIE_SIMD_ENABLED)
+  if (size_ >= simd::kSimdMinEntries) {
+    simd::ActiveKernels().add_scaled_to(indices_, values_, size_, scale,
+                                        dense->data());
+    return;
   }
+#endif
+  simd::ScalarAddScaledTo(indices_, values_, size_, scale, dense->data());
 }
 
 inline double SparseVectorView::L2Norm() const {
@@ -248,40 +238,18 @@ inline double SparseVectorView::L1Norm() const {
 }
 
 inline double SparseVectorView::SquaredDistance(SparseVectorView other) const {
-  const uint32_t* ai = indices_;
-  const uint32_t* bi = other.indices_;
-  const double* av = values_;
-  const double* bv = other.values_;
-  const size_t na = size_;
-  const size_t nb = other.size_;
-  double s = 0.0;
-  size_t i = 0;
-  size_t j = 0;
-  // Merge phase: identical accumulation order to the classic three-way
-  // merge, but with the bounds checks hoisted so each iteration tests only
-  // the index comparison. (Unlike Dot, every element accumulates, so there
-  // is no run to skip; and cmov-blend forms lose — the select chain
-  // serializes behind the loads.)
-  while (i < na && j < nb) {
-    const uint32_t a = ai[i];
-    const uint32_t b = bi[j];
-    if (a == b) {
-      const double d = av[i] - bv[j];
-      s += d * d;
-      ++i;
-      ++j;
-    } else if (a < b) {
-      s += av[i] * av[i];
-      ++i;
-    } else {
-      s += bv[j] * bv[j];
-      ++j;
-    }
+  // Merge with identical accumulation order to the classic three-way merge;
+  // see ScalarSquaredDistance for the loop-shape rationale. (Unlike Dot,
+  // every element accumulates, so there is no run to skip; SIMD levels can
+  // still vectorize the independent squares between the ordered adds.)
+#if defined(ZOMBIE_SIMD_ENABLED)
+  if (size_ + other.size_ >= 2 * simd::kSimdMinEntries) {
+    return simd::ActiveKernels().squared_distance(
+        indices_, values_, size_, other.indices_, other.values_, other.size_);
   }
-  // Tail phases: pure sum-of-squares, branch-free.
-  for (; i < na; ++i) s += av[i] * av[i];
-  for (; j < nb; ++j) s += bv[j] * bv[j];
-  return s;
+#endif
+  return simd::ScalarSquaredDistance(indices_, values_, size_, other.indices_,
+                                     other.values_, other.size_);
 }
 
 }  // namespace zombie

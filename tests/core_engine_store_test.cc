@@ -28,20 +28,6 @@
 namespace zombie {
 namespace {
 
-/// Every deterministic RunResult field; wall_micros deliberately excluded.
-std::string Fingerprint(const RunResult& r) {
-  std::string s = StrFormat(
-      "items=%zu loop=%lld holdout=%lld q=%.17g stop=%s pos=%zu\n",
-      r.items_processed, static_cast<long long>(r.loop_virtual_micros),
-      static_cast<long long>(r.holdout_virtual_micros), r.final_quality,
-      StopReasonName(r.stop_reason), r.positives_processed);
-  for (const ArmSummary& a : r.arms) {
-    s += StrFormat("arm %zu %zu %.17g %zu\n", a.group_size, a.pulls,
-                   a.total_reward, a.positives_seen);
-  }
-  s += r.curve.ToCsv();
-  return s;
-}
 
 class EngineStoreTest : public ::testing::Test {
  protected:
@@ -83,7 +69,7 @@ class EngineStoreTest : public ::testing::Test {
     RunResult r = engine.Run(spec);
 
     Outcome out;
-    out.fingerprint = Fingerprint(r);
+    out.fingerprint = r.Fingerprint();
     out.decisions_jsonl = obs.decisions()->ToJsonl();
     return out;
   }
@@ -155,7 +141,7 @@ TEST_F(EngineStoreTest, ByteIdenticalAcrossDriverThreadCounts) {
     EXPECT_TRUE(trials.ok()) << trials.status().ToString();
     std::vector<std::string> prints;
     for (const TrialResult& t : trials.value()) {
-      prints.push_back(Fingerprint(t.run));
+      prints.push_back(t.run.Fingerprint());
     }
     return prints;
   };

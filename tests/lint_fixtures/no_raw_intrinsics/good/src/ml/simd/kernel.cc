@@ -1,0 +1,20 @@
+#include <immintrin.h>
+
+namespace zombie {
+
+// src/ml/simd/ is the one home for vendor intrinsics: the dispatch table
+// only routes here after cpuid confirms the ISA, and the TU carries the
+// matching -m flags plus -ffp-contract=off.
+double Sum4(const double* v) {
+  __m256d lanes = _mm256_loadu_pd(v);
+  double out[4];
+  _mm256_storeu_pd(out, lanes);
+  double s = 0.0;
+  s += out[0];
+  s += out[1];
+  s += out[2];
+  s += out[3];
+  return s;
+}
+
+}  // namespace zombie

@@ -656,6 +656,64 @@ TEST_F(ZombieLintTest, RawMmapInUtilAndAllowEscapeAreFine) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST_F(ZombieLintTest, RawIntrinsicsOutsideSimdFlagged) {
+  // Both spellings must fire: the <*intrin.h> include and the _mm*/__m256
+  // identifiers (caught even without the include, e.g. via a transitive
+  // header).
+  WriteFile("src/ml/fast_path.cc",
+            "#include <immintrin.h>\n"
+            "namespace zombie {\n"
+            "double Sum(const double* v) {\n"
+            "  __m256d lanes = _mm256_loadu_pd(v);\n"
+            "  double out[4];\n"
+            "  _mm256_storeu_pd(out, lanes);\n"
+            "  return out[0] + out[1] + out[2] + out[3];\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-raw-intrinsics"), std::string::npos)
+      << run.output;
+  // The include line and at least one identifier line both report.
+  EXPECT_NE(run.output.find("immintrin.h"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("_mm256_loadu_pd"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(ZombieLintTest, RawIntrinsicsInSimdDirAndAllowEscapeAreFine) {
+  // src/ml/simd/ is the allowed zone; elsewhere a vetted line can opt out
+  // in place with allow().
+  WriteFile("src/ml/simd/kernel.cc",
+            "#include <immintrin.h>\n"
+            "namespace zombie {\n"
+            "double Lane0(const double* v) {\n"
+            "  return _mm256_cvtsd_f64(_mm256_loadu_pd(v));\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  WriteFile("src/core/vetted.cc",
+            "namespace zombie {\n"
+            "void Hint(const char* p) {\n"
+            "  _mm_prefetch(p, 3);  // zombie-lint: allow(no-raw-intrinsics)\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(ZombieLintTest, NonIntrinsicUnderscoreIdentsAreFine) {
+  // Reserved-looking but non-intrinsic names must not trip the prefix
+  // matcher: __musl_libc, _map_size, __method.
+  WriteFile("src/core/names.cc",
+            "namespace zombie {\n"
+            "int __musl_libc = 0;  // zombie-lint: allow(no-mutable-global)\n"
+            "int Use(int _map_size, int __method) {\n"
+            "  return _map_size + __method + __musl_libc;\n"
+            "}\n"
+            "}  // namespace zombie\n");
+  LintRun run = RunLint(src());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 // --- checked-in fixture trees ---------------------------------------------
 
 #ifndef ZOMBIE_LINT_FIXTURES
@@ -695,7 +753,8 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"no_detached_thread", "no-detached-thread"},
         FixtureCase{"no_nondet_float", "no-nondet-float"},
         FixtureCase{"no_mutable_global", "no-mutable-global"},
-        FixtureCase{"no_raw_mmap", "no-raw-mmap"}),
+        FixtureCase{"no_raw_mmap", "no-raw-mmap"},
+        FixtureCase{"no_raw_intrinsics", "no-raw-intrinsics"}),
     [](const ::testing::TestParamInfo<FixtureCase>& fixture) {
       return std::string(fixture.param.dir);
     });

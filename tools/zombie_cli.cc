@@ -10,12 +10,14 @@
 //                       [--store-path=feat.zfs] [--store-gc]
 //                       [--trace-out=trace.json] [--metrics-out=metrics.json]
 //                       [--decisions-out=decisions.jsonl]
+//                       [--fingerprint-out=fp.txt]
 //   zombie_cli session  --task=webcat --docs=12000 [--warm] [--cache]
 //                       [--eval-threads=N]
 //                       [--prefetch-threads=N] [--prefetch-arms=N]
 //                       [--store-path=feat.zfs]
 //                       [--trace-out=...] [--metrics-out=...]
 //                       [--decisions-out=...]
+//   zombie_cli simd-level [--print=active|detected]
 //
 // Flags are --key=value; unknown flags fail loudly. When --corpus is given
 // it is loaded from disk, otherwise --task/--docs/--seed generate one.
@@ -30,8 +32,14 @@
 // wall-clock-only, like --cache). One process writes, concurrent ones read.
 // --store-gc (run only) drops store records from other pipeline
 // fingerprints at open (versioned invalidation).
+//
+// --fingerprint-out (run only) writes each trial's canonical RunResult
+// fingerprint (see RunResult::Fingerprint); the simd-dispatch CI job
+// byte-compares these files across forced ZOMBIE_SIMD_LEVEL runs.
+// `simd-level` reports how SIMD dispatch resolved on this machine/binary.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -60,6 +68,7 @@
 #include "ml/adagrad_lr.h"
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
+#include "ml/simd/simd_level.h"
 #include "ml/pegasos_svm.h"
 #include "ml/perceptron.h"
 #include "obs/obs.h"
@@ -409,6 +418,7 @@ int CmdRun(const Flags& flags) {
   size_t trials = static_cast<size_t>(flags.GetInt("trials", 1));
   size_t threads = static_cast<size_t>(flags.GetInt("threads", 1));
   std::string csv = flags.GetString("csv", "");
+  std::string fingerprint_out = flags.GetString("fingerprint-out", "");
   std::string store_path = flags.GetString("store-path", "");
   bool store_gc = flags.GetBool("store-gc");
   ObsOutputs obs_out = GetObsOutputs(flags);
@@ -490,6 +500,24 @@ int CmdRun(const Flags& flags) {
     std::fclose(f);
     std::printf("curve written to %s\n", csv.c_str());
   }
+  if (!fingerprint_out.empty()) {
+    // Canonical deterministic fingerprints for every trial; the SIMD
+    // forced-dispatch CI matrix byte-compares these files across
+    // ZOMBIE_SIMD_LEVEL runs.
+    std::FILE* f = std::fopen(fingerprint_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", fingerprint_out.c_str());
+      return 1;
+    }
+    for (const TrialResult& t : trials_or.value()) {
+      std::string fp = StrFormat("trial seed=%llu\n",
+                                 static_cast<unsigned long long>(t.spec.seed))
+                       + t.run.Fingerprint();
+      std::fwrite(fp.data(), 1, fp.size(), f);
+    }
+    std::fclose(f);
+    std::printf("fingerprints written to %s\n", fingerprint_out.c_str());
+  }
   if (obs != nullptr && !WriteObsOutputs(obs_out, *obs)) return 1;
   return 0;
 }
@@ -561,9 +589,43 @@ int CmdSession(const Flags& flags) {
   return 0;
 }
 
+int CmdSimdLevel(const Flags& flags) {
+  // Machine-readable (--print=...) or human-readable report of the SIMD
+  // dispatch resolution; CI uses `--print=active` to auto-skip forced
+  // levels the runner cannot actually execute.
+  std::string print = flags.GetString("print", "");
+  Status st = flags.CheckAllConsumed();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const simd::SimdLevel detected = simd::DetectCpuSimdLevel();
+  const simd::SimdLevel compiled = simd::CompiledSimdLevel();
+  const simd::SimdLevel active = simd::ActiveSimdLevel();
+  if (print == "active") {
+    std::printf("%s\n", simd::SimdLevelName(active));
+    return 0;
+  }
+  if (print == "detected") {
+    std::printf("%s\n", simd::SimdLevelName(detected));
+    return 0;
+  }
+  if (!print.empty()) {
+    std::fprintf(stderr, "unknown --print=%s (want active or detected)\n",
+                 print.c_str());
+    return 1;
+  }
+  const char* forced = std::getenv("ZOMBIE_SIMD_LEVEL");
+  std::printf("detected cpu:  %s\n", simd::SimdLevelName(detected));
+  std::printf("compiled max:  %s\n", simd::SimdLevelName(compiled));
+  std::printf("forced (env):  %s\n", forced != nullptr ? forced : "(unset)");
+  std::printf("active:        %s\n", simd::SimdLevelName(active));
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: zombie_cli <generate|inspect|run|session> "
+               "usage: zombie_cli <generate|inspect|run|session|simd-level> "
                "[--key=value ...]\n"
                "see the header comment of tools/zombie_cli.cc for flags\n");
   return 2;
@@ -583,6 +645,7 @@ int Main(int argc, char** argv) {
   if (cmd == "inspect") return CmdInspect(flags);
   if (cmd == "run") return CmdRun(flags);
   if (cmd == "session") return CmdSession(flags);
+  if (cmd == "simd-level") return CmdSimdLevel(flags);
   return Usage();
 }
 

@@ -46,6 +46,16 @@
 //                   remap invalidation, and error handling live in one
 //                   audited place. Calls to `mmap`, `munmap`, `mremap`,
 //                   and `msync` are banned in src/ outside src/util/.
+//   no-raw-intrinsics
+//                   Vendor SIMD intrinsics live only in src/ml/simd/, where
+//                   the per-TU ISA compile flags, the cpuid dispatch gate,
+//                   and the bit-identity obligations (FP-order contract,
+//                   ODR isolation — see src/ml/simd/kernel_entries.h) are
+//                   enforced. `<*intrin.h>` includes, `_mm*` calls, and
+//                   `__m128`/`__m256`/`__m512`/`__mmask` types are banned
+//                   in src/ outside src/ml/simd/ — an intrinsic elsewhere
+//                   either crashes pre-AVX hardware (no dispatch gate) or
+//                   silently forks the accumulation order.
 //
 // Determinism rules (v2). The paper's speedup claims rest on byte-identical
 // results across cache / prefetch / thread-count configurations; these rules
@@ -77,7 +87,9 @@
 //                   `std::reduce` / `std::transform_reduce` /
 //                   `std::execution` parallel-reordering algorithms, and
 //                   `#include <execution>`, outside allowlisted kernels
-//                   (none today; a future SIMD kernel earns its slot with a
+//                   (none today — even the SIMD kernels in src/ml/simd/
+//                   preserve scalar accumulation order and need no
+//                   exemption; a future entry earns its slot with a
 //                   documented reduction-order proof).
 //   no-mutable-global
 //                   Non-const namespace-scope variables are banned: hidden
@@ -386,6 +398,27 @@ bool IsRawMmapBannedFile(const std::string& rel) {
   return rel.rfind("src/", 0) == 0 && rel.rfind("src/util/", 0) != 0;
 }
 
+// Files covered by no-raw-intrinsics: all of src/ except src/ml/simd/,
+// the one home for vendor intrinsics (per-TU ISA flags + cpuid dispatch +
+// bit-identity contract live there).
+bool IsRawIntrinsicsBannedFile(const std::string& rel) {
+  return rel.rfind("src/", 0) == 0 && rel.rfind("src/ml/simd/", 0) != 0;
+}
+
+// Vendor intrinsic spellings: _mm_* / _mm256_* / _mm512_* calls (and the
+// _mm_malloc family), __m128/__m256/__m512 vector types with any element
+// suffix, and AVX-512 __mmask types. All are compiler-reserved identifiers,
+// so a legitimate project symbol can never collide with this predicate.
+bool IsIntrinsicIdent(const std::string& id) {
+  if (id.rfind("_mm", 0) == 0) return true;
+  if (id.rfind("__m", 0) == 0) {
+    if (id.size() > 3 && std::isdigit(static_cast<unsigned char>(id[3])))
+      return true;
+    if (id.rfind("__mmask", 0) == 0) return true;
+  }
+  return false;
+}
+
 // Result-affecting layers where unordered-container iteration order could
 // leak into paper numbers (no-unordered-iteration scope).
 bool IsUnorderedIterationBannedFile(const std::string& rel) {
@@ -399,8 +432,10 @@ bool IsThreadPoolFile(const std::string& rel) {
 }
 
 // Kernels allowed to use reordering float reductions (no-nondet-float
-// scope). Empty today: a future SIMD kernel earns its slot here together
-// with a documented reduction-order argument.
+// scope). Empty today — the SIMD kernels in src/ml/simd/ keep scalar
+// accumulation order (that is their whole contract) and so need no slot; a
+// future entry earns one together with a documented reduction-order
+// argument.
 bool IsNondetFloatAllowlistedFile(const std::string& rel) {
   (void)rel;
   return false;
@@ -628,6 +663,13 @@ class FileAnalyzer {
                    "(src/util/mmap_file.h) so growth, remap invalidation, "
                    "and error handling stay in one audited place");
       }
+      if (IsRawIntrinsicsBannedFile(f_.rel) && IsIntrinsicIdent(id)) {
+        Report(t.line, "no-raw-intrinsics",
+               "'" + id +
+                   "' outside src/ml/simd/; vendor intrinsics belong in the "
+                   "dispatch kernels, where the cpuid gate and the FP-order "
+                   "contract are enforced (src/ml/simd/sparse_kernels.h)");
+      }
       if (IsRawExtractBannedFile(f_.rel) && id == "Extract" && i > 0 &&
           (toks[i - 1].text == "." || toks[i - 1].text == "->") &&
           TokIs(i + 1, "(")) {
@@ -772,6 +814,21 @@ class FileAnalyzer {
                  "#include <execution> enables parallel/reordering "
                  "algorithm overloads; sequential overloads are the only "
                  "ones compatible with byte-identical results");
+        }
+      }
+    }
+    if (IsRawIntrinsicsBannedFile(f_.rel)) {
+      // Catches <immintrin.h>, <x86intrin.h>, the per-ISA <*mmintrin.h>
+      // family, and MSVC's <intrin.h> in one suffix test.
+      static const std::string kSuffix = "intrin.h";
+      for (const IncludeRef& inc : f_.includes) {
+        if (inc.path.size() >= kSuffix.size() &&
+            inc.path.compare(inc.path.size() - kSuffix.size(),
+                             kSuffix.size(), kSuffix) == 0) {
+          Report(inc.line, "no-raw-intrinsics",
+                 "#include of '" + inc.path +
+                     "' outside src/ml/simd/; vendor intrinsics belong in "
+                     "the dispatch kernels (src/ml/simd/)");
         }
       }
     }
