@@ -305,6 +305,36 @@ void BM_SimdSquaredDistance(benchmark::State& state,
                           static_cast<int64_t>(kSparsePool));
 }
 
+// Mid-run dimension compaction: remap + left-pack a pool of rows through a
+// half-pruned 8192-wide table. Out-of-place so the seeded inputs survive
+// across iterations (the kernel itself also permits in-place).
+void BM_SimdRemapSparseView(benchmark::State& state,
+                            const simd::SparseKernels* k, size_t nnz) {
+  std::vector<SparseVector> as = RandomVectorPool(7, 8192, nnz);
+  std::vector<uint32_t> remap(8192);
+  Rng rng(77);
+  uint32_t next = 0;
+  for (size_t f = 0; f < remap.size(); ++f) {
+    remap[f] = rng.NextBelow(2) == 0 ? simd::kPrunedFeature : next++;
+  }
+  std::vector<uint32_t> out_idx(nnz);
+  std::vector<double> out_val(nnz);
+  for (auto _ : state) {
+    size_t kept = 0;
+    for (size_t p = 0; p < kSparsePool; ++p) {
+      const SparseVector& a = as[p];
+      kept += k->remap_sparse_view(a.indices().data(), a.values().data(),
+                                   a.num_nonzero(), remap.data(),
+                                   remap.size(), out_idx.data(),
+                                   out_val.data());
+    }
+    benchmark::DoNotOptimize(kept);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kSparsePool));
+}
+
 // Unbalanced merge: a document-sized row dotted against a centroid-sized
 // row — the kNN/k-means shape, and the one run-skipping SIMD exists for
 // (mismatch runs of ~20 on the dense side, retired 8/16 indices per vector
@@ -338,8 +368,13 @@ constexpr struct {
     {"BM_SimdDotSparseDense", "dot_sparse_dense"},
     {"BM_SimdAddScaledTo", "add_scaled_to"},
     {"BM_SimdSquaredDistance", "squared_distance"},
+    {"BM_SimdRemapSparseView", "remap_sparse_view"},
 };
 constexpr size_t kSimdBenchNnz = 128;  // matches the wrapper benches' gates
+// Small-nnz sweep for the gathered sparse*dense dot: per-nnz walls locate
+// the crossover below which gather setup loses to the scalar loop — the
+// measurement behind kSimdMinEntriesDotSparseDense (EXPERIMENTS.md).
+constexpr size_t kDotSparseDenseSweep[] = {8, 16, 32, 64, 256, 512};
 
 void RegisterPerIsaKernelBenches() {
   for (simd::SimdLevel level : simd::AvailableLevels()) {
@@ -358,6 +393,14 @@ void RegisterPerIsaKernelBenches() {
     benchmark::RegisterBenchmark(
         name("BM_SimdDotSparseDense", kSimdBenchNnz).c_str(),
         BM_SimdDotSparseDense, k, kSimdBenchNnz);
+    for (size_t nnz : kDotSparseDenseSweep) {
+      benchmark::RegisterBenchmark(
+          name("BM_SimdDotSparseDense", nnz).c_str(), BM_SimdDotSparseDense,
+          k, nnz);
+    }
+    benchmark::RegisterBenchmark(
+        name("BM_SimdRemapSparseView", kSimdBenchNnz).c_str(),
+        BM_SimdRemapSparseView, k, kSimdBenchNnz);
     benchmark::RegisterBenchmark(
         name("BM_SimdAddScaledTo", kSimdBenchNnz).c_str(), BM_SimdAddScaledTo,
         k, kSimdBenchNnz);
@@ -683,6 +726,20 @@ void ExportPerIsaKernelRatios(const JsonExportReporter& console,
     if (skew_scalar > 0.0 && skew_isa > 0.0) {
       reporter->AddMetric("ratio." + ln + ".dot_sparse_sparse_skew",
                           skew_scalar / skew_isa);
+    }
+    // The cutoff sweep: where does the gathered sparse*dense kernel cross
+    // scalar as rows shrink? Documented (not gated) in EXPERIMENTS.md.
+    for (size_t nnz : kDotSparseDenseSweep) {
+      const std::string suffix = "/" + std::to_string(nnz);
+      const double scalar_wall =
+          console.WallOf("BM_SimdDotSparseDense/scalar" + suffix);
+      const double isa_wall =
+          console.WallOf("BM_SimdDotSparseDense/" + ln + suffix);
+      if (scalar_wall > 0.0 && isa_wall > 0.0) {
+        reporter->AddMetric(
+            "ratio." + ln + ".dot_sparse_dense_nnz" + std::to_string(nnz),
+            scalar_wall / isa_wall);
+      }
     }
   }
 }

@@ -22,6 +22,7 @@ Status EngineOptions::Validate() const {
   if (holdout_eval_threads == 0) {
     return Status::InvalidArgument("holdout_eval_threads must be positive");
   }
+  if (Status s = pruning.Validate(); !s.ok()) return s;
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 
 #include "bandit/arm_stats.h"
 #include "core/convergence.h"
+#include "ml/feature_pruner.h"
 #include "ml/metrics.h"
 #include "util/status.h"
 
@@ -114,6 +115,15 @@ struct EngineOptions {
   /// EvaluateLearner's determinism contract; asserted by
   /// core_engine_holdout_test).
   size_t holdout_eval_threads = 1;
+  /// Online feature pruning (ml/feature_pruner.h): off by default, and off
+  /// must be a perfect no-op — fingerprints and decision logs byte-identical
+  /// to a build without the pruner. When enabled, the mask freezes at a
+  /// holdout-eval boundary from virtual-time-visible state only, so results
+  /// are still byte-identical across thread counts, cache/store modes, and
+  /// forced SIMD levels (only wall-clock and — by design — the post-freeze
+  /// learning trajectory change versus pruning off). Overridable per run
+  /// via RunSpec::pruning_override.
+  FeaturePrunerOptions pruning;
 
   /// Validates knob ranges.
   [[nodiscard]] Status Validate() const;

@@ -9,6 +9,7 @@
 #include "index/grouped_corpus.h"
 #include "ml/dataset.h"
 #include "ml/evaluator.h"
+#include "ml/feature_pruner.h"
 #include "obs/obs.h"
 #include "util/clock.h"
 #include "util/logging.h"
@@ -138,10 +139,26 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
         options_.feature_store);
     service = run_service.get();
   }
+  // Online feature pruning. Disabled (the default) constructs nothing and
+  // every hook below is null-guarded, so the prune-off run is byte-for-byte
+  // the pre-pruning engine. Enabled, the pruner observes training examples
+  // and freezes its mask at a holdout-eval boundary — all decisions derive
+  // from virtual-time-visible state only, so the pruned run is itself
+  // byte-identical across thread counts, cache/store modes, and SIMD
+  // levels.
+  const FeaturePrunerOptions& prune_opts = spec.pruning_override != nullptr
+                                               ? *spec.pruning_override
+                                               : options_.pruning;
+  std::unique_ptr<FeaturePruner> pruner;
+  if (prune_opts.enabled) {
+    pruner = std::make_unique<FeaturePruner>(prune_opts);
+  }
+
   CacheOutcome last_cache = CacheOutcome::kDisabled;
   auto featurize = [&](uint32_t doc_id, const Document& doc) {
     ScopedHistogramTimer extract_timer(extract_hist);
-    SparseVector x = service->Featurize(doc, doc_id, *corpus_, &last_cache);
+    SparseVector x =
+        service->Featurize(doc, doc_id, *corpus_, &last_cache, pruner.get());
     switch (last_cache) {
       case CacheOutcome::kDisabled:
         if (cache_bypass_counter != nullptr) {
@@ -298,6 +315,7 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
         metrics->GetHistogram("learner.update_us." + learner->name());
   }
   std::vector<DecisionRecord> decisions;
+  std::vector<PruneEvent> prune_events;
   std::vector<double> score_buffer;
   const std::string run_label =
       dlog != nullptr
@@ -406,6 +424,9 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
     inputs.seen_negative = items - result.positives_processed;
     double probe_before = needs_probe ? probe_quality() : 0.0;
 
+    // Activation counts feed the eventual prune ranking; one observation
+    // per training example, in pull order (no-op once the mask froze).
+    if (pruner != nullptr) pruner->ObserveExample(x);
     {
       ScopedHistogramTimer update_timer(update_hist);
       learner->Update(x, y);
@@ -455,6 +476,34 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
       // while this thread is busy scoring the holdout. Candidate ranking
       // draws no randomness and mutates nothing the run observes.
       prefetcher.SpeculateBeforeEvaluation(*policy, stats);
+      // Prune freeze happens at most once, exactly here — a holdout-eval
+      // boundary — so the holdout kernels below already run compacted. The
+      // freeze decision reads only items + learner state (deterministic);
+      // the virtual clock never observes pruning bookkeeping.
+      if (pruner != nullptr && pruner->MaybeFreeze(learner.get(), items)) {
+        holdout =
+            HoldoutEvaluator(pruner->CompactDataset(holdout.holdout()));
+        if (needs_probe) probe = pruner->CompactDataset(probe);
+        const PruneStats& ps = pruner->stats();
+        PruneEvent ev;
+        ev.items = static_cast<uint64_t>(items);
+        ev.virtual_micros = clock.NowMicros();
+        ev.input_dimension = static_cast<uint64_t>(ps.input_dimension);
+        ev.kept_features = static_cast<uint64_t>(ps.kept_features);
+        ev.pruned_features = static_cast<uint64_t>(ps.pruned_features);
+        prune_events.push_back(ev);
+        if (metrics != nullptr) {
+          metrics->GetCounter("prune.freezes")->Increment();
+          metrics->GetGauge("prune.frozen_at_items")
+              ->Set(static_cast<double>(ps.frozen_at_items));
+          metrics->GetGauge("prune.input_dimension")
+              ->Set(static_cast<double>(ps.input_dimension));
+          metrics->GetGauge("prune.kept_features")
+              ->Set(static_cast<double>(ps.kept_features));
+          metrics->GetGauge("prune.pruned_features")
+              ->Set(static_cast<double>(ps.pruned_features));
+        }
+      }
       double q = evaluate(items);
       if (stop.target_quality >= 0.0 && q >= stop.target_quality) {
         result.stop_reason = StopReason::kTarget;
@@ -502,6 +551,9 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
   }
   if (dlog != nullptr) {
     dlog->AppendRun(run_label, std::move(decisions));
+    if (!prune_events.empty()) {
+      dlog->AppendPruneEvents(run_label, std::move(prune_events));
+    }
   }
   // Delta-tracked, so repeated exports from runs sharing a service (and a
   // metrics registry) accumulate without double-counting.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "featureeng/persistent_feature_store.h"
+#include "ml/feature_pruner.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 
@@ -45,7 +46,20 @@ ExtractionService::~ExtractionService() {
 SparseVector ExtractionService::Featurize(const Document& doc,
                                           uint32_t doc_id,
                                           const Corpus& corpus,
-                                          CacheOutcome* outcome) {
+                                          CacheOutcome* outcome,
+                                          const FeaturePruner* pruner) {
+  SparseVector x = FeaturizeFull(doc, doc_id, corpus, outcome);
+  // View-side compaction: every tier above saw (and stored) the full-
+  // dimension vector, so cache/store bytes and outcomes are untouched by
+  // pruning; only the caller's copy shrinks.
+  if (pruner != nullptr) pruner->CompactInPlace(&x);
+  return x;
+}
+
+SparseVector ExtractionService::FeaturizeFull(const Document& doc,
+                                              uint32_t doc_id,
+                                              const Corpus& corpus,
+                                              CacheOutcome* outcome) {
   if (cache_ == nullptr) {
     // No memory tier: the store alone still short-circuits wall-clock
     // extraction, while the reported outcome stays kDisabled — exactly

@@ -17,6 +17,7 @@
 
 namespace zombie {
 
+class FeaturePruner;
 class MetricsRegistry;
 class PersistentFeatureStore;
 
@@ -123,9 +124,16 @@ class ExtractionService {
   /// kHit, or kMiss — a speculative entry's first touch reports kMiss (and
   /// counts as prefetch-useful) because that is what the caller would have
   /// observed had speculation been off.
+  ///
+  /// `pruner` (optional, borrowed) applies online feature pruning as a
+  /// view-side transform on the return path: the cache and store tiers stay
+  /// keyed and populated at full dimension (entries remain valid across a
+  /// mid-run freeze and across prune settings), and only the vector handed
+  /// back is compacted. A null or not-yet-frozen pruner changes nothing.
   SparseVector Featurize(const Document& doc, uint32_t doc_id,
                          const Corpus& corpus,
-                         CacheOutcome* outcome = nullptr);
+                         CacheOutcome* outcome = nullptr,
+                         const FeaturePruner* pruner = nullptr);
 
   /// Enqueues speculative extraction of `doc_ids` onto the background
   /// workers, bounded by queue_cap outstanding tasks; already-cached ids
@@ -167,6 +175,11 @@ class ExtractionService {
   uint64_t pipeline_fingerprint() const { return fingerprint_; }
 
  private:
+  /// The pre-pruning extraction path (all cache/store tiering); Featurize
+  /// compacts its result when a frozen pruner is passed.
+  SparseVector FeaturizeFull(const Document& doc, uint32_t doc_id,
+                             const Corpus& corpus, CacheOutcome* outcome);
+
   const FeaturePipeline* pipeline_;
   FeatureCache* cache_;
   PrefetchOptions prefetch_;

@@ -68,4 +68,21 @@ std::unique_ptr<Learner> AdaGradLogisticLearner::Clone() const {
   return std::make_unique<AdaGradLogisticLearner>(options_);
 }
 
+bool AdaGradLogisticLearner::ExportWeightMagnitudes(
+    std::vector<double>* out) const {
+  out->resize(weights_.size());
+  for (size_t f = 0; f < weights_.size(); ++f) {
+    (*out)[f] = std::abs(weights_[f]);
+  }
+  return true;
+}
+
+bool AdaGradLogisticLearner::CompactFeatures(
+    const std::vector<uint32_t>& old_to_new, uint32_t new_dimension) {
+  // grad_sq_ rides along so kept features keep their annealed step sizes.
+  CompactDenseState(old_to_new, new_dimension, &weights_);
+  CompactDenseState(old_to_new, new_dimension, &grad_sq_);
+  return true;
+}
+
 }  // namespace zombie

@@ -38,6 +38,9 @@ class AdaGradLogisticLearner : public Learner {
   std::unique_ptr<Learner> Clone() const override;
   std::string name() const override { return "adagrad"; }
   size_t num_updates() const override { return num_updates_; }
+  bool ExportWeightMagnitudes(std::vector<double>* out) const override;
+  bool CompactFeatures(const std::vector<uint32_t>& old_to_new,
+                       uint32_t new_dimension) override;
 
   double WeightAt(uint32_t index) const;
 

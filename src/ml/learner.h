@@ -1,10 +1,12 @@
 #ifndef ZOMBIE_ML_LEARNER_H_
 #define ZOMBIE_ML_LEARNER_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ml/sparse_vector.h"
 
@@ -51,7 +53,48 @@ class Learner {
 
   /// Number of Update() calls since construction/Reset.
   virtual size_t num_updates() const = 0;
+
+  /// Per-feature influence magnitudes for the online feature pruner
+  /// (ml/feature_pruner.h): out[f] >= 0 measures how much feature f moves
+  /// Score(), in whatever units the learner uses internally (|weight| for
+  /// linear models, |log-odds contribution| for NB). Returns false when the
+  /// learner has no per-feature notion of weight (kNN, majority) — the
+  /// pruner then disables itself rather than guess. `out` is resized by the
+  /// learner; ids past its size have zero influence.
+  virtual bool ExportWeightMagnitudes(std::vector<double>* out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Renumbers per-feature state through a monotone old-id→dense-id table
+  /// (simd::kPrunedFeature marks dropped ids; see SparseVector::RemapThrough
+  /// for the table contract). After a successful call, scoring a compacted
+  /// vector must be bit-identical to scoring the original vector with the
+  /// pruned features zeroed out. Returns false (leaving state untouched)
+  /// when unsupported.
+  virtual bool CompactFeatures(const std::vector<uint32_t>& old_to_new,
+                               uint32_t new_dimension) {
+    (void)old_to_new;
+    (void)new_dimension;
+    return false;
+  }
 };
+
+/// Shared helper for CompactFeatures implementations: renumbers a dense
+/// per-feature state vector through the remap table. Entries mapping to
+/// simd::kPrunedFeature are dropped; the result has exactly new_dimension
+/// slots (absent old entries read as 0.0).
+inline void CompactDenseState(const std::vector<uint32_t>& old_to_new,
+                              uint32_t new_dimension,
+                              std::vector<double>* state) {
+  std::vector<double> out(new_dimension, 0.0);
+  const size_t n = std::min(state->size(), old_to_new.size());
+  for (size_t f = 0; f < n; ++f) {
+    const uint32_t dense = old_to_new[f];
+    if (dense != simd::kPrunedFeature) out[dense] = (*state)[f];
+  }
+  state->swap(out);
+}
 
 }  // namespace zombie
 

@@ -77,4 +77,22 @@ std::unique_ptr<Learner> LogisticRegressionLearner::Clone() const {
   return std::make_unique<LogisticRegressionLearner>(options_);
 }
 
+bool LogisticRegressionLearner::ExportWeightMagnitudes(
+    std::vector<double>* out) const {
+  out->resize(weights_.size());
+  for (size_t f = 0; f < weights_.size(); ++f) {
+    (*out)[f] = std::abs(scale_ * weights_[f]);
+  }
+  return true;
+}
+
+bool LogisticRegressionLearner::CompactFeatures(
+    const std::vector<uint32_t>& old_to_new, uint32_t new_dimension) {
+  // scale_ and bias_ are untouched: the live weight of a kept feature is
+  // still scale_ * weights_[dense id], so compacted scores match scoring
+  // the original vector with pruned features zeroed.
+  CompactDenseState(old_to_new, new_dimension, &weights_);
+  return true;
+}
+
 }  // namespace zombie

@@ -72,4 +72,35 @@ std::unique_ptr<Learner> NaiveBayesLearner::Clone() const {
   return std::make_unique<NaiveBayesLearner>(alpha_);
 }
 
+bool NaiveBayesLearner::ExportWeightMagnitudes(
+    std::vector<double>* out) const {
+  // Per unit of feature value, feature f moves LogOdds by (lp1 - lp0); its
+  // magnitude is the pruning signal. Never-seen features get the nonzero
+  // background |log(denom0/denom1)| — harmless, since the pruner divides by
+  // activation count and gates on a minimum-activation floor.
+  const size_t dim = std::max(token_count_[0].size(), token_count_[1].size());
+  out->assign(dim, 0.0);
+  const double v_dim = static_cast<double>(std::max<size_t>(dimension_, 1));
+  const double denom0 = token_total_[0] + alpha_ * v_dim;
+  const double denom1 = token_total_[1] + alpha_ * v_dim;
+  for (size_t f = 0; f < dim; ++f) {
+    const double c0 = f < token_count_[0].size() ? token_count_[0][f] : 0.0;
+    const double c1 = f < token_count_[1].size() ? token_count_[1][f] : 0.0;
+    (*out)[f] = std::abs(std::log((c1 + alpha_) / denom1) -
+                         std::log((c0 + alpha_) / denom0));
+  }
+  return true;
+}
+
+bool NaiveBayesLearner::CompactFeatures(
+    const std::vector<uint32_t>& old_to_new, uint32_t new_dimension) {
+  // dimension_ and token_total_ deliberately keep their frozen full-space
+  // values: the smoothing denominators must not move, so that scoring a
+  // compacted vector stays bit-identical to scoring the original vector
+  // with the pruned features zeroed out (the contract in learner.h).
+  CompactDenseState(old_to_new, new_dimension, &token_count_[0]);
+  CompactDenseState(old_to_new, new_dimension, &token_count_[1]);
+  return true;
+}
+
 }  // namespace zombie

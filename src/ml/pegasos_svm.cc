@@ -55,4 +55,20 @@ std::unique_ptr<Learner> PegasosSvmLearner::Clone() const {
   return std::make_unique<PegasosSvmLearner>(options_);
 }
 
+bool PegasosSvmLearner::ExportWeightMagnitudes(
+    std::vector<double>* out) const {
+  out->resize(weights_.size());
+  for (size_t f = 0; f < weights_.size(); ++f) {
+    (*out)[f] = std::abs(scale_ * weights_[f]);
+  }
+  return true;
+}
+
+bool PegasosSvmLearner::CompactFeatures(
+    const std::vector<uint32_t>& old_to_new, uint32_t new_dimension) {
+  // scale_ and bias_ are untouched (see the logreg note).
+  CompactDenseState(old_to_new, new_dimension, &weights_);
+  return true;
+}
+
 }  // namespace zombie

@@ -51,4 +51,25 @@ std::unique_ptr<Learner> AveragedPerceptronLearner::Clone() const {
   return std::make_unique<AveragedPerceptronLearner>();
 }
 
+bool AveragedPerceptronLearner::ExportWeightMagnitudes(
+    std::vector<double>* out) const {
+  // Score() uses the lazy average weights_ - cum_weights_ / t, so that is
+  // the influence that matters for pruning.
+  out->resize(weights_.size());
+  const double t =
+      num_updates_ == 0 ? 1.0 : static_cast<double>(num_updates_);
+  for (size_t f = 0; f < weights_.size(); ++f) {
+    const double cum = f < cum_weights_.size() ? cum_weights_[f] : 0.0;
+    (*out)[f] = std::abs(weights_[f] - cum / t);
+  }
+  return true;
+}
+
+bool AveragedPerceptronLearner::CompactFeatures(
+    const std::vector<uint32_t>& old_to_new, uint32_t new_dimension) {
+  CompactDenseState(old_to_new, new_dimension, &weights_);
+  CompactDenseState(old_to_new, new_dimension, &cum_weights_);
+  return true;
+}
+
 }  // namespace zombie

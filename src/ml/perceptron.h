@@ -24,6 +24,9 @@ class AveragedPerceptronLearner : public Learner {
   std::unique_ptr<Learner> Clone() const override;
   std::string name() const override { return "perceptron"; }
   size_t num_updates() const override { return num_updates_; }
+  bool ExportWeightMagnitudes(std::vector<double>* out) const override;
+  bool CompactFeatures(const std::vector<uint32_t>& old_to_new,
+                       uint32_t new_dimension) override;
 
   size_t num_mistakes() const { return num_mistakes_; }
 

@@ -12,6 +12,7 @@ const SparseKernels kScalarTable = {
     &ScalarDotSparseSparse,
     &ScalarAddScaledTo,
     &ScalarSquaredDistance,
+    &ScalarRemapSparseView,
 };
 
 #if defined(ZOMBIE_SIMD_HAVE_AVX2)
@@ -20,6 +21,7 @@ const SparseKernels kAvx2Table = {
     &Avx2DotSparseSparse,
     &Avx2AddScaledTo,
     &Avx2SquaredDistance,
+    &Avx2RemapSparseView,
 };
 #endif
 
@@ -29,6 +31,7 @@ const SparseKernels kAvx512Table = {
     &Avx512DotSparseSparse,
     &Avx512AddScaledTo,
     &Avx512SquaredDistance,
+    &Avx512RemapSparseView,
 };
 #endif
 

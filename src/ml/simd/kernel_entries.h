@@ -15,6 +15,11 @@
 namespace zombie {
 namespace simd {
 
+/// Remap-table sentinel for a pruned feature id (see RemapSparseViewFn in
+/// sparse_kernels.h). Lives here because the per-ISA TUs need it and this is
+/// the only project header they may include.
+constexpr uint32_t kPrunedFeature = 0xffffffffu;
+
 #if defined(ZOMBIE_SIMD_HAVE_AVX2)
 double Avx2DotSparseDense(const uint32_t* indices, const double* values,
                           size_t n, const double* dense);
@@ -24,6 +29,9 @@ void Avx2AddScaledTo(const uint32_t* indices, const double* values, size_t n,
                      double scale, double* out);
 double Avx2SquaredDistance(const uint32_t* ai, const double* av, size_t na,
                            const uint32_t* bi, const double* bv, size_t nb);
+size_t Avx2RemapSparseView(const uint32_t* indices, const double* values,
+                           size_t n, const uint32_t* remap, size_t remap_size,
+                           uint32_t* out_indices, double* out_values);
 #endif
 
 #if defined(ZOMBIE_SIMD_HAVE_AVX512)
@@ -35,6 +43,10 @@ void Avx512AddScaledTo(const uint32_t* indices, const double* values,
                        size_t n, double scale, double* out);
 double Avx512SquaredDistance(const uint32_t* ai, const double* av, size_t na,
                              const uint32_t* bi, const double* bv, size_t nb);
+size_t Avx512RemapSparseView(const uint32_t* indices, const double* values,
+                             size_t n, const uint32_t* remap,
+                             size_t remap_size, uint32_t* out_indices,
+                             double* out_values);
 #endif
 
 }  // namespace simd

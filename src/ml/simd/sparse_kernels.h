@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <vector>
 
+#include "ml/simd/kernel_entries.h"  // kPrunedFeature
 #include "ml/simd/simd_level.h"
 
-// Runtime ISA dispatch for the four hot sparse kernels. The contract every
+// Runtime ISA dispatch for the five hot sparse kernels. The contract every
 // table entry obeys: bit-identical results to the scalar reference in
 // sparse_kernels_scalar.h — same FP additions, same operands, same order.
 // SIMD implementations may only vectorize *index* work (scanning mismatch
@@ -35,6 +36,20 @@ using AddScaledToFn = void (*)(const uint32_t* indices, const double* values,
 using SquaredDistanceFn = double (*)(const uint32_t* ai, const double* av,
                                      size_t na, const uint32_t* bi,
                                      const double* bv, size_t nb);
+/// Compacts a sorted sparse vector through a monotone old-id→dense-id remap
+/// table: entries whose `remap[index]` is kPrunedFeature are dropped, every
+/// other entry is rewritten to its dense id, and the kept count is returned.
+/// Indices at or past `remap_size` are dropped (indices are sorted, so they
+/// form a suffix). Because the table is monotone over kept ids, the output
+/// stays sorted. Pure data movement — no FP arithmetic — so bit-identity
+/// across ISA levels reduces to producing the identical kept sequence.
+/// In-place operation (out_* aliasing the inputs) is allowed: the write
+/// cursor never passes the read cursor. Out buffers must hold `n` entries.
+using RemapSparseViewFn = size_t (*)(const uint32_t* indices,
+                                     const double* values, size_t n,
+                                     const uint32_t* remap, size_t remap_size,
+                                     uint32_t* out_indices,
+                                     double* out_values);
 
 /// One dispatch table per ISA level. Preconditions (enforced by the
 /// sparse_vector.h wrappers, which keep the cutoff/resize/empty logic):
@@ -47,6 +62,7 @@ struct SparseKernels {
   DotSparseSparseFn dot_sparse_sparse;
   AddScaledToFn add_scaled_to;
   SquaredDistanceFn squared_distance;
+  RemapSparseViewFn remap_sparse_view;
 };
 
 /// Table for the level resolved once from cpuid + compiled support +
@@ -70,6 +86,19 @@ std::vector<SimdLevel> AvailableLevels();
 /// feature pipeline, the call indirection costs more than SIMD saves, and
 /// both paths are bit-identical by contract so the cutover is unobservable.
 constexpr size_t kSimdMinEntries = 16;
+
+/// Per-kernel override for the gathered sparse·dense dot. The PR 8 negative
+/// result (EXPERIMENTS.md) showed the gather variant losing to scalar at the
+/// generic cutoff; the per-nnz re-measure (bench_micro BM_SimdDotSparseDense
+/// sweep, nnz 8..512) found no crossover at any size — scalar's two-load
+/// multiply-accumulate already saturates the load ports, so the gather's
+/// fixed overhead (index widening, INT32_MAX guard, lane extraction) never
+/// pays for itself. The Dot(dense) wrapper therefore routes to the scalar
+/// loop at every size; the SIMD variants stay compiled, dispatched, and
+/// bit-equality-tested (KernelsForLevel) so a part with a faster gather only
+/// needs this constant recalibrated, and the cutover stays unobservable
+/// because both paths are bit-identical by contract.
+constexpr size_t kSimdMinEntriesDotSparseDense = SIZE_MAX;
 
 }  // namespace simd
 }  // namespace zombie

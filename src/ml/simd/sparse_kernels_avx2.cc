@@ -182,6 +182,112 @@ double Avx2SquaredDistance(const uint32_t* ai, const double* av, size_t na,
   return s;
 }
 
+namespace {
+
+// Branchless left-pack tables for RemapSparseView, indexed by the 4-bit
+// kept mask of a block. AVX2 has no compress-store, so the kept lanes are
+// shuffled to the front and stored full-width: kCompress32 is the
+// _mm_shuffle_epi8 byte pattern packing the kept uint32 lanes (0x80 zeroes
+// the dead tail), kCompress64 the _mm256_permutevar8x32_epi32 lane pattern
+// packing the matching doubles viewed as int32 pairs.
+struct Compress32Lut {
+  alignas(16) uint8_t bytes[16][16];
+};
+
+constexpr Compress32Lut MakeCompress32Lut() {
+  Compress32Lut lut{};
+  for (int mask = 0; mask < 16; ++mask) {
+    int out = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((mask & (1 << lane)) == 0) continue;
+      for (int b = 0; b < 4; ++b) {
+        lut.bytes[mask][out * 4 + b] = static_cast<uint8_t>(lane * 4 + b);
+      }
+      ++out;
+    }
+    for (; out < 4; ++out) {
+      for (int b = 0; b < 4; ++b) lut.bytes[mask][out * 4 + b] = 0x80;
+    }
+  }
+  return lut;
+}
+
+constexpr Compress32Lut kCompress32 = MakeCompress32Lut();
+
+struct Compress64Lut {
+  alignas(32) int32_t lanes[16][8];
+};
+
+constexpr Compress64Lut MakeCompress64Lut() {
+  Compress64Lut lut{};
+  for (int mask = 0; mask < 16; ++mask) {
+    int out = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if ((mask & (1 << lane)) == 0) continue;
+      lut.lanes[mask][out * 2] = lane * 2;
+      lut.lanes[mask][out * 2 + 1] = lane * 2 + 1;
+      ++out;
+    }
+    // Slots past the kept count stay 0: their stored contents are dead
+    // (the next block's store or the final kept count covers them).
+  }
+  return lut;
+}
+
+constexpr Compress64Lut kCompress64 = MakeCompress64Lut();
+
+}  // namespace
+
+size_t Avx2RemapSparseView(const uint32_t* indices, const double* values,
+                           size_t n, const uint32_t* remap, size_t remap_size,
+                           uint32_t* out_indices, double* out_values) {
+  // Same in-range prefix as scalar: indices are sorted, so ids >= remap_size
+  // form a suffix that AdvanceTo locates 8 lanes per compare.
+  size_t limit = n;
+  if (remap_size <= static_cast<size_t>(UINT32_MAX)) {
+    limit = AdvanceTo(indices, 0, n, static_cast<uint32_t>(remap_size));
+  }
+  size_t i = 0;
+  size_t out = 0;
+  // vpgatherdd sign-extends its 32-bit indices; ids above INT32_MAX must
+  // take the scalar loop (sorted, so the last in-range id bounds them all).
+  if (limit >= 4 && indices[limit - 1] <= static_cast<uint32_t>(INT32_MAX)) {
+    const __m128i pruned = _mm_set1_epi32(-1);  // kPrunedFeature
+    for (; i + 4 <= limit; i += 4) {
+      const __m128i vidx = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(indices + i));
+      const __m128i dense = _mm_i32gather_epi32(
+          reinterpret_cast<const int*>(remap), vidx, 4);
+      const unsigned kept = 0xfu & ~static_cast<unsigned>(_mm_movemask_ps(
+          _mm_castsi128_ps(_mm_cmpeq_epi32(dense, pruned))));
+      // Full-width stores past the kept lanes are safe in-place: the write
+      // cursor trails the read cursor (out <= i) and both blocks of this
+      // iteration are already in registers.
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(out_indices + out),
+          _mm_shuffle_epi8(dense,
+                           _mm_load_si128(reinterpret_cast<const __m128i*>(
+                               kCompress32.bytes[kept]))));
+      const __m256i vals = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(values + i));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out_values + out),
+          _mm256_permutevar8x32_epi32(
+              vals, _mm256_load_si256(reinterpret_cast<const __m256i*>(
+                        kCompress64.lanes[kept]))));
+      out += static_cast<size_t>(__builtin_popcount(kept));
+    }
+  }
+  for (; i < limit; ++i) {
+    const uint32_t dense = remap[indices[i]];
+    if (dense == kPrunedFeature) continue;
+    out_indices[out] = dense;
+    out_values[out] = values[i];
+    ++out;
+  }
+  return out;
+}
+
 }  // namespace simd
 }  // namespace zombie
 

@@ -144,6 +144,48 @@ double Avx512SquaredDistance(const uint32_t* ai, const double* av, size_t na,
   return s;
 }
 
+size_t Avx512RemapSparseView(const uint32_t* indices, const double* values,
+                             size_t n, const uint32_t* remap,
+                             size_t remap_size, uint32_t* out_indices,
+                             double* out_values) {
+  // Same in-range prefix as scalar (ids >= remap_size are a sorted suffix).
+  size_t limit = n;
+  if (remap_size <= static_cast<size_t>(UINT32_MAX)) {
+    limit = AdvanceTo(indices, 0, n, static_cast<uint32_t>(remap_size));
+  }
+  size_t i = 0;
+  size_t out = 0;
+  // vpgatherdd sign-extends its 32-bit indices; ids above INT32_MAX must
+  // take the scalar loop (sorted, so the last in-range id bounds them all).
+  if (limit >= 8 && indices[limit - 1] <= static_cast<uint32_t>(INT32_MAX)) {
+    const __m256i pruned = _mm256_set1_epi32(-1);  // kPrunedFeature
+    for (; i + 8 <= limit; i += 8) {
+      const __m256i vidx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(indices + i));
+      // Masked form with an explicit zero source, as in the dot gather.
+      const __m256i dense = _mm256_mmask_i32gather_epi32(
+          _mm256_setzero_si256(), static_cast<__mmask8>(0xff), vidx,
+          reinterpret_cast<const int*>(remap), 4);
+      const __mmask8 keep = _mm256_cmpneq_epu32_mask(dense, pruned);
+      // vpcompressd/vpcompresspd store exactly popcount(keep) elements, so
+      // in-place operation never writes past the read cursor.
+      _mm256_mask_compressstoreu_epi32(out_indices + out, keep, dense);
+      _mm512_mask_compressstoreu_pd(out_values + out, keep,
+                                    _mm512_loadu_pd(values + i));
+      out += static_cast<size_t>(
+          __builtin_popcount(static_cast<unsigned>(keep)));
+    }
+  }
+  for (; i < limit; ++i) {
+    const uint32_t dense = remap[indices[i]];
+    if (dense == kPrunedFeature) continue;
+    out_indices[out] = dense;
+    out_values[out] = values[i];
+    ++out;
+  }
+  return out;
+}
+
 }  // namespace simd
 }  // namespace zombie
 

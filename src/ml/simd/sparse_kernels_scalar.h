@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "ml/simd/kernel_entries.h"  // kPrunedFeature
+
 // Scalar reference kernels, verbatim the loop bodies that lived inline in
 // sparse_vector.h before the dispatch layer. These are the bit-identity
 // anchor: every ISA-specific kernel must reproduce their FP additions with
@@ -104,6 +106,28 @@ inline double ScalarSquaredDistance(const uint32_t* ai, const double* av,
   for (; i < na; ++i) s += av[i] * av[i];
   for (; j < nb; ++j) s += bv[j] * bv[j];
   return s;
+}
+
+/// Reference remap compaction (contract in sparse_kernels.h next to
+/// RemapSparseViewFn). No FP arithmetic — the bit-identity obligation on the
+/// ISA variants is to emit exactly this kept sequence. The in-place case is
+/// trivially safe here: `out` never passes `i`.
+inline size_t ScalarRemapSparseView(const uint32_t* indices,
+                                    const double* values, size_t n,
+                                    const uint32_t* remap, size_t remap_size,
+                                    uint32_t* out_indices,
+                                    double* out_values) {
+  size_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t idx = indices[i];
+    if (idx >= remap_size) break;  // sorted: the rest are out of range too
+    const uint32_t dense = remap[idx];
+    if (dense == kPrunedFeature) continue;
+    out_indices[out] = dense;
+    out_values[out] = values[i];
+    ++out;
+  }
+  return out;
 }
 
 }  // namespace simd

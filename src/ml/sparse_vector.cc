@@ -86,4 +86,25 @@ void SparseVector::Scale(double factor) {
   for (double& v : values_) v *= factor;
 }
 
+void SparseVector::RemapThrough(const uint32_t* old_to_new,
+                                size_t table_size) {
+  const size_t n = indices_.size();
+  if (n == 0) return;
+  size_t kept;
+#if defined(ZOMBIE_SIMD_ENABLED)
+  if (n >= simd::kSimdMinEntries) {
+    kept = simd::ActiveKernels().remap_sparse_view(
+        indices_.data(), values_.data(), n, old_to_new, table_size,
+        indices_.data(), values_.data());
+  } else  // NOLINT(readability/braces) — pairs with the block below
+#endif
+  {
+    kept = simd::ScalarRemapSparseView(indices_.data(), values_.data(), n,
+                                       old_to_new, table_size,
+                                       indices_.data(), values_.data());
+  }
+  indices_.resize(kept);
+  values_.resize(kept);
+}
+
 }  // namespace zombie

@@ -141,6 +141,13 @@ class SparseVector {
   /// Multiplies all values in place.
   void Scale(double factor);
 
+  /// Compacts this vector in place through a monotone old-id→dense-id remap
+  /// table (the RemapSparseView kernel): entries mapping to
+  /// simd::kPrunedFeature and entries at ids >= `table_size` are dropped,
+  /// kept entries are renumbered to their dense ids. The table must be
+  /// monotone over kept ids so the result stays sorted.
+  void RemapThrough(const uint32_t* old_to_new, size_t table_size);
+
   double L2Norm() const { return view().L2Norm(); }
   double L1Norm() const { return view().L1Norm(); }
   double SquaredDistance(SparseVectorView other) const {
@@ -191,7 +198,10 @@ inline double SparseVectorView::Dot(const std::vector<double>& dense) const {
         std::lower_bound(indices_, indices_ + size_, bound) - indices_);
   }
 #if defined(ZOMBIE_SIMD_ENABLED)
-  if (limit >= simd::kSimdMinEntries) {
+  // Per-kernel cutoff: the bench_micro nnz sweep found no size at which the
+  // gathered dot beats scalar, so this currently routes every row to the
+  // scalar loop (see the kSimdMinEntriesDotSparseDense note).
+  if (limit >= simd::kSimdMinEntriesDotSparseDense) {
     return simd::ActiveKernels().dot_sparse_dense(indices_, values_, limit,
                                                   dense.data());
   }

@@ -31,6 +31,18 @@ void DecisionLog::AppendRun(const std::string& run_label,
   }
 }
 
+void DecisionLog::AppendPruneEvents(const std::string& run_label,
+                                    std::vector<PruneEvent> events) {
+  if (events.empty()) return;
+  MutexLock lock(&mu_);
+  std::vector<PruneEvent>& dest = prunes_[run_label];
+  if (dest.empty()) {
+    dest = std::move(events);
+  } else {
+    dest.insert(dest.end(), events.begin(), events.end());
+  }
+}
+
 size_t DecisionLog::num_runs() const {
   MutexLock lock(&mu_);
   return runs_.size();
@@ -58,6 +70,20 @@ std::vector<DecisionRecord> DecisionLog::Records(
   return it == runs_.end() ? std::vector<DecisionRecord>() : it->second;
 }
 
+size_t DecisionLog::num_prune_events() const {
+  MutexLock lock(&mu_);
+  size_t n = 0;
+  for (const auto& [label, events] : prunes_) n += events.size();
+  return n;
+}
+
+std::vector<PruneEvent> DecisionLog::PruneEvents(
+    const std::string& run_label) const {
+  MutexLock lock(&mu_);
+  auto it = prunes_.find(run_label);
+  return it == prunes_.end() ? std::vector<PruneEvent>() : it->second;
+}
+
 std::string DecisionLog::ToJsonl() const {
   using obs_internal::AppendJsonNumber;
   using obs_internal::JsonEscape;
@@ -83,6 +109,23 @@ std::string DecisionLog::ToJsonl() const {
         AppendJsonNumber(&out, r.arm_scores[i]);
       }
       out += "]}\n";
+    }
+    // Prune freezes serialize after the run's pull records. Runs without
+    // pruning have no prunes_ entry, so their bytes are exactly the
+    // pre-pruning format.
+    auto it = prunes_.find(label);
+    if (it != prunes_.end()) {
+      for (const PruneEvent& p : it->second) {
+        out += StrFormat(
+            "{\"run\": \"%s\", \"kind\": \"prune\", \"items\": %llu, "
+            "\"virtual_us\": %lld, \"input_dim\": %llu, \"kept\": %llu, "
+            "\"pruned\": %llu}\n",
+            escaped.c_str(), static_cast<unsigned long long>(p.items),
+            static_cast<long long>(p.virtual_micros),
+            static_cast<unsigned long long>(p.input_dimension),
+            static_cast<unsigned long long>(p.kept_features),
+            static_cast<unsigned long long>(p.pruned_features));
+      }
     }
   }
   return out;

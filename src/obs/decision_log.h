@@ -38,6 +38,20 @@ struct DecisionRecord {
   std::vector<double> arm_scores;
 };
 
+/// One online-pruning freeze, recorded at the holdout-eval boundary where
+/// the mask froze. Like DecisionRecord, every field is a deterministic
+/// function of (corpus, grouping, options) — never of wall time — so logs
+/// with pruning enabled stay byte-identical across thread counts and
+/// cache/store modes. Runs with pruning disabled emit no prune lines, so
+/// their serialized bytes are unchanged from before this record existed.
+struct PruneEvent {
+  uint64_t items = 0;          // engine item count at the freeze
+  int64_t virtual_micros = 0;  // virtual clock at the freeze
+  uint64_t input_dimension = 0;
+  uint64_t kept_features = 0;
+  uint64_t pruned_features = 0;
+};
+
 /// Structured per-pull log, grouped by run label. Thread-safe at run
 /// granularity: each engine run collects its records locally and commits
 /// them with one AppendRun; serialization iterates runs in label order, so
@@ -54,14 +68,25 @@ class DecisionLog {
   void AppendRun(const std::string& run_label,
                  std::vector<DecisionRecord> records) ZOMBIE_EXCLUDES(mu_);
 
+  /// Commits a run's prune freezes (at most one per run today; the vector
+  /// keeps the serialization shape uniform). Serialized after the run's
+  /// pull records, in order.
+  void AppendPruneEvents(const std::string& run_label,
+                         std::vector<PruneEvent> events) ZOMBIE_EXCLUDES(mu_);
+
   size_t num_runs() const ZOMBIE_EXCLUDES(mu_);
   size_t num_records() const ZOMBIE_EXCLUDES(mu_);
+  size_t num_prune_events() const ZOMBIE_EXCLUDES(mu_);
 
   /// Run labels in serialization (lexicographic) order.
   std::vector<std::string> Labels() const ZOMBIE_EXCLUDES(mu_);
 
   /// Records for one run label (empty when absent).
   std::vector<DecisionRecord> Records(const std::string& run_label) const
+      ZOMBIE_EXCLUDES(mu_);
+
+  /// Prune events for one run label (empty when absent).
+  std::vector<PruneEvent> PruneEvents(const std::string& run_label) const
       ZOMBIE_EXCLUDES(mu_);
 
   /// JSON Lines: one object per record, runs in label order, records in
@@ -73,6 +98,10 @@ class DecisionLog {
  private:
   mutable Mutex mu_;
   std::map<std::string, std::vector<DecisionRecord>> runs_
+      ZOMBIE_GUARDED_BY(mu_);
+  /// Kept separate from runs_ so runs without pruning leave no trace in
+  /// the map (and therefore none in the serialized bytes).
+  std::map<std::string, std::vector<PruneEvent>> prunes_
       ZOMBIE_GUARDED_BY(mu_);
 };
 

@@ -48,6 +48,13 @@ FeatureCache::Entry MakeEntry(uint32_t i) {
   return e;
 }
 
+/// gtest-free equality for forked children (plain _exit codes).
+bool EntryEquals(const FeatureCache::Entry& got,
+                 const FeatureCache::Entry& want) {
+  return got.features == want.features && got.label == want.label &&
+         got.cost_micros == want.cost_micros;
+}
+
 void ExpectEntryEq(const FeatureCache::Entry& got,
                    const FeatureCache::Entry& want, uint32_t i) {
   EXPECT_EQ(got.features, want.features) << "doc " << i;
@@ -380,6 +387,148 @@ TEST(PersistentFeatureStoreCrashTest, RecoversAllAckedRecordsAfterSigkill) {
   // A torn tail never aborts the open; it is skipped and counted.
   EXPECT_EQ(s.corrupt_skipped, 0u)
       << "commit protocol must never publish a torn record";
+}
+
+// --- GC (--store-gc) vs concurrent readers --------------------------------
+
+TEST(PersistentFeatureStoreTest, GcDefersWhileReaderHoldsSharedLock) {
+  std::string path = StorePath("gc_deferred.zfs");
+  constexpr uint32_t kDocs = 60;
+  {
+    auto store = PersistentFeatureStore::Open(path, SmallStore());
+    ASSERT_TRUE(store.ok());
+    for (uint32_t i = 0; i < kDocs; ++i) {
+      ASSERT_TRUE(store.value()->Append(kFpA, i, MakeEntry(i)));
+      ASSERT_TRUE(store.value()->Append(kFpB, i, MakeEntry(i + 1000)));
+    }
+  }
+  PersistentFeatureStoreOptions reader_opts = SmallStore();
+  reader_opts.read_only = true;
+  auto reader = PersistentFeatureStore::Open(path, reader_opts);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+
+  // A --store-gc open (retain_fingerprints set) while the reader holds the
+  // shared lock cannot get the exclusive lock: it degrades to reader role
+  // and the invalidation pass — writer-only by contract — does not run.
+  // GC defers until the readers drain rather than mutating under them.
+  PersistentFeatureStoreOptions gc_opts = SmallStore();
+  gc_opts.retain_fingerprints = {kFpA};
+  {
+    auto gc = PersistentFeatureStore::Open(path, gc_opts);
+    ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+    EXPECT_FALSE(gc.value()->writable());
+    EXPECT_EQ(gc.value()->Stats().invalidated, 0u);
+    EXPECT_TRUE(gc.value()->Lookup(kFpB, 0).has_value());
+  }
+  // The live reader's view is untouched.
+  for (uint32_t i = 0; i < kDocs; ++i) {
+    ASSERT_TRUE(reader.value()->Lookup(kFpA, i).has_value()) << i;
+    ASSERT_TRUE(reader.value()->Lookup(kFpB, i).has_value()) << i;
+  }
+  reader.value().reset();
+
+  // With the shared lock released the same GC open wins writer role and
+  // the deferred invalidation finally lands.
+  auto gc = PersistentFeatureStore::Open(path, gc_opts);
+  ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+  EXPECT_TRUE(gc.value()->writable());
+  EXPECT_EQ(gc.value()->Stats().invalidated, kDocs);
+  EXPECT_TRUE(gc.value()->Lookup(kFpA, 0).has_value());
+  EXPECT_FALSE(gc.value()->Lookup(kFpB, 0).has_value());
+}
+
+// A reader that opened while some writer was alive holds no lock at all
+// (the SecondOpenDegradesToReaderWhileWriterLives path), so a later
+// --store-gc writer CAN unlink chains underneath its live mapping. The
+// contract the child checks from a real separate process: retained
+// fingerprints keep serving intact payloads all through the GC, dropped
+// fingerprints either serve an intact pre-GC record or miss (never tear),
+// and a clean reopen converges to the post-GC view.
+TEST(PersistentFeatureStoreGcTest, GcUnderLockFreeReaderProcess) {
+  std::string path = StorePath("gc_live_reader.zfs");
+  constexpr uint32_t kDocs = 60;
+  {
+    auto store = PersistentFeatureStore::Open(path, SmallStore());
+    ASSERT_TRUE(store.ok());
+    for (uint32_t i = 0; i < kDocs; ++i) {
+      ASSERT_TRUE(store.value()->Append(kFpA, i, MakeEntry(i)));
+      ASSERT_TRUE(store.value()->Append(kFpB, i, MakeEntry(i + 1000)));
+    }
+  }
+  // Hold the exclusive lock so the child's open degrades to lock-free.
+  auto writer = PersistentFeatureStore::Open(path, SmallStore());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->writable());
+
+  int ready_pipe[2];
+  int gc_done_pipe[2];
+  ASSERT_EQ(pipe(ready_pipe), 0);
+  ASSERT_EQ(pipe(gc_done_pipe), 0);
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: plain _exit codes, no gtest machinery.
+    ::close(ready_pipe[0]);
+    ::close(gc_done_pipe[1]);
+    // Drop the writer handle this process inherited across fork: flock
+    // lives on the (shared) open file description, so the parent's later
+    // release only takes effect once this duplicate fd is gone too.
+    writer.value().reset();
+    PersistentFeatureStoreOptions opts = SmallStore();
+    opts.read_only = true;
+    auto reader = PersistentFeatureStore::Open(path, opts);
+    if (!reader.ok() || reader.value()->writable()) _exit(2);
+    for (uint32_t i = 0; i < kDocs; ++i) {
+      auto a = reader.value()->Lookup(kFpA, i);
+      auto b = reader.value()->Lookup(kFpB, i);
+      if (!a.has_value() || !EntryEquals(*a, MakeEntry(i))) _exit(3);
+      if (!b.has_value() || !EntryEquals(*b, MakeEntry(i + 1000))) _exit(3);
+    }
+    char byte = 'r';
+    if (::write(ready_pipe[1], &byte, 1) != 1) _exit(4);
+    if (::read(gc_done_pipe[0], &byte, 1) != 1) _exit(4);
+    // GC ran against the file this reader still has mapped. Retained
+    // chains must serve every record intact; dropped ones are
+    // served-intact-or-missed, never torn.
+    for (uint32_t i = 0; i < kDocs; ++i) {
+      auto a = reader.value()->Lookup(kFpA, i);
+      if (!a.has_value() || !EntryEquals(*a, MakeEntry(i))) _exit(5);
+      auto b = reader.value()->Lookup(kFpB, i);
+      if (b.has_value() && !EntryEquals(*b, MakeEntry(i + 1000))) _exit(6);
+    }
+    // Clean reopen converges to the post-GC view.
+    reader = PersistentFeatureStore::Open(path, opts);
+    if (!reader.ok()) _exit(7);
+    for (uint32_t i = 0; i < kDocs; ++i) {
+      auto a = reader.value()->Lookup(kFpA, i);
+      if (!a.has_value() || !EntryEquals(*a, MakeEntry(i))) _exit(8);
+      if (reader.value()->Lookup(kFpB, i).has_value()) _exit(9);
+    }
+    _exit(0);
+  }
+  ::close(ready_pipe[1]);
+  ::close(gc_done_pipe[0]);
+
+  char byte = 0;
+  ASSERT_EQ(::read(ready_pipe[0], &byte, 1), 1) << "child died before ready";
+  // Release the exclusive lock, then run the --store-gc open: the child
+  // reader holds no lock, so this open wins writer role and unlinks kFpB
+  // while the child's mapping is live.
+  writer.value().reset();
+  PersistentFeatureStoreOptions gc_opts = SmallStore();
+  gc_opts.retain_fingerprints = {kFpA};
+  auto gc = PersistentFeatureStore::Open(path, gc_opts);
+  ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+  ASSERT_TRUE(gc.value()->writable());
+  EXPECT_EQ(gc.value()->Stats().invalidated, kDocs);
+  ASSERT_EQ(::write(gc_done_pipe[1], &byte, 1), 1);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child crashed";
+  EXPECT_EQ(WEXITSTATUS(status), 0) << "child failure code";
+  ::close(ready_pipe[0]);
+  ::close(gc_done_pipe[1]);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <memory>
 
 #include "ml/adagrad_lr.h"
@@ -119,6 +121,92 @@ TEST_P(EveryLearnerTest, RejectsNonBinaryLabels) {
   SparseVector x = V({{0, 1.0}});
   EXPECT_DEATH(learner->Update(x, 2), "binary");
   EXPECT_DEATH(learner->Update(x, -1), "binary");
+}
+
+TEST_P(EveryLearnerTest, ExportWeightMagnitudesMatchesSupportContract) {
+  Rng rng(47);
+  Dataset train = SeparableData(200, &rng);
+  auto learner = MakeLearner();
+  TrainEpochs(learner.get(), train, 2, &rng);
+  std::vector<double> mags;
+  const bool supported = learner->ExportWeightMagnitudes(&mags);
+  // kNN has no per-feature weights; the pruner must see false and disable
+  // itself. Every other learner under test exports magnitudes.
+  EXPECT_EQ(supported, learner->name() != "knn") << learner->name();
+  if (!supported) return;
+  double max_mag = 0.0;
+  for (double m : mags) {
+    EXPECT_GE(m, 0.0) << learner->name();
+    max_mag = std::max(max_mag, m);
+  }
+  EXPECT_GT(max_mag, 0.0)
+      << "trained " << learner->name() << " exported all-zero magnitudes";
+}
+
+TEST_P(EveryLearnerTest, CompactFeaturesPreservesScoresBitExactly) {
+  Rng rng(48);
+  Dataset train = SeparableData(250, &rng);
+  auto learner = MakeLearner();
+  TrainEpochs(learner.get(), train, 2, &rng);
+
+  // Monotone remap: drop 3, 7 and the noise block [10, 13) so kept dense
+  // ids actually shift (not an identity prefix).
+  const uint32_t kDim = 13;
+  std::vector<uint32_t> old_to_new(kDim, simd::kPrunedFeature);
+  uint32_t next = 0;
+  for (uint32_t f = 0; f < 10; ++f) {
+    if (f == 3 || f == 7) continue;
+    old_to_new[f] = next++;
+  }
+
+  // The contract: post-compaction Score on the remapped vector is
+  // bit-identical to pre-compaction Score on the original with pruned
+  // features dropped. Capture the expected bits before mutating state.
+  Dataset test = SeparableData(60, &rng);
+  std::vector<SparseVector> filtered;
+  std::vector<SparseVector> remapped;
+  std::vector<uint64_t> want_bits;
+  for (ExampleView e : test.examples()) {
+    std::vector<std::pair<uint32_t, double>> keep;
+    std::vector<std::pair<uint32_t, double>> dense;
+    for (size_t i = 0; i < e.x.num_nonzero(); ++i) {
+      const uint32_t f = e.x.index_at(i);
+      if (f >= kDim || old_to_new[f] == simd::kPrunedFeature) continue;
+      keep.emplace_back(f, e.x.value_at(i));
+      dense.emplace_back(old_to_new[f], e.x.value_at(i));
+    }
+    filtered.push_back(V(std::move(keep)));
+    remapped.push_back(V(std::move(dense)));
+  }
+  for (const SparseVector& x : filtered) {
+    uint64_t bits = 0;
+    const double s = learner->Score(x);
+    std::memcpy(&bits, &s, sizeof(bits));
+    want_bits.push_back(bits);
+  }
+
+  if (!learner->CompactFeatures(old_to_new, next)) {
+    // Unsupported (kNN): state must be untouched — original scores stand.
+    EXPECT_EQ(learner->name(), "knn");
+    for (size_t i = 0; i < filtered.size(); ++i) {
+      uint64_t bits = 0;
+      const double s = learner->Score(filtered[i]);
+      std::memcpy(&bits, &s, sizeof(bits));
+      EXPECT_EQ(bits, want_bits[i]) << "example " << i;
+    }
+    return;
+  }
+  for (size_t i = 0; i < remapped.size(); ++i) {
+    uint64_t bits = 0;
+    const double s = learner->Score(remapped[i]);
+    std::memcpy(&bits, &s, sizeof(bits));
+    EXPECT_EQ(bits, want_bits[i])
+        << learner->name() << " example " << i << ": compacted score "
+        << s << " diverged";
+  }
+  // Training continues after compaction in the engine; a compacted-space
+  // update must not fault or reject compacted ids.
+  learner->Update(remapped[0], 1);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllLearners, EveryLearnerTest,

@@ -314,6 +314,140 @@ TEST_F(SimdKernelsTest, DuplicateFreeCsrRowsFromDataset) {
   ForEachLevel(a, b, "csr rows");
 }
 
+// --- RemapSparseView (pruning compaction) -----------------------------------
+
+// Monotone old-id→dense-id table: each id is kept with probability
+// `keep_fraction`, kept ids numbered densely in order (the shape
+// FeaturePruner freezes).
+std::vector<uint32_t> MakeRemapTable(size_t size, double keep_fraction,
+                                     Rng* rng) {
+  std::vector<uint32_t> remap(size, simd::kPrunedFeature);
+  uint32_t next = 0;
+  for (size_t f = 0; f < size; ++f) {
+    if (rng->NextDouble() < keep_fraction) remap[f] = next++;
+  }
+  return remap;
+}
+
+// Runs every available level's remap_sparse_view against the scalar
+// reference — out-of-place and in-place — and asserts the identical kept
+// sequence (indices equal, value bits equal). Pure data movement, so exact
+// equality is the whole contract.
+void ExpectRemapBitIdentical(const Row& a, const std::vector<uint32_t>& remap,
+                             const std::string& label) {
+  SCOPED_TRACE(label);
+  std::vector<uint32_t> want_idx(a.n());
+  std::vector<double> want_val(a.n());
+  const size_t want_n = simd::ScalarRemapSparseView(
+      a.ip(), a.vp(), a.n(), remap.data(), remap.size(), want_idx.data(),
+      want_val.data());
+  ASSERT_LE(want_n, a.n());
+  for (SimdLevel level : simd::AvailableLevels()) {
+    SCOPED_TRACE(simd::SimdLevelName(level));
+    const SparseKernels& table = *simd::KernelsForLevel(level);
+    // Poisoned out buffers catch writes past the kept count.
+    std::vector<uint32_t> got_idx(a.n(), 0xdeadbeefu);
+    std::vector<double> got_val(a.n(), -12345.0);
+    const size_t got_n =
+        table.remap_sparse_view(a.ip(), a.vp(), a.n(), remap.data(),
+                                remap.size(), got_idx.data(), got_val.data());
+    ASSERT_EQ(got_n, want_n);
+    for (size_t i = 0; i < got_n; ++i) {
+      ASSERT_EQ(got_idx[i], want_idx[i]) << "index slot " << i;
+      ASSERT_EQ(Bits(got_val[i]), Bits(want_val[i])) << "value slot " << i;
+    }
+    // In-place (out aliasing in) is part of the kernel contract: the write
+    // cursor must never pass the read cursor.
+    std::vector<uint32_t> inplace_idx = a.idx;
+    std::vector<double> inplace_val = a.val;
+    const size_t inplace_n = table.remap_sparse_view(
+        inplace_idx.data(), inplace_val.data(), a.n(), remap.data(),
+        remap.size(), inplace_idx.data(), inplace_val.data());
+    ASSERT_EQ(inplace_n, want_n);
+    for (size_t i = 0; i < inplace_n; ++i) {
+      ASSERT_EQ(inplace_idx[i], want_idx[i]) << "in-place index slot " << i;
+      ASSERT_EQ(Bits(inplace_val[i]), Bits(want_val[i]))
+          << "in-place value slot " << i;
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, RemapAdversarialPatterns) {
+  Rng rng(11);
+  const size_t kDim = 512;
+  std::vector<uint32_t> keep_all = MakeRemapTable(kDim, 1.0, &rng);
+  std::vector<uint32_t> drop_all = MakeRemapTable(kDim, 0.0, &rng);
+  std::vector<uint32_t> half = MakeRemapTable(kDim, 0.5, &rng);
+  // Alternating keep/prune: run length 1 throughout, the worst case for
+  // any vectorized left-pack.
+  std::vector<uint32_t> alternating(kDim, simd::kPrunedFeature);
+  uint32_t next = 0;
+  for (size_t f = 0; f < kDim; f += 2) alternating[f] = next++;
+
+  const Row empty;
+  ExpectRemapBitIdentical(empty, half, "empty row");
+  const Row one = MakeRow({17}, &rng);
+  ExpectRemapBitIdentical(one, keep_all, "single kept");
+  ExpectRemapBitIdentical(one, drop_all, "single pruned");
+  const Row row = MakeRow(RandomIndices(100, 0, kDim - 1, &rng), &rng);
+  ExpectRemapBitIdentical(row, keep_all, "keep everything");
+  ExpectRemapBitIdentical(row, drop_all, "prune everything");
+  ExpectRemapBitIdentical(row, half, "half pruned");
+  ExpectRemapBitIdentical(row, alternating, "alternating keep/prune");
+  // Indices at and past remap_size form a droppable suffix; straddle the
+  // boundary so the sorted-suffix cutoff is exercised in the lane loops.
+  const Row straddling =
+      MakeRow(RandomIndices(64, kDim - 32, kDim + 31, &rng), &rng);
+  ExpectRemapBitIdentical(straddling, half, "ids straddling table size");
+  const Row beyond = MakeRow({kDim, kDim + 1, 4096, UINT32_MAX}, &rng);
+  ExpectRemapBitIdentical(beyond, half, "all ids out of range");
+}
+
+TEST_F(SimdKernelsTest, RemapDifferentialFuzz) {
+  // nnz around the 8/16-lane widths x keep fractions from drop-all to
+  // keep-all, on tables sized to force both in-range and suffix paths.
+  Rng rng(20260812);
+  const size_t kDim = 4096;
+  for (double keep : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    std::vector<uint32_t> remap = MakeRemapTable(kDim, keep, &rng);
+    for (size_t nnz : {1u, 7u, 8u, 15u, 16u, 31u, 63u, 64u, 128u, 300u}) {
+      for (int rep = 0; rep < 6; ++rep) {
+        const Row a = MakeRow(
+            RandomIndices(nnz, 0, static_cast<uint32_t>(kDim) + 63, &rng),
+            &rng);
+        ExpectRemapBitIdentical(
+            a, remap, StrFormat("fuzz keep=%.1f nnz=%zu rep=%d", keep, nnz,
+                                rep));
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, RemapThroughWrapperCompactsInPlace) {
+  // End-to-end through SparseVector::RemapThrough at the active level:
+  // same kept sequence as the scalar reference, vector invariants intact.
+  Rng rng(13);
+  const size_t kDim = 1024;
+  std::vector<uint32_t> remap = MakeRemapTable(kDim, 0.5, &rng);
+  for (size_t nnz : {1u, 16u, 100u, 400u}) {
+    const Row a = MakeRow(
+        RandomIndices(nnz, 0, static_cast<uint32_t>(kDim) - 1, &rng), &rng);
+    std::vector<uint32_t> want_idx(a.n());
+    std::vector<double> want_val(a.n());
+    const size_t want_n = simd::ScalarRemapSparseView(
+        a.ip(), a.vp(), a.n(), remap.data(), remap.size(), want_idx.data(),
+        want_val.data());
+    SparseVector v;
+    for (size_t i = 0; i < a.n(); ++i) v.PushBack(a.idx[i], a.val[i]);
+    v.RemapThrough(remap.data(), remap.size());
+    ASSERT_EQ(v.num_nonzero(), want_n);
+    for (size_t i = 0; i < want_n; ++i) {
+      ASSERT_EQ(v.indices()[i], want_idx[i]) << "slot " << i;
+      ASSERT_EQ(Bits(v.values()[i]), Bits(want_val[i])) << "slot " << i;
+    }
+  }
+}
+
 // --- Seeded randomized differential fuzz ------------------------------------
 
 TEST_F(SimdKernelsTest, DifferentialFuzzAcrossRegimes) {

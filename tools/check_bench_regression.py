@@ -28,10 +28,11 @@ import sys
 
 
 def load_results(results_dir):
-    """Returns ({"<bench>/<entry>": wall_micros}, {"<bench>/<metric>": value})
-    from every BENCH_*.json."""
+    """Returns ({"<bench>/<entry>": wall_micros}, {"<bench>/<metric>": value},
+    {bench names that produced a results file}) from every BENCH_*.json."""
     out = {}
     metrics = {}
+    benches_run = set()
     paths = sorted(glob.glob(os.path.join(results_dir, "BENCH_*.json")))
     if not paths:
         print(f"error: no BENCH_*.json files in {results_dir}", file=sys.stderr)
@@ -45,13 +46,14 @@ def load_results(results_dir):
                   f"{doc.get('schema_version')!r}", file=sys.stderr)
             sys.exit(2)
         bench = doc["bench"]
+        benches_run.add(bench)
         for entry in doc.get("entries", []):
             wall = entry.get("wall_micros", 0.0)
             if wall > 0:
                 out[f"{bench}/{entry['name']}"] = wall
         for name, value in doc.get("metrics", {}).items():
             metrics[f"{bench}/{name}"] = value
-    return out, metrics
+    return out, metrics, benches_run
 
 
 def median(xs):
@@ -110,21 +112,46 @@ def per_isa_ratio_rows(metrics):
     return isas_present, sorted(pivot.items())
 
 
-def evaluate_metric_gates(gates, metrics):
+def evaluate_metric_gates(gates, metrics, benches_run):
     """Checks baseline "metric_gates" against collected bench metrics.
 
     Each gate maps "<bench>/<metric>" to {"max": x} and/or {"min": y}
     (plus an optional "why" note).  Gated metrics are machine-independent
     by construction (wall ratios, hit rates), so they are compared raw —
-    no median normalization.  Returns (rows, failures, missing) where
-    rows = [(name, value, bound_desc, ok)].
+    no median normalization.  Returns (rows, failures, missing, absent):
+    rows = [(name, value, bound_desc, ok)]; missing holds gates whose
+    bench produced no results file at all (legitimately skipped — not
+    every job runs every bench); absent holds gates whose bench DID run
+    but never emitted the metric, which is a hard error — a renamed or
+    dropped AddMetric call would otherwise silently un-gate the bound.
+    One conditional-emission family is tolerated: "ratio.<isa>.*" gates
+    whose ISA produced no metrics at all in this run go to missing, not
+    absent — the runner's CPU lacks the level, so AvailableLevels()
+    skipped the whole family, which is not a renamed metric.
     """
     rows = []
     failures = []
     missing = []
+    absent = []
+    isas_emitted = {
+        name.partition("/")[2].split(".")[1]
+        for name in metrics
+        if name.partition("/")[2].startswith("ratio.")
+        and name.partition("/")[2].split(".")[1] in SIMD_ISAS
+    }
     for name, gate in sorted(gates.items()):
         if name not in metrics:
-            missing.append(name)
+            bench = name.partition("/")[0]
+            metric = name.partition("/")[2]
+            isa = metric.split(".")[1] if metric.startswith("ratio.") else None
+            if bench not in benches_run:
+                missing.append(name)
+            elif isa in SIMD_ISAS and isa not in isas_emitted:
+                # bench_micro ran but this runner cannot dispatch the ISA;
+                # AvailableLevels() skipped the whole level, not one metric.
+                missing.append(name)
+            else:
+                absent.append(name)
             continue
         value = metrics[name]
         bounds = []
@@ -141,11 +168,11 @@ def evaluate_metric_gates(gates, metrics):
         rows.append(row)
         if not ok:
             failures.append(row)
-    return rows, failures, missing
+    return rows, failures, missing, absent
 
 
-def print_metric_gates(rows, missing):
-    if not rows and not missing:
+def print_metric_gates(rows, missing, absent=()):
+    if not rows and not missing and not absent:
         return
     print(f"\n{len(rows)} metric gates:")
     for name, value, bounds, ok in rows:
@@ -154,6 +181,10 @@ def print_metric_gates(rows, missing):
     if missing:
         print(f"  note: {len(missing)} gated metrics missing from results "
               "(bench not run in this job): " + ", ".join(missing))
+    for name in absent:
+        bench = name.partition("/")[0]
+        print(f"  {name}: METRIC ABSENT — BENCH_{bench}.json is present but "
+              "contains no such metric  <-- GATE FAILED")
 
 
 def print_kernel_ratios(rows):
@@ -179,7 +210,8 @@ def print_per_isa_ratios(isas, rows):
 
 
 def write_step_summary(scale, tolerance, table_rows, failures, kernel_rows,
-                       gate_rows=(), gate_missing=(), isa_table=None):
+                       gate_rows=(), gate_missing=(), isa_table=None,
+                       gate_absent=()):
     """Appends a markdown ratio table to $GITHUB_STEP_SUMMARY if set."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -230,7 +262,7 @@ def write_step_summary(scale, tolerance, table_rows, failures, kernel_rows,
                 f"{by_isa[isa]:.2f}x" if isa in by_isa else "—"
                 for isa in isas)
             lines.append(f"| `{kernel}` | {cells} |")
-    if gate_rows or gate_missing:
+    if gate_rows or gate_missing or gate_absent:
         lines += ["", "## Metric gates", "",
                   "Machine-independent bench metrics (ratios, rates) "
                   "compared raw against the bounds in baseline.json's "
@@ -242,6 +274,9 @@ def write_step_summary(scale, tolerance, table_rows, failures, kernel_rows,
             lines.append(f"| `{name}` | {value:.3f} | {bounds} | {status} |")
         for name in gate_missing:
             lines.append(f"| `{name}` | — | — | skipped (not run) |")
+        for name in gate_absent:
+            lines.append(f"| `{name}` | — | — | :x: metric absent "
+                         "(bench ran but never emitted it) |")
     with open(path, "a") as f:
         f.write("\n".join(lines) + "\n")
 
@@ -265,11 +300,12 @@ def main():
         print(f"error: cannot read baseline: {e}", file=sys.stderr)
         sys.exit(2)
     baseline = baseline_doc["entries"]
-    current, metrics = load_results(args.results)
+    current, metrics, benches_run = load_results(args.results)
     kernel_rows = kernel_ratio_rows(metrics)
     isa_table = per_isa_ratio_rows(metrics)
-    gate_rows, gate_failures, gate_missing = evaluate_metric_gates(
-        baseline_doc.get("metric_gates", {}), metrics)
+    gate_rows, gate_failures, gate_missing, gate_absent = (
+        evaluate_metric_gates(
+            baseline_doc.get("metric_gates", {}), metrics, benches_run))
 
     ratios = {}
     skipped = []
@@ -307,9 +343,10 @@ def main():
 
     print_kernel_ratios(kernel_rows)
     print_per_isa_ratios(*isa_table)
-    print_metric_gates(gate_rows, gate_missing)
+    print_metric_gates(gate_rows, gate_missing, gate_absent)
     write_step_summary(scale, args.tolerance, table_rows, failures,
-                       kernel_rows, gate_rows, gate_missing, isa_table)
+                       kernel_rows, gate_rows, gate_missing, isa_table,
+                       gate_absent)
 
     if failures:
         print(f"\nFAIL: {len(failures)} entr{'y' if len(failures) == 1 else 'ies'} "
@@ -324,6 +361,19 @@ def main():
               file=sys.stderr)
         for name, value, bounds, _ in gate_failures:
             print(f"  {name}: {value:.3f} (bound {bounds})", file=sys.stderr)
+        sys.exit(1)
+    if gate_absent:
+        print(f"\nFAIL: {len(gate_absent)} metric gate"
+              f"{'' if len(gate_absent) == 1 else 's'} name"
+              f"{'s' if len(gate_absent) == 1 else ''} a metric the bench "
+              "never emitted:", file=sys.stderr)
+        for name in gate_absent:
+            bench = name.partition("/")[0]
+            print(f"  {name}: BENCH_{bench}.json is present but has no such "
+                  "metric — the gate name in baseline.json and the bench's "
+                  "AddMetric call are out of sync (a rename or a dropped "
+                  "export would otherwise silently disable this gate)",
+                  file=sys.stderr)
         sys.exit(1)
     print("OK: no wall-clock regressions beyond tolerance; all metric "
           "gates in bounds")

@@ -7,6 +7,7 @@
 //                       --reward=label --learner=nb [--baseline] [--csv=out.csv]
 //                       [--trials=N] [--threads=N] [--eval-threads=N]
 //                       [--cache] [--prefetch-threads=N] [--prefetch-arms=N]
+//                       [--prune=off|conservative|aggressive]
 //                       [--store-path=feat.zfs] [--store-gc]
 //                       [--trace-out=trace.json] [--metrics-out=metrics.json]
 //                       [--decisions-out=decisions.jsonl]
@@ -14,6 +15,7 @@
 //   zombie_cli session  --task=webcat --docs=12000 [--warm] [--cache]
 //                       [--eval-threads=N]
 //                       [--prefetch-threads=N] [--prefetch-arms=N]
+//                       [--prune=off|conservative|aggressive]
 //                       [--store-path=feat.zfs]
 //                       [--trace-out=...] [--metrics-out=...]
 //                       [--decisions-out=...]
@@ -32,6 +34,12 @@
 // wall-clock-only, like --cache). One process writes, concurrent ones read.
 // --store-gc (run only) drops store records from other pipeline
 // fingerprints at open (versioned invalidation).
+//
+// --prune selects an online feature-pruning preset (ml/feature_pruner.h):
+// past a warmup item count the engine freezes a deterministic pruning mask
+// at a holdout-eval boundary and compacts every subsequent sparse vector.
+// "off" (the default) leaves all output byte-identical to pre-pruning
+// builds; "conservative"/"aggressive" trade accuracy for inner-loop speed.
 //
 // --fingerprint-out (run only) writes each trial's canonical RunResult
 // fingerprint (see RunResult::Fingerprint); the simd-dispatch CI job
@@ -66,6 +74,7 @@
 #include "index/random_grouper.h"
 #include "index/token_grouper.h"
 #include "ml/adagrad_lr.h"
+#include "ml/feature_pruner.h"
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
 #include "ml/simd/simd_level.h"
@@ -225,6 +234,19 @@ EngineOptions MakeEngineOptionsFromFlags(const Flags& flags) {
   int64_t eval_threads = flags.GetInt("eval-threads", 1);
   if (eval_threads > 1) {
     opts.holdout_eval_threads = static_cast<size_t>(eval_threads);
+  }
+  // Online feature pruning preset (ml/feature_pruner.h). Unknown values
+  // are reported and ignored, matching the prefetch-flag idiom.
+  std::string prune = flags.GetString("prune", "off");
+  if (prune == "conservative") {
+    opts.pruning = ConservativePruning();
+  } else if (prune == "aggressive") {
+    opts.pruning = AggressivePruning();
+  } else if (prune != "off") {
+    std::fprintf(stderr,
+                 "unknown --prune preset '%s' "
+                 "(want off|conservative|aggressive); pruning stays off\n",
+                 prune.c_str());
   }
   return opts;
 }
