@@ -33,6 +33,20 @@ void ArmStats::Deactivate(size_t arm) {
   }
 }
 
+size_t ArmStats::AddArm() {
+  arms_.emplace_back(options_.window, options_.discount);
+  ++num_active_;
+  return arms_.size() - 1;
+}
+
+void ArmStats::Reactivate(size_t arm) {
+  ZCHECK_LT(arm, arms_.size());
+  if (!arms_[arm].active) {
+    arms_[arm].active = true;
+    ++num_active_;
+  }
+}
+
 bool ArmStats::active(size_t arm) const {
   ZCHECK_LT(arm, arms_.size());
   return arms_[arm].active;

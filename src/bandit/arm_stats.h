@@ -36,6 +36,16 @@ class ArmStats {
   /// Marks an arm exhausted; policies must not select it again.
   void Deactivate(size_t arm);
 
+  /// Appends a fresh, active arm (streaming ingestion: a group split or a
+  /// new group); returns its index. The caller must notify the policy via
+  /// BanditPolicy::OnArmAdded immediately after.
+  size_t AddArm();
+
+  /// Revives an exhausted arm whose group received new documents. No-op
+  /// when already active; reward history is kept (the arm is the same
+  /// group, only its supply was interrupted).
+  void Reactivate(size_t arm);
+
   bool active(size_t arm) const;
   size_t num_arms() const { return arms_.size(); }
   size_t num_active() const { return num_active_; }

@@ -88,6 +88,13 @@ void Exp3Policy::Observe(size_t arm, double reward) {
   weights_[arm] *= std::exp(options_.gamma * estimate / k);
 }
 
+void Exp3Policy::OnArmAdded(size_t arm) {
+  ZCHECK_EQ(arm, weights_.size()) << "arms must be appended in order";
+  double max_w = 0.0;
+  for (double w : weights_) max_w = std::max(max_w, w);
+  weights_.push_back(max_w > 0.0 ? max_w : 1.0);
+}
+
 std::unique_ptr<BanditPolicy> Exp3Policy::Clone() const {
   return std::make_unique<Exp3Policy>(options_);
 }

@@ -25,6 +25,11 @@ class Exp3Policy : public BanditPolicy {
   void ScoreArms(const ArmStats& stats, std::vector<double>* out)
       const override;
   void Observe(size_t arm, double reward) override;
+  /// Appends the new arm at the maximum active weight: a newborn arm
+  /// starts as the (joint) most attractive choice, the exponential-weights
+  /// analogue of optimistic initialization — and deterministic, unlike
+  /// seeding at the mean.
+  void OnArmAdded(size_t arm) override;
   std::string name() const override { return "exp3"; }
   std::unique_ptr<BanditPolicy> Clone() const override;
 

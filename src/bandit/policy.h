@@ -33,6 +33,16 @@ class BanditPolicy {
     (void)reward;
   }
 
+  /// A new arm appeared mid-run (streaming ingestion: a group split or a
+  /// brand-new group). Called after ArmStats::AddArm, so `arm` ==
+  /// stats.num_arms() - 1 and per-arm state must grow to match before the
+  /// next SelectArm/ScoreArms. The default no-op suits policies whose only
+  /// per-arm state lives in ArmStats; stateful policies (Exp3, Thompson,
+  /// SlidingUcb) override to append an entry that keeps ScoreArms/RankArms
+  /// deterministic — no RNG draws allowed here, for the same reason as
+  /// ScoreArms.
+  virtual void OnArmAdded(size_t arm) { (void)arm; }
+
   virtual std::string name() const = 0;
 
   /// Diagnostic view of the policy's current per-arm preference — the

@@ -82,6 +82,12 @@ void SlidingUcbPolicy::Observe(size_t arm, double reward) {
   }
 }
 
+void SlidingUcbPolicy::OnArmAdded(size_t arm) {
+  ZCHECK_EQ(arm, window_pulls_.size()) << "arms must be appended in order";
+  window_pulls_.push_back(0);
+  window_reward_.push_back(0.0);
+}
+
 std::string SlidingUcbPolicy::name() const {
   return StrFormat("swucb(%zu)", options_.window);
 }

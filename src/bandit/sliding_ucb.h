@@ -30,6 +30,10 @@ class SlidingUcbPolicy : public BanditPolicy {
   void ScoreArms(const ArmStats& stats, std::vector<double>* out)
       const override;
   void Observe(size_t arm, double reward) override;
+  /// Appends zeroed window counters: an arm with no pulls in the window
+  /// has an infinite index, so a newborn arm is tried at the next
+  /// opportunity — no extra optimism needed.
+  void OnArmAdded(size_t arm) override;
   std::string name() const override;
   std::unique_ptr<BanditPolicy> Clone() const override;
 

@@ -62,6 +62,12 @@ void ThompsonPolicy::Observe(size_t arm, double reward) {
   failure_[arm] += 1.0 - r;
 }
 
+void ThompsonPolicy::OnArmAdded(size_t arm) {
+  ZCHECK_EQ(arm, success_.size()) << "arms must be appended in order";
+  success_.push_back(0.0);
+  failure_.push_back(0.0);
+}
+
 std::unique_ptr<BanditPolicy> ThompsonPolicy::Clone() const {
   return std::make_unique<ThompsonPolicy>(options_);
 }

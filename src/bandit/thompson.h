@@ -29,6 +29,9 @@ class ThompsonPolicy : public BanditPolicy {
   void ScoreArms(const ArmStats& stats, std::vector<double>* out)
       const override;
   void Observe(size_t arm, double reward) override;
+  /// Appends an arm at the bare prior (zero pseudo-counts): the widest
+  /// posterior in the pool, so Thompson's own draws explore it promptly.
+  void OnArmAdded(size_t arm) override;
   std::string name() const override { return "thompson"; }
   std::unique_ptr<BanditPolicy> Clone() const override;
 

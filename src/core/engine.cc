@@ -5,8 +5,10 @@
 
 #include "core/convergence.h"
 #include "core/speculative_prefetcher.h"
+#include "data/corpus_source.h"
 #include "featureeng/feature_cache.h"
 #include "index/grouped_corpus.h"
+#include "index/incremental_grouper.h"
 #include "ml/dataset.h"
 #include "ml/evaluator.h"
 #include "ml/feature_pruner.h"
@@ -64,25 +66,28 @@ int32_t BinaryLabel(int32_t raw) { return raw == 1 ? 1 : 0; }
 
 }  // namespace
 
-RunResult ZombieEngine::Run(const GroupingResult& grouping,
-                            const BanditPolicy& policy_prototype,
-                            const Learner& learner_prototype,
-                            const RewardFunction& reward_prototype,
-                            bool shuffle_groups,
-                            const std::vector<ArmSummary>* warm_start) const {
-  RunSpec spec(grouping, policy_prototype, learner_prototype,
-               reward_prototype);
-  spec.shuffle_groups = shuffle_groups;
-  spec.warm_start = warm_start;
-  return Run(spec);
-}
-
 RunResult ZombieEngine::Run(const RunSpec& spec) const {
   ZCHECK(spec.grouping != nullptr);
   ZCHECK(spec.policy != nullptr);
   ZCHECK(spec.learner != nullptr);
   ZCHECK(spec.reward != nullptr);
   const GroupingResult& grouping = *spec.grouping;
+  const bool streaming = spec.stream != nullptr;
+  if (streaming) {
+    ZCHECK(spec.incremental_grouper != nullptr)
+        << "streaming runs need the grouper that built spec.grouping";
+    ZCHECK(&spec.stream->corpus() == corpus_)
+        << "stream must be scheduled over the engine's corpus";
+    ZCHECK_EQ(spec.incremental_grouper->num_groups(), grouping.groups.size())
+        << "spec.grouping must be the incremental grouper's GroupBase "
+           "result";
+  }
+  // The offline prefix: grouping, holdout sampling, and cost normalization
+  // all see only these documents. Offline runs use the whole corpus, so
+  // every base_size-derived quantity below reduces to the pre-streaming
+  // value byte for byte.
+  const size_t base_size =
+      streaming ? spec.stream->base_size() : corpus_->size();
   const BanditPolicy& policy_prototype = *spec.policy;
   const Learner& learner_prototype = *spec.learner;
   const RewardFunction& reward_prototype = *spec.reward;
@@ -176,7 +181,10 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
   };
 
   GroupedCorpus grouped(corpus_, grouping, rng.Fork().NextUint64(),
-                        spec.shuffle_groups);
+                        spec.shuffle_groups, base_size);
+  // Arm count at the start of the run; streaming may grow it (splits, new
+  // domains), so the loop always reads the live counts from
+  // grouped/stats.
   const size_t num_groups = grouped.num_groups();
   ZCHECK_GE(num_groups, 1u);
 
@@ -186,13 +194,15 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
   SpeculativePrefetcher prefetcher(service, &grouped, tracer);
 
   // --- Holdout: sample, exclude from training, featurize up front. --------
-  size_t holdout_size =
-      std::min(options_.holdout_size, corpus_->size() / 2);
+  // Streaming: sampled from the offline base prefix only — unarrived
+  // documents must not leak into evaluation (or be pre-marked processed
+  // before they exist).
+  size_t holdout_size = std::min(options_.holdout_size, base_size / 2);
   holdout_size = std::max<size_t>(holdout_size, 1);
   Dataset holdout_data;
   {
     TraceSpan holdout_span(tracer, "engine.holdout", "engine");
-    std::vector<uint32_t> ids(corpus_->size());
+    std::vector<uint32_t> ids(base_size);
     for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
     Rng holdout_rng = rng.Fork();
     holdout_rng.Shuffle(&ids);
@@ -202,8 +212,8 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
       // take more than half of the corpus's positives — on very skewed
       // corpora the holdout must not starve training of the rare class.
       size_t corpus_positives = 0;
-      for (const Document& d : corpus_->documents()) {
-        corpus_positives += d.label == 1;
+      for (size_t i = 0; i < base_size; ++i) {
+        corpus_positives += corpus_->doc(i).label == 1;
       }
       size_t want_pos = static_cast<size_t>(
           options_.holdout_positive_fraction *
@@ -299,6 +309,90 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
   std::vector<size_t> arm_positives(num_groups, 0);
   Rng select_rng = rng.Fork();
 
+  // --- Streaming ingestion --------------------------------------------------
+  // The engine owns the cursor into the (const, pre-sorted) arrival
+  // schedule; the source itself is never mutated, so sharing one
+  // ScheduledCorpusSource across concurrent runs is safe. Arrivals become
+  // visible when the *virtual* clock passes their timestamp, and the
+  // engine consumes them only at holdout-eval boundaries (plus starvation
+  // fast-forwards) — the same virtual-time-visible rule as prune freezes —
+  // so ingestion is byte-identical across thread counts, cache/store
+  // modes, and SIMD levels.
+  std::unique_ptr<IncrementalGrouper> igrouper =
+      streaming ? spec.incremental_grouper->Clone() : nullptr;
+  size_t stream_cursor = 0;  // next unconsumed arrival
+  std::vector<IngestEvent> ingest_events;
+  Counter* ingest_windows_counter = nullptr;
+  Counter* ingest_docs_counter = nullptr;
+  Counter* ingest_new_arms_counter = nullptr;
+  Counter* ingest_splits_counter = nullptr;
+  if (metrics != nullptr && streaming) {
+    ingest_windows_counter = metrics->GetCounter("ingest.windows");
+    ingest_docs_counter = metrics->GetCounter("ingest.docs");
+    ingest_new_arms_counter = metrics->GetCounter("ingest.new_arms");
+    ingest_splits_counter = metrics->GetCounter("ingest.splits");
+  }
+
+  // Stream-visible virtual time: the holdout featurization charge plus the
+  // loop clock (the clock resets after the holdout pass so the two spans
+  // are tracked separately).
+  auto stream_virtual_now = [&]() {
+    return result.holdout_virtual_micros + clock.NowMicros();
+  };
+
+  // Consumes every arrival whose virtual timestamp has passed: routes the
+  // document through the incremental grouper, appends it to its groups,
+  // and registers any group born from it (split or new domain) as a fresh
+  // bandit arm — GroupedCorpus::AddGroup, ArmStats::AddArm, and
+  // BanditPolicy::OnArmAdded all number the new arm identically.
+  auto ingest = [&](size_t items_now) {
+    if (!streaming) return;
+    const std::vector<DocumentArrival>& arrivals = spec.stream->arrivals();
+    const int64_t now = stream_virtual_now();
+    uint64_t docs_added = 0;
+    uint64_t new_arms = 0;
+    uint64_t splits = 0;
+    while (stream_cursor < arrivals.size() &&
+           arrivals[stream_cursor].at_virtual_micros <= now) {
+      const uint32_t doc = arrivals[stream_cursor].doc_index;
+      ++stream_cursor;
+      IngestAssignment asg = igrouper->AssignOrSplit(*corpus_, doc);
+      ZCHECK(!asg.groups.empty());
+      for (const NewGroupSeed& seed : asg.new_groups) {
+        size_t g = grouped.AddGroup(seed.members);
+        size_t arm = stats.AddArm();
+        ZCHECK_EQ(arm, g);
+        policy->OnArmAdded(arm);
+        pseudo_pulls.push_back(0);
+        pseudo_reward.push_back(0.0);
+        arm_positives.push_back(0);
+        ++new_arms;
+        splits += seed.source_group != kNoSourceGroup;
+      }
+      grouped.AppendDocument(doc, asg.groups);
+      // The arm may have been exhausted while starved of supply; it is
+      // the same group, so it revives with its reward history intact.
+      for (size_t g : asg.groups) stats.Reactivate(g);
+      ++docs_added;
+    }
+    if (docs_added == 0) return;
+    ZCHECK_EQ(grouped.num_groups(), igrouper->num_groups());
+    IngestEvent ev;
+    ev.items = static_cast<uint64_t>(items_now);
+    ev.virtual_micros = now;
+    ev.docs_added = docs_added;
+    ev.new_arms = new_arms;
+    ev.splits = splits;
+    ev.total_arms = static_cast<uint64_t>(stats.num_arms());
+    ingest_events.push_back(ev);
+    if (ingest_windows_counter != nullptr) {
+      ingest_windows_counter->Increment();
+      ingest_docs_counter->Increment(docs_added);
+      ingest_new_arms_counter->Increment(new_arms);
+      ingest_splits_counter->Increment(splits);
+    }
+  };
+
   result.policy_name = policy->name();
   result.reward_name = reward->name();
   result.learner_name = learner->name();
@@ -333,11 +427,13 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
   // Mean per-item pipeline cost, for cost-aware reward normalization.
   double mean_item_cost = 0.0;
   if (options_.cost_aware_rewards) {
-    for (const Document& d : corpus_->documents()) {
-      mean_item_cost +=
-          static_cast<double>(pipeline_->ExtractionCostMicros(d));
+    // Base prefix only: the normalizer must not read documents the stream
+    // has not yet revealed (and must stay fixed as arrivals land).
+    for (size_t i = 0; i < base_size; ++i) {
+      mean_item_cost += static_cast<double>(
+          pipeline_->ExtractionCostMicros(corpus_->doc(i)));
     }
-    mean_item_cost /= static_cast<double>(corpus_->size());
+    mean_item_cost /= static_cast<double>(base_size);
     if (mean_item_cost <= 0.0) mean_item_cost = 1.0;
   }
 
@@ -389,6 +485,19 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
   bool stopped = false;
   while (!stopped) {
     if (stats.num_active() == 0) {
+      if (streaming && stream_cursor < spec.stream->arrivals().size()) {
+        // Starved, not exhausted: every current group is drained but the
+        // stream still has arrivals. Fast-forward the virtual clock to the
+        // next arrival (the engine would genuinely be idle until then) and
+        // ingest. Consuming at least one arrival reactivates at least one
+        // arm, so the loop makes progress.
+        const int64_t next_at =
+            spec.stream->arrivals()[stream_cursor].at_virtual_micros;
+        const int64_t now = stream_virtual_now();
+        if (next_at > now) clock.Advance(next_at - now);
+        ingest(items);
+        continue;
+      }
       result.stop_reason = StopReason::kExhausted;
       break;
     }
@@ -472,6 +581,11 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
 
     // --- Cadence: evaluate and apply stop rules. ---------------------------
     if (items % options_.eval_every == 0) {
+      // Ingestion first: arrivals whose virtual timestamp has passed join
+      // the index before speculation ranks arms and before the holdout
+      // scores — the new arms are visible to everything downstream of
+      // this boundary.
+      ingest(items);
       // Speculate right before the evaluation so the prefetch workers run
       // while this thread is busy scoring the holdout. Candidate ranking
       // draws no randomness and mutates nothing the run observes.
@@ -542,8 +656,11 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
   result.final_quality = QualityOf(result.final_metrics, options_.metric);
   result.wall_micros = wall.ElapsedMicros();
 
-  result.arms.resize(num_groups);
-  for (size_t a = 0; a < num_groups; ++a) {
+  // grouped.num_groups(), not the base count: streaming may have opened
+  // arms mid-run, and they report like any other.
+  const size_t final_groups = grouped.num_groups();
+  result.arms.resize(final_groups);
+  for (size_t a = 0; a < final_groups; ++a) {
     result.arms[a].group_size = grouped.group_size(a);
     result.arms[a].pulls = stats.pulls(a) - pseudo_pulls[a];
     result.arms[a].total_reward = stats.total_reward(a) - pseudo_reward[a];
@@ -553,6 +670,9 @@ RunResult ZombieEngine::Run(const RunSpec& spec) const {
     dlog->AppendRun(run_label, std::move(decisions));
     if (!prune_events.empty()) {
       dlog->AppendPruneEvents(run_label, std::move(prune_events));
+    }
+    if (!ingest_events.empty()) {
+      dlog->AppendIngestEvents(run_label, std::move(ingest_events));
     }
   }
   // Delta-tracked, so repeated exports from runs sharing a service (and a

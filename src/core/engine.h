@@ -32,9 +32,16 @@ namespace zombie {
 ///  6. every `eval_every` items, measures quality on the fixed holdout and
 ///     applies the stop rules (plateau / target / budget).
 ///
-/// A run is fully deterministic given (corpus, grouping, options.seed);
-/// wall-clock accelerations (feature cache, speculative prefetch, parallel
-/// holdout evaluation) never change RunResult or the decision log.
+/// With RunSpec::stream set, the run is *streaming*: only the offline base
+/// prefix exists up front, and at each holdout-eval boundary the engine
+/// consumes the arrivals whose virtual timestamp has passed — appending
+/// documents to the index, splitting or opening groups via the
+/// incremental grouper, and registering each new group as a bandit arm.
+///
+/// A run is fully deterministic given (corpus, grouping, options.seed, and
+/// the arrival schedule when streaming); wall-clock accelerations (feature
+/// cache, speculative prefetch, parallel holdout evaluation) never change
+/// RunResult or the decision log.
 class ZombieEngine {
  public:
   /// Both pointers are borrowed and must outlive the engine. Extraction
@@ -57,15 +64,6 @@ class ZombieEngine {
   /// engine never mutates caller state and repeated Run() calls are
   /// independent.
   RunResult Run(const RunSpec& spec) const;
-
-  /// Positional-parameter compatibility shim for pre-RunSpec callers.
-  [[deprecated("build a RunSpec and call Run(const RunSpec&)")]]
-  RunResult Run(const GroupingResult& grouping,
-                const BanditPolicy& policy_prototype,
-                const Learner& learner_prototype,
-                const RewardFunction& reward,
-                bool shuffle_groups = true,
-                const std::vector<ArmSummary>* warm_start = nullptr) const;
 
   const EngineOptions& options() const { return options_; }
   const Corpus& corpus() const { return *corpus_; }

@@ -38,11 +38,18 @@ Status ExperimentGrid::Validate() const {
 }
 
 std::string TrialSpec::Label() const {
-  return StrFormat("%s/%s/%s/%s/s%llu", PolicyKindName(policy),
-                   grouping != nullptr ? grouping->method.c_str() : "?",
-                   reward != nullptr ? reward->name().c_str() : "?",
-                   learner != nullptr ? learner->name().c_str() : "?",
-                   static_cast<unsigned long long>(seed));
+  std::string label =
+      StrFormat("%s/%s/%s/%s/s%llu", PolicyKindName(policy),
+                grouping != nullptr ? grouping->method.c_str() : "?",
+                reward != nullptr ? reward->name().c_str() : "?",
+                learner != nullptr ? learner->name().c_str() : "?",
+                static_cast<unsigned long long>(seed));
+  // No-override cells keep the historical label so prunings-free grids
+  // produce byte-identical logs and reports.
+  if (pruning != nullptr) {
+    label += StrFormat("/prune@%zu", pruning_index);
+  }
+  return label;
 }
 
 namespace {
@@ -75,6 +82,9 @@ ExperimentDriver::ExperimentDriver(const Corpus* corpus,
       << "pass the cache via ExperimentDriverOptions::cache";
   ZCHECK(options_.engine.feature_store == nullptr)
       << "pass the store via ExperimentDriverOptions::store";
+  ZCHECK((options_.stream == nullptr) ==
+         (options_.incremental_grouper == nullptr))
+      << "streaming needs both the source and the incremental grouper";
   ObsContext* obs = options_.engine.obs;
   service_ = std::make_unique<ExtractionService>(
       pipeline_, options_.cache, options_.prefetch,
@@ -86,21 +96,29 @@ StatusOr<std::vector<TrialResult>> ExperimentDriver::RunGrid(
   ZOMBIE_RETURN_IF_ERROR(grid.Validate());
 
   // Row-major expansion keeps result order independent of execution order.
+  // An empty prunings axis expands as one no-override cell, so grids that
+  // predate the axis keep their exact trial order and labels.
+  std::vector<const FeaturePrunerOptions*> prunings = grid.prunings;
+  if (prunings.empty()) prunings.push_back(nullptr);
   std::vector<TrialSpec> specs;
   specs.reserve(grid.size());
   for (PolicyKind policy : grid.policies) {
     for (const GroupingResult* grouping : grid.groupings) {
       for (const RewardFunction* reward : grid.rewards) {
         for (const Learner* learner : grid.learners) {
-          for (uint64_t seed : grid.seeds) {
-            TrialSpec spec;
-            spec.index = specs.size();
-            spec.policy = policy;
-            spec.grouping = grouping;
-            spec.reward = reward;
-            spec.learner = learner;
-            spec.seed = seed;
-            specs.push_back(spec);
+          for (size_t p = 0; p < prunings.size(); ++p) {
+            for (uint64_t seed : grid.seeds) {
+              TrialSpec spec;
+              spec.index = specs.size();
+              spec.policy = policy;
+              spec.grouping = grouping;
+              spec.reward = reward;
+              spec.learner = learner;
+              spec.pruning = prunings[p];
+              spec.pruning_index = p;
+              spec.seed = seed;
+              specs.push_back(spec);
+            }
           }
         }
       }
@@ -134,8 +152,11 @@ StatusOr<std::vector<TrialResult>> ExperimentDriver::RunGrid(
     }
     TrialResult& out = results[i];
     out.spec = spec;
-    out.run = engine.Run(
-        RunSpec(*spec.grouping, *policy, *spec.learner, *spec.reward));
+    RunSpec run_spec(*spec.grouping, *policy, *spec.learner, *spec.reward);
+    run_spec.pruning_override = spec.pruning;
+    run_spec.stream = options_.stream;
+    run_spec.incremental_grouper = options_.incremental_grouper;
+    out.run = engine.Run(run_spec);
     if (options_.cache != nullptr) out.cache = options_.cache->Stats();
     return Status::OK();
   });

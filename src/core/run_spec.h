@@ -13,6 +13,8 @@
 namespace zombie {
 
 class RewardFunction;
+class ScheduledCorpusSource;
+class IncrementalGrouper;
 
 /// Everything that parameterizes one ZombieEngine::Run, with named fields
 /// instead of a positional parameter list. The four component pointers are
@@ -60,6 +62,21 @@ struct RunSpec {
   /// engine-wide setting). Lets one engine run prune-off and prune-on arms
   /// back to back — the bench_prune frontier — without rebuilding engines.
   const FeaturePrunerOptions* pruning_override = nullptr;
+
+  /// Streaming ingestion. When `stream` is set, `grouping` must be the
+  /// base grouping returned by `incremental_grouper->GroupBase(corpus,
+  /// stream->base_size())` (same corpus as the engine's), and both
+  /// pointers must be non-null: the engine clones the primed grouper per
+  /// run, restricts the holdout sample to the offline base prefix, and at
+  /// every holdout-eval boundary consumes the arrivals whose virtual
+  /// timestamp has passed — appending documents to the index, splitting or
+  /// opening groups, and registering each new group with the bandit via
+  /// BanditPolicy::OnArmAdded. Null (the default) is exactly the offline
+  /// engine, byte for byte.
+  const ScheduledCorpusSource* stream = nullptr;
+  /// Primed prototype (GroupBase already called); cloned per run so
+  /// repeated and concurrent runs share it safely. Borrowed.
+  const IncrementalGrouper* incremental_grouper = nullptr;
 };
 
 }  // namespace zombie

@@ -53,16 +53,26 @@ std::vector<double> ComputeSignature(const Document& doc,
 
 SignatureMatrix ComputeSignatures(const Corpus& corpus,
                                   const SignatureConfig& config) {
-  SignatureMatrix m;
-  m.rows.reserve(corpus.size());
+  return ComputeSignaturesForPrefix(corpus, corpus.size(), config)
+      .matrix;
+}
+
+PrefixSignatures ComputeSignaturesForPrefix(const Corpus& corpus,
+                                            size_t prefix_size,
+                                            const SignatureConfig& config) {
+  ZCHECK_LE(prefix_size, corpus.size());
+  PrefixSignatures out;
+  SignatureMatrix& m = out.matrix;
+  m.rows.reserve(prefix_size);
   double virtual_cost = 0.0;
 
   // Optional first pass: document frequencies over the signature prefix.
-  std::vector<double> idf;
-  if (config.use_idf && !corpus.empty()) {
+  std::vector<double>& idf = out.idf;
+  if (config.use_idf && prefix_size > 0) {
     std::vector<uint32_t> df(corpus.vocabulary().size(), 0);
     std::vector<uint32_t> scratch;
-    for (const Document& doc : corpus.documents()) {
+    for (size_t i = 0; i < prefix_size; ++i) {
+      const Document& doc = corpus.doc(i);
       size_t limit = std::min(config.max_tokens, doc.tokens.size());
       scratch.assign(doc.tokens.begin(),
                      doc.tokens.begin() + static_cast<ptrdiff_t>(limit));
@@ -73,7 +83,7 @@ SignatureMatrix ComputeSignatures(const Corpus& corpus,
         if (tok < df.size()) ++df[tok];
       }
     }
-    double n = static_cast<double>(corpus.size());
+    double n = static_cast<double>(prefix_size);
     idf.resize(df.size());
     for (size_t t = 0; t < df.size(); ++t) {
       idf[t] = std::log((1.0 + n) / (1.0 + static_cast<double>(df[t])));
@@ -85,13 +95,14 @@ SignatureMatrix ComputeSignatures(const Corpus& corpus,
   const std::vector<double>* idf_ptr =
       (config.use_idf && !idf.empty()) ? &idf : nullptr;
   double passes = config.use_idf ? 2.0 : 1.0;
-  for (const Document& doc : corpus.documents()) {
+  for (size_t i = 0; i < prefix_size; ++i) {
+    const Document& doc = corpus.doc(i);
     m.rows.push_back(ComputeSignature(doc, config, idf_ptr));
     virtual_cost += passes * config.cost_fraction *
                     static_cast<double>(doc.extraction_cost_micros);
   }
   m.virtual_cost_micros = static_cast<int64_t>(virtual_cost);
-  return m;
+  return out;
 }
 
 }  // namespace zombie

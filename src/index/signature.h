@@ -49,6 +49,21 @@ struct SignatureMatrix {
 SignatureMatrix ComputeSignatures(const Corpus& corpus,
                                   const SignatureConfig& config);
 
+/// Signatures over the corpus prefix [0, prefix_size) only, plus the IDF
+/// table computed from that prefix (empty when config.use_idf is off).
+/// Streaming groupers freeze this prefix IDF at base-build time and reuse
+/// it for every later arrival — group geometry must not drift with data
+/// the run had not seen when the index was built. With prefix_size ==
+/// corpus.size() this is exactly ComputeSignatures.
+struct PrefixSignatures {
+  SignatureMatrix matrix;
+  std::vector<double> idf;
+};
+
+PrefixSignatures ComputeSignaturesForPrefix(const Corpus& corpus,
+                                            size_t prefix_size,
+                                            const SignatureConfig& config);
+
 }  // namespace zombie
 
 #endif  // ZOMBIE_INDEX_SIGNATURE_H_

@@ -43,6 +43,18 @@ void DecisionLog::AppendPruneEvents(const std::string& run_label,
   }
 }
 
+void DecisionLog::AppendIngestEvents(const std::string& run_label,
+                                     std::vector<IngestEvent> events) {
+  if (events.empty()) return;
+  MutexLock lock(&mu_);
+  std::vector<IngestEvent>& dest = ingests_[run_label];
+  if (dest.empty()) {
+    dest = std::move(events);
+  } else {
+    dest.insert(dest.end(), events.begin(), events.end());
+  }
+}
+
 size_t DecisionLog::num_runs() const {
   MutexLock lock(&mu_);
   return runs_.size();
@@ -82,6 +94,20 @@ std::vector<PruneEvent> DecisionLog::PruneEvents(
   MutexLock lock(&mu_);
   auto it = prunes_.find(run_label);
   return it == prunes_.end() ? std::vector<PruneEvent>() : it->second;
+}
+
+size_t DecisionLog::num_ingest_events() const {
+  MutexLock lock(&mu_);
+  size_t n = 0;
+  for (const auto& [label, events] : ingests_) n += events.size();
+  return n;
+}
+
+std::vector<IngestEvent> DecisionLog::IngestEvents(
+    const std::string& run_label) const {
+  MutexLock lock(&mu_);
+  auto it = ingests_.find(run_label);
+  return it == ingests_.end() ? std::vector<IngestEvent>() : it->second;
 }
 
 std::string DecisionLog::ToJsonl() const {
@@ -125,6 +151,23 @@ std::string DecisionLog::ToJsonl() const {
             static_cast<unsigned long long>(p.input_dimension),
             static_cast<unsigned long long>(p.kept_features),
             static_cast<unsigned long long>(p.pruned_features));
+      }
+    }
+    // Ingestion windows serialize last. Offline runs have no ingests_
+    // entry, so their bytes are exactly the pre-streaming format.
+    auto ing = ingests_.find(label);
+    if (ing != ingests_.end()) {
+      for (const IngestEvent& e : ing->second) {
+        out += StrFormat(
+            "{\"run\": \"%s\", \"kind\": \"ingest\", \"items\": %llu, "
+            "\"virtual_us\": %lld, \"docs\": %llu, \"new_arms\": %llu, "
+            "\"splits\": %llu, \"total_arms\": %llu}\n",
+            escaped.c_str(), static_cast<unsigned long long>(e.items),
+            static_cast<long long>(e.virtual_micros),
+            static_cast<unsigned long long>(e.docs_added),
+            static_cast<unsigned long long>(e.new_arms),
+            static_cast<unsigned long long>(e.splits),
+            static_cast<unsigned long long>(e.total_arms));
       }
     }
   }

@@ -52,6 +52,22 @@ struct PruneEvent {
   uint64_t pruned_features = 0;
 };
 
+/// One streaming-ingestion window, recorded at the holdout-eval boundary
+/// (or starvation fast-forward) where the engine consumed arrivals. Every
+/// field is a deterministic function of (corpus, schedule, options) — the
+/// virtual clock gates arrivals, never wall time — so streaming logs are
+/// byte-identical across thread counts, cache/store modes, and SIMD
+/// levels. Offline runs emit no ingest lines, so their serialized bytes
+/// are unchanged from before this record existed.
+struct IngestEvent {
+  uint64_t items = 0;          // engine item count at the window
+  int64_t virtual_micros = 0;  // stream-visible virtual time of the window
+  uint64_t docs_added = 0;     // arrivals consumed in this window
+  uint64_t new_arms = 0;       // groups opened (splits + new domains)
+  uint64_t splits = 0;         // of new_arms, how many came from splits
+  uint64_t total_arms = 0;     // arm count after the window
+};
+
 /// Structured per-pull log, grouped by run label. Thread-safe at run
 /// granularity: each engine run collects its records locally and commits
 /// them with one AppendRun; serialization iterates runs in label order, so
@@ -74,9 +90,16 @@ class DecisionLog {
   void AppendPruneEvents(const std::string& run_label,
                          std::vector<PruneEvent> events) ZOMBIE_EXCLUDES(mu_);
 
+  /// Commits a run's ingestion windows. Serialized after the run's pull
+  /// and prune records, in order.
+  void AppendIngestEvents(const std::string& run_label,
+                          std::vector<IngestEvent> events)
+      ZOMBIE_EXCLUDES(mu_);
+
   size_t num_runs() const ZOMBIE_EXCLUDES(mu_);
   size_t num_records() const ZOMBIE_EXCLUDES(mu_);
   size_t num_prune_events() const ZOMBIE_EXCLUDES(mu_);
+  size_t num_ingest_events() const ZOMBIE_EXCLUDES(mu_);
 
   /// Run labels in serialization (lexicographic) order.
   std::vector<std::string> Labels() const ZOMBIE_EXCLUDES(mu_);
@@ -87,6 +110,10 @@ class DecisionLog {
 
   /// Prune events for one run label (empty when absent).
   std::vector<PruneEvent> PruneEvents(const std::string& run_label) const
+      ZOMBIE_EXCLUDES(mu_);
+
+  /// Ingest events for one run label (empty when absent).
+  std::vector<IngestEvent> IngestEvents(const std::string& run_label) const
       ZOMBIE_EXCLUDES(mu_);
 
   /// JSON Lines: one object per record, runs in label order, records in
@@ -102,6 +129,10 @@ class DecisionLog {
   /// Kept separate from runs_ so runs without pruning leave no trace in
   /// the map (and therefore none in the serialized bytes).
   std::map<std::string, std::vector<PruneEvent>> prunes_
+      ZOMBIE_GUARDED_BY(mu_);
+  /// Same pattern for streaming: offline runs never touch this map, so
+  /// their bytes are exactly the pre-streaming format.
+  std::map<std::string, std::vector<IngestEvent>> ingests_
       ZOMBIE_GUARDED_BY(mu_);
 };
 

@@ -87,6 +87,52 @@ TEST(ArmStatsTest, PriorMeanBeforeFirstPull) {
   EXPECT_DOUBLE_EQ(s.mean(1), 0.42);
 }
 
+TEST(ArmStatsTest, AddArmAppendsFreshActiveArm) {
+  ArmStatsOptions opts;
+  opts.prior_mean = 0.7;
+  ArmStats s(2, opts);
+  s.Record(0, 1.0);
+  size_t arm = s.AddArm();
+  EXPECT_EQ(arm, 2u);
+  EXPECT_EQ(s.num_arms(), 3u);
+  EXPECT_EQ(s.num_active(), 3u);
+  EXPECT_TRUE(s.active(arm));
+  EXPECT_EQ(s.pulls(arm), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(arm), 0.7);
+  // The new arm records like any other and old arms are untouched.
+  s.Record(arm, 0.25);
+  EXPECT_DOUBLE_EQ(s.mean(arm), 0.25);
+  EXPECT_EQ(s.pulls(0), 1u);
+  EXPECT_EQ(s.total_pulls(), 2u);
+}
+
+TEST(ArmStatsTest, AddArmAfterDeactivationKeepsCountsStraight) {
+  ArmStats s(2);
+  s.Deactivate(0);
+  EXPECT_EQ(s.num_active(), 1u);
+  size_t arm = s.AddArm();
+  EXPECT_EQ(arm, 2u);
+  EXPECT_EQ(s.num_active(), 2u);
+  EXPECT_FALSE(s.active(0));
+}
+
+TEST(ArmStatsTest, ReactivateRevivesArmAndKeepsHistory) {
+  ArmStats s(2);
+  s.Record(1, 1.0);
+  s.Record(1, 0.0);
+  s.Deactivate(1);
+  EXPECT_EQ(s.num_active(), 1u);
+  s.Reactivate(1);
+  EXPECT_TRUE(s.active(1));
+  EXPECT_EQ(s.num_active(), 2u);
+  // Same group, only its supply was interrupted: history survives.
+  EXPECT_EQ(s.pulls(1), 2u);
+  EXPECT_DOUBLE_EQ(s.lifetime_mean(1), 0.5);
+  // No-op on an already-active arm.
+  s.Reactivate(1);
+  EXPECT_EQ(s.num_active(), 2u);
+}
+
 TEST(ArmStatsDeathTest, OutOfRangeArmAborts) {
   ArmStats s(2);
   EXPECT_DEATH(s.Record(2, 1.0), "Check failed");

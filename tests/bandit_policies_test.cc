@@ -113,6 +113,40 @@ TEST_P(EveryPolicyTest, AdaptivePoliciesBeatUniformOnEasyBandit) {
   EXPECT_GT(best_fraction, 0.5) << PolicyKindName(kind);
 }
 
+TEST_P(EveryPolicyTest, OnArmAddedGrowsStateMidRun) {
+  auto policy = MakePolicy(GetParam());
+  ArmStats stats(3);
+  policy->Reset(3);
+  Rng rng(21);
+  // Burn in so stateful policies have skewed internal state.
+  for (int i = 0; i < 60; ++i) {
+    size_t arm = policy->SelectArm(stats, &rng);
+    double r = arm == 0 ? 1.0 : 0.0;
+    stats.Record(arm, r);
+    policy->Observe(arm, r);
+  }
+  // A group split: a fourth arm appears mid-run.
+  size_t new_arm = stats.AddArm();
+  ASSERT_EQ(new_arm, 3u);
+  policy->OnArmAdded(new_arm);
+  // ScoreArms must already cover the new arm...
+  std::vector<double> scores;
+  policy->ScoreArms(stats, &scores);
+  EXPECT_EQ(scores.size(), 4u) << PolicyKindName(GetParam());
+  // ...and selection must stay in range and reach the newborn arm.
+  size_t new_arm_pulls = 0;
+  for (int i = 0; i < 500; ++i) {
+    size_t arm = policy->SelectArm(stats, &rng);
+    ASSERT_LT(arm, 4u) << PolicyKindName(GetParam());
+    double r = arm == 0 || arm == new_arm ? 1.0 : 0.0;
+    stats.Record(arm, r);
+    policy->Observe(arm, r);
+    new_arm_pulls += arm == new_arm;
+  }
+  EXPECT_GT(new_arm_pulls, 0u)
+      << PolicyKindName(GetParam()) << " never tried the newborn arm";
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPolicies, EveryPolicyTest,
                          testing::ValuesIn(kAllKinds),
                          [](const testing::TestParamInfo<PolicyKind>& param_info) {
@@ -333,6 +367,53 @@ TEST(SoftmaxTest, TemperatureControlsGreediness) {
   arm0 = 0;
   for (int i = 0; i < 2000; ++i) arm0 += uniform.SelectArm(stats, &rng) == 0;
   EXPECT_NEAR(arm0, 1000, 150);
+}
+
+TEST(Exp3Test, OnArmAddedStartsAtMaxActiveWeight) {
+  Exp3Policy policy;
+  ArmStats stats(2);
+  policy.Reset(2);
+  Rng rng(15);
+  // Skew the weights hard toward arm 0.
+  for (int i = 0; i < 500; ++i) {
+    size_t arm = policy.SelectArm(stats, &rng);
+    double r = arm == 0 ? 1.0 : 0.0;
+    stats.Record(arm, r);
+    policy.Observe(arm, r);
+  }
+  size_t new_arm = stats.AddArm();
+  policy.OnArmAdded(new_arm);
+  std::vector<double> probs;
+  policy.ScoreArms(stats, &probs);
+  ASSERT_EQ(probs.size(), 3u);
+  // Born at the maximum active weight: the newborn's choice probability
+  // ties the current leader and dominates the starved arm.
+  EXPECT_NEAR(probs[new_arm], probs[0], 1e-9);
+  EXPECT_GT(probs[new_arm], probs[1]);
+}
+
+TEST(ThompsonTest, OnArmAddedStartsAtBarePrior) {
+  ThompsonOptions opts;
+  opts.prior_alpha = 1.0;
+  opts.prior_beta = 1.0;
+  ThompsonPolicy policy(opts);
+  ArmStats stats(2);
+  policy.Reset(2);
+  Rng rng(16);
+  for (int i = 0; i < 200; ++i) {
+    size_t arm = policy.SelectArm(stats, &rng);
+    stats.Record(arm, 1.0);
+    policy.Observe(arm, 1.0);
+  }
+  size_t new_arm = stats.AddArm();
+  policy.OnArmAdded(new_arm);
+  std::vector<double> means;
+  policy.ScoreArms(stats, &means);
+  ASSERT_EQ(means.size(), 3u);
+  // Zero pseudo-counts: posterior mean is exactly the prior's 0.5, while
+  // the trained arms sit near 1.
+  EXPECT_NEAR(means[new_arm], 0.5, 1e-9);
+  EXPECT_GT(means[0], 0.8);
 }
 
 TEST(PolicyFactoryTest, NamesRoundTrip) {

@@ -95,6 +95,31 @@ TEST(SlidingUcbTest, SelectsOnlyActiveArms) {
   }
 }
 
+TEST(SlidingUcbTest, OnArmAddedIsTriedAtNextOpportunity) {
+  SlidingUcbPolicy policy;
+  ArmStats stats(2);
+  policy.Reset(2);
+  Rng rng(6);
+  for (int i = 0; i < 40; ++i) {
+    size_t arm = policy.SelectArm(stats, &rng);
+    stats.Record(arm, arm == 0 ? 1.0 : 0.0);
+    policy.Observe(arm, arm == 0 ? 1.0 : 0.0);
+  }
+  size_t new_arm = stats.AddArm();
+  policy.OnArmAdded(new_arm);
+  // Zeroed window counters: no pulls in the window, infinite index.
+  EXPECT_EQ(policy.WindowPulls(new_arm), 0u);
+  std::vector<double> scores;
+  policy.ScoreArms(stats, &scores);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_GE(scores[new_arm], 1e9);
+  EXPECT_EQ(policy.SelectArm(stats, &rng), new_arm);
+  // Once observed, the newborn joins normal windowed accounting.
+  stats.Record(new_arm, 1.0);
+  policy.Observe(new_arm, 1.0);
+  EXPECT_EQ(policy.WindowPulls(new_arm), 1u);
+}
+
 TEST(SlidingUcbTest, NameAndClone) {
   SlidingUcbOptions opts;
   opts.window = 123;

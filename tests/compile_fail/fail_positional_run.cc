@@ -1,0 +1,16 @@
+// MUST NOT COMPILE: the positional ZombieEngine::Run(grouping, policy,
+// learner, reward, ...) overload was deleted in favor of the named-field
+// RunSpec API. This case pins the deletion — if someone reintroduces a
+// positional overload (even a [[deprecated]] one), this file starts
+// compiling and the compile_fail_fail_positional_run ctest case fails.
+
+#include "core/engine.h"
+
+zombie::RunResult CallPositional(const zombie::ZombieEngine& engine,
+                                 const zombie::GroupingResult& grouping,
+                                 const zombie::BanditPolicy& policy,
+                                 const zombie::Learner& learner,
+                                 const zombie::RewardFunction& reward) {
+  // The only Run takes a RunSpec; a positional call must not resolve.
+  return engine.Run(grouping, policy, learner, reward);
+}

@@ -1,0 +1,16 @@
+// MUST COMPILE: control for fail_positional_run.cc. Proves the harness can
+// compile core/engine.h and resolve the RunSpec-based Run at all — without
+// this, the fail_ case could "pass" because of a broken include path
+// rather than the missing positional overload.
+
+#include "core/engine.h"
+
+zombie::RunResult CallViaSpec(const zombie::ZombieEngine& engine,
+                              const zombie::GroupingResult& grouping,
+                              const zombie::BanditPolicy& policy,
+                              const zombie::Learner& learner,
+                              const zombie::RewardFunction& reward) {
+  zombie::RunSpec spec(grouping, policy, learner, reward);
+  spec.shuffle_groups = false;
+  return engine.Run(spec);
+}

@@ -397,9 +397,12 @@ TEST(EngineTest, WarmStartWithWrongArmCountIsIgnored) {
   }
 }
 
-TEST(EngineTest, RunSpecDefaultsMatchDeprecatedOverload) {
-  // The positional overload is a pure forwarder: a default-constructed
-  // RunSpec must reproduce it field for field.
+TEST(EngineTest, RepeatedRunSpecCallsAreIdentical) {
+  // Run(const RunSpec&) is the engine's only entry point (the positional
+  // overload it once shimmed is gone — see tests/compile_fail/
+  // fail_positional_run.cc, which keeps it from coming back). The engine
+  // is stateless across calls: the same spec twice must produce the same
+  // run, field for field.
   Fixture f(1000);
   EngineOptions opts = f.SmallOptions();
   opts.stop.max_items = 80;
@@ -409,21 +412,18 @@ TEST(EngineTest, RunSpecDefaultsMatchDeprecatedOverload) {
   EpsilonGreedyPolicy policy;
   NaiveBayesLearner nb;
   LabelReward reward;
-  RunResult via_spec = engine.Run(RunSpec(grouping, policy, nb, reward));
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  RunResult via_legacy = engine.Run(grouping, policy, nb, reward);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(via_spec.items_processed, via_legacy.items_processed);
-  EXPECT_EQ(via_spec.positives_processed, via_legacy.positives_processed);
-  EXPECT_EQ(via_spec.loop_virtual_micros, via_legacy.loop_virtual_micros);
-  EXPECT_EQ(via_spec.holdout_virtual_micros,
-            via_legacy.holdout_virtual_micros);
-  EXPECT_EQ(via_spec.final_quality, via_legacy.final_quality);
-  ASSERT_EQ(via_spec.curve.size(), via_legacy.curve.size());
-  for (size_t i = 0; i < via_spec.curve.size(); ++i) {
-    EXPECT_EQ(via_spec.curve.point(i).quality,
-              via_legacy.curve.point(i).quality);
+  RunSpec spec(grouping, policy, nb, reward);
+  RunResult first = engine.Run(spec);
+  RunResult again = engine.Run(spec);
+  EXPECT_EQ(first.Fingerprint(), again.Fingerprint());
+  EXPECT_EQ(first.items_processed, again.items_processed);
+  EXPECT_EQ(first.positives_processed, again.positives_processed);
+  EXPECT_EQ(first.loop_virtual_micros, again.loop_virtual_micros);
+  EXPECT_EQ(first.holdout_virtual_micros, again.holdout_virtual_micros);
+  EXPECT_EQ(first.final_quality, again.final_quality);
+  ASSERT_EQ(first.curve.size(), again.curve.size());
+  for (size_t i = 0; i < first.curve.size(); ++i) {
+    EXPECT_EQ(first.curve.point(i).quality, again.curve.point(i).quality);
   }
 }
 

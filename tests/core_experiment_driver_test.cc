@@ -9,8 +9,11 @@
 #include "core/engine.h"
 #include "core/reward.h"
 #include "core/task_factory.h"
+#include "data/corpus_source.h"
 #include "featureeng/feature_cache.h"
+#include "index/incremental_grouper.h"
 #include "index/kmeans_grouper.h"
+#include "ml/feature_pruner.h"
 #include "ml/naive_bayes.h"
 #include "util/logging.h"
 
@@ -216,6 +219,119 @@ TEST(ExperimentDriverTest, ScanBaselinesMatchSerialBaselines) {
                         FullScanOptions(eopts));
     ExpectSameRun(RunRandomBaseline(engine, f.learner), random[i], i);
     ExpectSameRun(RunSequentialBaseline(engine, f.learner), sequential[i], i);
+  }
+}
+
+// --- Prunings axis (per-arm RunSpec::pruning_override through the grid). --
+
+TEST(ExperimentGridTest, PruningsAxisMultipliesSizeAndLabels) {
+  Fixture f;
+  ExperimentGrid grid = f.SmallGrid();
+  EXPECT_EQ(grid.size(), 6u);
+  FeaturePrunerOptions conservative = ConservativePruning();
+  grid.prunings = {nullptr, &conservative};
+  EXPECT_EQ(grid.size(), 12u);
+  EXPECT_TRUE(grid.Validate().ok());
+}
+
+TEST(ExperimentDriverTest, PruningsAxisExpandsInOrderWithStableLabels) {
+  Fixture f;
+  ExperimentDriverOptions opts;
+  opts.num_threads = 4;
+  opts.engine = f.SmallOptions();
+  // Enough post-freeze runway (freeze_after_items defaults to 100) for the
+  // override to leave a mark on the run fingerprint.
+  opts.engine.stop.max_items = 200;
+  ExperimentDriver driver(&f.task.corpus, &f.task.pipeline, opts);
+
+  FeaturePrunerOptions conservative = ConservativePruning();
+  ExperimentGrid grid = f.SmallGrid();
+  grid.policies = {PolicyKind::kEpsilonGreedy};
+  grid.seeds = {1, 2};
+  grid.prunings = {nullptr, &conservative};
+  auto trials = driver.RunGrid(grid);
+  ASSERT_TRUE(trials.ok()) << trials.status().ToString();
+  ASSERT_EQ(trials.value().size(), 4u);
+  // Expansion order: prunings between learners and seeds (seed-minor).
+  for (size_t i = 0; i < trials.value().size(); ++i) {
+    const TrialSpec& spec = trials.value()[i].spec;
+    EXPECT_EQ(spec.index, i);
+    EXPECT_EQ(spec.pruning, grid.prunings[i / 2]);
+    EXPECT_EQ(spec.pruning_index, i / 2);
+    EXPECT_EQ(spec.seed, grid.seeds[i % 2]);
+    // Labels: the no-override cell keeps the legacy label, the override
+    // cell appends its axis position.
+    if (spec.pruning == nullptr) {
+      EXPECT_EQ(spec.Label().find("/prune@"), std::string::npos);
+    } else {
+      EXPECT_NE(spec.Label().find("/prune@1"), std::string::npos)
+          << spec.Label();
+    }
+  }
+  // The prune-off and prune-on arms of a seed really differ (the override
+  // reached the engine), while same-pruning same-seed cells reproduce the
+  // legacy (no-axis) grid exactly.
+  ExperimentGrid legacy = grid;
+  legacy.prunings.clear();
+  auto legacy_trials = driver.RunGrid(legacy);
+  ASSERT_TRUE(legacy_trials.ok());
+  ASSERT_EQ(legacy_trials.value().size(), 2u);
+  for (size_t s = 0; s < 2; ++s) {
+    ExpectSameRun(legacy_trials.value()[s].run, trials.value()[s].run, s);
+    EXPECT_EQ(legacy_trials.value()[s].spec.Label(),
+              trials.value()[s].spec.Label());
+  }
+  EXPECT_NE(trials.value()[0].run.Fingerprint(),
+            trials.value()[2].run.Fingerprint())
+      << "pruning override had no observable effect";
+}
+
+// --- Streaming grids (ExperimentDriverOptions::stream). -------------------
+
+TEST(ExperimentDriverTest, StreamingGridDeterministicAcrossThreads) {
+  Fixture f;
+  IncrementalKMeansOptions kopts;
+  kopts.num_groups = 6;
+  kopts.seed = 5;
+  kopts.split_threshold = 16;
+  IncrementalKMeansGrouper igrouper(kopts);
+  const size_t base = 800;
+  GroupingResult base_grouping = igrouper.GroupBase(f.task.corpus, base);
+  ScheduledCorpusSource source(
+      &f.task.corpus, base,
+      BuildArrivalSchedule(f.task.corpus, base, ArrivalScheduleOptions{}));
+
+  ExperimentGrid grid;
+  grid.policies = {PolicyKind::kEpsilonGreedy, PolicyKind::kSlidingUcb};
+  grid.groupings = {&base_grouping};
+  grid.rewards = {&f.reward};
+  grid.learners = {&f.learner};
+  grid.seeds = {1, 2};
+
+  auto run_with_threads = [&](size_t n) {
+    ExperimentDriverOptions opts;
+    opts.num_threads = n;
+    opts.engine = f.SmallOptions();
+    opts.engine.stop.max_items = 150;
+    opts.stream = &source;
+    opts.incremental_grouper = &igrouper;
+    ExperimentDriver driver(&f.task.corpus, &f.task.pipeline, opts);
+    auto trials = driver.RunGrid(grid);
+    ZCHECK_OK(trials.status());
+    return std::move(trials).value();
+  };
+
+  std::vector<TrialResult> serial = run_with_threads(1);
+  // Non-vacuity: streaming really reached the trials (arms can outgrow the
+  // base grouping).
+  for (const TrialResult& t : serial) {
+    EXPECT_GE(t.run.arms.size(), base_grouping.num_groups());
+  }
+  std::vector<TrialResult> parallel = run_with_threads(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ExpectSameRun(serial[i].run, parallel[i].run, i);
+    ASSERT_EQ(serial[i].run.arms.size(), parallel[i].run.arms.size()) << i;
   }
 }
 

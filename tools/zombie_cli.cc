@@ -8,6 +8,9 @@
 //                       [--trials=N] [--threads=N] [--eval-threads=N]
 //                       [--cache] [--prefetch-threads=N] [--prefetch-arms=N]
 //                       [--prune=off|conservative|aggressive]
+//                       [--stream=F] [--ingest-rate=R]
+//                       [--stream-order=corpus|shuffled|domain]
+//                       [--stream-seed=N]
 //                       [--store-path=feat.zfs] [--store-gc]
 //                       [--trace-out=trace.json] [--metrics-out=metrics.json]
 //                       [--decisions-out=decisions.jsonl]
@@ -41,11 +44,23 @@
 // "off" (the default) leaves all output byte-identical to pre-pruning
 // builds; "conservative"/"aggressive" trade accuracy for inner-loop speed.
 //
+// --stream=F (run only) holds back the last F (0 < F < 1) of the corpus as
+// a virtual-time arrival stream: the index is built over the remaining
+// base prefix and arrivals join it at holdout-eval boundaries, splitting
+// or opening bandit arms mid-run (data/corpus_source.h,
+// index/incremental_grouper.h). --ingest-rate sets the arrival rate in
+// documents per virtual second (default 100), --stream-order the arrival
+// permutation, --stream-seed the schedule's jitter seed. Streaming runs
+// are deterministic given these flags: fingerprints and decision logs are
+// byte-identical across --threads, --eval-threads, --cache/--store-path,
+// and forced SIMD levels. Requires --grouper=kmeans|metadata|token.
+//
 // --fingerprint-out (run only) writes each trial's canonical RunResult
 // fingerprint (see RunResult::Fingerprint); the simd-dispatch CI job
 // byte-compares these files across forced ZOMBIE_SIMD_LEVEL runs.
 // `simd-level` reports how SIMD dispatch resolved on this machine/binary.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -66,8 +81,10 @@
 #include "featureeng/feature_cache.h"
 #include "featureeng/persistent_feature_store.h"
 #include "core/task_factory.h"
+#include "data/corpus_source.h"
 #include "data/serialization.h"
 #include "featureeng/revision_script.h"
+#include "index/incremental_grouper.h"
 #include "index/kmeans_grouper.h"
 #include "index/metadata_grouper.h"
 #include "index/oracle_grouper.h"
@@ -122,6 +139,12 @@ class Flags {
     auto it = values_.find(key);
     consumed_.insert(key);
     return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    consumed_.insert(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
   }
 
   bool GetBool(const std::string& key) const {
@@ -186,6 +209,50 @@ std::unique_ptr<Grouper> MakeGrouperFromFlags(const Flags& flags) {
     return std::make_unique<OracleGrouper>(OracleMode::kLabel);
   }
   return nullptr;
+}
+
+/// The incremental counterpart of MakeGrouperFromFlags, for --stream runs.
+/// Only kmeans/metadata/token have streaming variants; anything else
+/// returns null and CmdRun reports the error.
+std::unique_ptr<IncrementalGrouper> MakeIncrementalGrouperFromFlags(
+    const Flags& flags) {
+  std::string name = flags.GetString("grouper", "kmeans");
+  size_t groups = static_cast<size_t>(flags.GetInt("groups", 32));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("grouper_seed", 7));
+  if (name == "kmeans") {
+    IncrementalKMeansOptions opts;
+    opts.num_groups = groups;
+    opts.seed = seed;
+    return std::make_unique<IncrementalKMeansGrouper>(opts);
+  }
+  if (name == "metadata") {
+    IncrementalMetadataOptions opts;
+    opts.max_groups = groups;
+    return std::make_unique<IncrementalMetadataGrouper>(opts);
+  }
+  if (name == "token") {
+    TokenGrouperOptions opts;
+    for (const std::string& term :
+         Split(flags.GetString("seed_terms", ""), ',')) {
+      if (!term.empty()) opts.seed_terms.push_back(term);
+    }
+    return std::make_unique<IncrementalTokenGrouper>(opts);
+  }
+  return nullptr;
+}
+
+/// --stream-order parse; unknown values are reported and fall back to the
+/// corpus order (the prune/prefetch flag idiom).
+ArrivalOrder ParseArrivalOrder(const std::string& name) {
+  if (name == "shuffled") return ArrivalOrder::kShuffled;
+  if (name == "domain") return ArrivalOrder::kDomainGrouped;
+  if (name != "corpus") {
+    std::fprintf(stderr,
+                 "unknown --stream-order '%s' (want corpus|shuffled|domain); "
+                 "using corpus\n",
+                 name.c_str());
+  }
+  return ArrivalOrder::kCorpus;
 }
 
 StatusOr<PolicyKind> ParsePolicyKindFromFlags(const Flags& flags) {
@@ -443,6 +510,13 @@ int CmdRun(const Flags& flags) {
   std::string fingerprint_out = flags.GetString("fingerprint-out", "");
   std::string store_path = flags.GetString("store-path", "");
   bool store_gc = flags.GetBool("store-gc");
+  // Streaming ingestion: --stream=F holds back the last F of the corpus
+  // and replays it as a virtual-time arrival schedule.
+  double stream_fraction = flags.GetDouble("stream", 0.0);
+  double ingest_rate = flags.GetDouble("ingest-rate", 100.0);
+  ArrivalOrder stream_order =
+      ParseArrivalOrder(flags.GetString("stream-order", "corpus"));
+  uint64_t stream_seed = static_cast<uint64_t>(flags.GetInt("stream-seed", 17));
   ObsOutputs obs_out = GetObsOutputs(flags);
   Status st = flags.CheckAllConsumed();
   if (!st.ok()) {
@@ -459,7 +533,41 @@ int CmdRun(const Flags& flags) {
       OpenStore(store_path, std::move(retain));
   if (!store_path.empty() && store == nullptr) return 1;
 
-  GroupingResult grouping = grouper->Group(corpus);
+  // Streaming setup: the base grouping covers only the offline prefix; the
+  // held-back suffix becomes the arrival schedule every trial replays.
+  const bool streaming = stream_fraction > 0.0;
+  std::unique_ptr<IncrementalGrouper> igrouper;
+  std::unique_ptr<ScheduledCorpusSource> source;
+  GroupingResult grouping;
+  if (streaming) {
+    if (stream_fraction >= 1.0) {
+      std::fprintf(stderr, "--stream must be in (0, 1)\n");
+      return 1;
+    }
+    igrouper = MakeIncrementalGrouperFromFlags(flags);
+    if (igrouper == nullptr) {
+      std::fprintf(stderr,
+                   "--stream supports --grouper=kmeans|metadata|token only\n");
+      return 1;
+    }
+    size_t base = corpus.size() -
+                  static_cast<size_t>(stream_fraction *
+                                      static_cast<double>(corpus.size()));
+    base = std::max<size_t>(std::min(base, corpus.size()), 1);
+    ArrivalScheduleOptions sopts;
+    sopts.docs_per_virtual_second = ingest_rate;
+    sopts.order = stream_order;
+    sopts.seed = stream_seed;
+    source = std::make_unique<ScheduledCorpusSource>(
+        &corpus, base, BuildArrivalSchedule(corpus, base, sopts));
+    grouping = igrouper->GroupBase(corpus, base);
+    std::printf("stream: base %zu of %zu docs, %zu arrivals at %.1f "
+                "docs/virtual-second (%s order)\n",
+                base, corpus.size(), source->arrivals().size(), ingest_rate,
+                ArrivalOrderName(stream_order));
+  } else {
+    grouping = grouper->Group(corpus);
+  }
   std::printf("index: %zu groups via %s (%s wall)\n", grouping.num_groups(),
               grouping.method.c_str(),
               FormatDuration(grouping.build_wall_micros).c_str());
@@ -476,6 +584,8 @@ int CmdRun(const Flags& flags) {
   dopts.cache = use_cache ? &cache : nullptr;
   dopts.prefetch = prefetch;
   dopts.store = store.get();
+  dopts.stream = source.get();
+  dopts.incremental_grouper = igrouper.get();
   ExperimentDriver driver(&corpus, &pipeline, dopts);
   ExperimentGrid grid;
   grid.policies = {policy_kind.value()};
